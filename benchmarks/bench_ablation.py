@@ -1,0 +1,183 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+- probability-engine choice (Monte-Carlo vs exact BDD vs independence
+  propagation): accuracy and cost,
+- candidate-class ablation: how much each substitution class contributes
+  when enabled alone,
+- pattern-count sensitivity of the optimizer's outcome.
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.bench.suite import build_benchmark
+from repro.library.standard import standard_library
+from repro.power.estimate import PowerEstimator
+from repro.power.probability import (
+    ExactBddProbability,
+    PropagationProbability,
+    SimulationProbability,
+)
+from repro.transform.candidates import CandidateOptions
+from repro.transform.optimizer import OptimizeOptions, power_optimize
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return standard_library()
+
+
+@pytest.fixture(scope="module")
+def circuit(lib):
+    return build_benchmark("misex1", lib)
+
+
+class TestProbabilityEngineAblation:
+    def test_monte_carlo(self, benchmark, circuit):
+        benchmark(
+            lambda: SimulationProbability(
+                circuit, num_patterns=2048, seed=3
+            )
+        )
+
+    def test_exact_bdd(self, benchmark, circuit):
+        benchmark(lambda: ExactBddProbability(circuit))
+
+    def test_propagation(self, benchmark, circuit):
+        benchmark(lambda: PropagationProbability(circuit))
+
+    def test_accuracy_report(self, benchmark, circuit):
+        """Print the estimator-accuracy ablation (timing the exact engine
+        so the test also runs under --benchmark-only)."""
+        exact = benchmark(lambda: ExactBddProbability(circuit))
+        monte = SimulationProbability(circuit, num_patterns=2048, seed=3)
+        prop = PropagationProbability(circuit)
+        worst_mc = worst_prop = 0.0
+        for name in circuit.gates:
+            p = exact.probability(name)
+            worst_mc = max(worst_mc, abs(monte.probability(name) - p))
+            worst_prop = max(worst_prop, abs(prop.probability(name) - p))
+        print(
+            f"\nprobability ablation on {circuit.name}: "
+            f"max |err| Monte-Carlo(2048) = {worst_mc:.4f}, "
+            f"independence propagation = {worst_prop:.4f}"
+        )
+        assert worst_mc < 0.05
+        # Reconvergence bias makes propagation strictly worse here.
+        assert worst_prop >= worst_mc
+
+
+class TestClassAblation:
+    @pytest.mark.parametrize("kind", ["OS2", "IS2", "OS3", "IS3"])
+    def test_single_class(self, benchmark, lib, kind):
+        base = build_benchmark("misex1", lib)
+        candidates = CandidateOptions(
+            enable_os2=kind == "OS2",
+            enable_is2=kind == "IS2",
+            enable_os3=kind == "OS3",
+            enable_is3=kind == "IS3",
+        )
+        options = OptimizeOptions(
+            num_patterns=1024,
+            repeat=10,
+            max_rounds=3,
+            max_moves=20,
+            candidates=candidates,
+        )
+        result = once(benchmark, power_optimize, base.copy(kind), options)
+        print(
+            f"\n  {kind}-only: {result.power_reduction_percent:5.1f}% power "
+            f"reduction in {len(result.moves)} moves"
+        )
+        assert result.final_power <= result.initial_power + 1e-9
+
+
+class TestPatternSensitivity:
+    @pytest.mark.parametrize("patterns", [256, 1024, 4096])
+    def test_pattern_count(self, benchmark, lib, patterns):
+        base = build_benchmark("rd53", lib)
+        options = OptimizeOptions(
+            num_patterns=patterns, repeat=10, max_rounds=3, max_moves=15
+        )
+        result = once(benchmark, power_optimize, base, options)
+        assert result.final_power <= result.initial_power + 1e-9
+
+
+class TestSeedRobustness:
+    """The optimizer's outcome should be stable across pattern seeds —
+    the don't-cares it exploits are properties of the logic, not of the
+    sample (the exact ATPG check filters sampling artifacts)."""
+
+    def test_seed_stability(self, benchmark, lib):
+        def run():
+            reductions = []
+            for seed in (1, 7, 42):
+                base = build_benchmark("misex1", lib)
+                result = power_optimize(
+                    base,
+                    OptimizeOptions(
+                        num_patterns=1024, repeat=10, max_rounds=3,
+                        max_moves=20, seed=seed,
+                    ),
+                )
+                reductions.append(result.power_reduction_percent)
+            return reductions
+
+        reductions = once(benchmark, run)
+        print(f"\n  misex1 reductions across seeds: "
+              + ", ".join(f"{r:.1f}%" for r in reductions))
+        assert min(reductions) > 0
+        assert max(reductions) - min(reductions) < 15.0
+
+
+class TestRepeatParameter:
+    """Figure 5's `repeat` knob: how many substitutions run on one set of
+    candidates before regenerating.  The paper introduced it "to increase
+    efficiency"; this ablation shows the cost/quality trade."""
+
+    @pytest.mark.parametrize("repeat", [1, 5, 25])
+    def test_repeat(self, benchmark, lib, repeat):
+        base = build_benchmark("Z5xp1", lib)
+        options = OptimizeOptions(
+            num_patterns=1024, repeat=repeat, max_rounds=40, max_moves=30
+        )
+        result = once(benchmark, power_optimize, base, options)
+        print(
+            f"\n  repeat={repeat}: {result.power_reduction_percent:.1f}% in "
+            f"{len(result.moves)} moves, {result.rounds} rounds, "
+            f"{result.runtime_seconds:.1f}s"
+        )
+        assert result.final_power <= result.initial_power + 1e-9
+
+
+class TestIterateMapPowder:
+    """Alternating mapping and POWDER: does a remap after POWDER expose
+    further structural savings?  (A modern follow-up question — the paper
+    runs one POWDER pass after one mapping.)"""
+
+    def test_two_iterations(self, benchmark, lib):
+        from repro.synth.resynth import resynthesize
+        from repro.equiv.checker import check_equivalent
+
+        def run():
+            netlist = build_benchmark("Z5xp1", lib)
+            reference = netlist.copy("ref")
+            opts = OptimizeOptions(
+                num_patterns=1024, repeat=15, max_rounds=4, max_moves=30
+            )
+            first = power_optimize(netlist, opts)
+            remapped = resynthesize(netlist)
+            second = power_optimize(remapped, opts)
+            assert check_equivalent(reference, remapped).equal
+            return first, second, remapped
+
+        first, second, remapped = once(benchmark, run)
+        print(
+            f"\n  pass 1: {first.power_reduction_percent:.1f}% "
+            f"(final {first.final_power:.2f}); after remap, pass 2 finds "
+            f"another {second.power_reduction_percent:.1f}% "
+            f"(final {second.final_power:.2f})"
+        )
+        # Remapping must not destroy pass-1's result catastrophically, and
+        # pass 2 can only improve its own starting point.
+        assert second.final_power <= second.initial_power + 1e-9

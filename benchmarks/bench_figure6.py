@@ -1,0 +1,42 @@
+"""Figure 6 — the power-delay trade-off.
+
+Sweeps delay constraints (0 % … 200 % above the initial delay) over the
+trade-off circuit set and prints the relative power / relative delay
+series.  Paper shape: ~26 % reduction at +0 % rising to ~38 % at +200 %,
+two thirds of the extra gain by +30 %, saturation beyond +80 %.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_CONFIG, once
+from repro.experiments.figure6 import format_figure6, run_figure6
+
+SWEEP_CIRCUITS = ("rd53", "sqrt8", "misex1", "alu2", "Z5xp1")
+SLACKS = (0, 10, 30, 80, 200)
+
+
+def test_figure6_tradeoff(benchmark):
+    result = once(
+        benchmark,
+        run_figure6,
+        circuits=list(SWEEP_CIRCUITS),
+        slack_percents=SLACKS,
+        config=BENCH_CONFIG,
+    )
+    print()
+    print(format_figure6(result))
+    points = {p.slack_percent: p for p in result.points}
+    # Every point honours its constraint.
+    for slack, point in points.items():
+        assert point.relative_delay <= 1.0 + slack / 100.0 + 1e-9
+    # Monotone shape: more allowance, no worse power (small greedy noise
+    # tolerance), and the 0% point already achieves a real reduction.
+    assert points[0].power_reduction_pct > 0.0
+    assert (
+        points[200].relative_power
+        <= points[0].relative_power + 0.02
+    )
+    # Saturation: the last doubling of allowance buys little.
+    gain_80_to_200 = points[80].relative_power - points[200].relative_power
+    gain_0_to_80 = points[0].relative_power - points[80].relative_power
+    assert gain_80_to_200 <= max(gain_0_to_80, 0.0) + 0.02

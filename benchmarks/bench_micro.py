@@ -1,0 +1,133 @@
+"""Micro-benchmarks of the substrates.
+
+These time the building blocks the optimizer's inner loop lives on:
+bit-parallel simulation, observability extraction, candidate generation,
+the ATPG permissibility oracle, and technology mapping.  They are honest
+pytest-benchmark measurements (multiple rounds), unlike the table benches
+which run their experiment once.
+"""
+
+import pytest
+
+from repro.atpg.fault import all_stem_faults
+from repro.atpg.faultsim import fault_simulate
+from repro.atpg.podem import Podem
+from repro.bench.suite import build_benchmark
+from repro.equiv.checker import check_equivalent
+from repro.library.standard import standard_library
+from repro.netlist.simulate import SimState, random_patterns
+from repro.power.estimate import PowerEstimator
+from repro.power.probability import SimulationProbability
+from repro.synth.flow import build_subject_graph
+from repro.synth.mapper import MapOptions, technology_map
+from repro.transform.candidates import CandidateOptions, generate_candidates
+from repro.bench.pla import random_pla
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return standard_library()
+
+
+@pytest.fixture(scope="module")
+def circuit(lib):
+    return build_benchmark("alu2", lib)
+
+
+@pytest.fixture(scope="module")
+def sim(circuit):
+    return SimState(circuit, random_patterns(circuit.input_names, 2048, seed=1))
+
+
+def test_full_simulation(benchmark, sim):
+    """2048-pattern full re-simulation of alu2."""
+    benchmark(sim.resimulate_all)
+
+
+def test_stem_observability(benchmark, circuit, sim):
+    """Observability masks for every stem (candidate-generation kernel)."""
+    gates = [g for g in circuit.logic_gates()]
+
+    def run():
+        for gate in gates:
+            sim.stem_observability(gate)
+
+    benchmark(run)
+
+
+def test_fault_simulation(benchmark, circuit, sim):
+    """Parallel-pattern fault simulation of all stem faults."""
+    faults = all_stem_faults(circuit)
+    benchmark(fault_simulate, sim, faults)
+
+
+def test_podem_full_fault_list(benchmark, circuit):
+    """PODEM over every stem fault of alu2."""
+    faults = all_stem_faults(circuit)
+
+    def run():
+        detected = 0
+        for fault in faults:
+            if Podem(circuit, fault, backtrack_limit=5000).run().testable:
+                detected += 1
+        return detected
+
+    detected = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert detected > 0
+
+
+def test_equivalence_check(benchmark, circuit):
+    """Miter + justification on a self-copy (the permissibility oracle)."""
+    copy = circuit.copy("copy")
+    result = benchmark.pedantic(
+        check_equivalent, args=(circuit, copy), rounds=1, iterations=1
+    )
+    assert result.equal
+
+
+def test_candidate_generation(benchmark, circuit):
+    """One full candidate-generation round on alu2."""
+    estimator = PowerEstimator(
+        circuit, SimulationProbability(circuit, num_patterns=1024, seed=2)
+    )
+    candidates = benchmark.pedantic(
+        generate_candidates,
+        args=(estimator, CandidateOptions()),
+        rounds=1,
+        iterations=1,
+    )
+    assert candidates
+
+
+def test_technology_mapping(benchmark, lib):
+    """Synthesis front-end + mapper on a 40-cube PLA."""
+    pla = random_pla("bench", 12, 8, 40, seed=77)
+    graph = build_subject_graph(pla.input_names, pla.on, name="bench")
+
+    def run():
+        return technology_map(graph, lib, MapOptions(mode="power"))
+
+    netlist = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert netlist.num_gates() > 0
+
+
+def test_sat_oracle_equivalence(benchmark, circuit):
+    """DPLL SAT miter check on an alu2 self-copy (cross-check engine)."""
+    from repro.sat.oracle import sat_check_equivalent
+
+    copy = circuit.copy("sat_copy")
+    result = benchmark.pedantic(
+        sat_check_equivalent, args=(circuit, copy), rounds=1, iterations=1
+    )
+    assert result.equal
+
+
+def test_bdd_oracle_equivalence(benchmark, circuit):
+    """Global-BDD comparison on an alu2 self-copy (fallback engine)."""
+    from repro.equiv.checker import _bdd_verdict
+
+    copy = circuit.copy("bdd_copy")
+    result = benchmark.pedantic(
+        _bdd_verdict, args=(circuit, copy, 2_000_000), rounds=1, iterations=1
+    )
+    assert result is not None and result.equal

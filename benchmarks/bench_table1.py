@@ -1,0 +1,54 @@
+"""Table 1 — POWDER on the benchmark suite.
+
+Regenerates the paper's per-circuit columns (initial power/area/delay,
+unconstrained and delay-constrained optimization) over the bench slice of
+the suite and prints the assembled table.  Paper totals for reference:
+−26.1 % power (unconstrained), −21.4 % power / −6.8 % delay (constrained).
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_CIRCUITS, BENCH_CONFIG, once
+from repro.experiments.common import run_circuit
+from repro.experiments.table1 import Table1Result, Table1Row, format_table1
+
+_rows_cache: list = []
+_runs_cache: list = []
+
+
+@pytest.mark.parametrize("circuit", BENCH_CIRCUITS)
+def test_table1_circuit(benchmark, circuit):
+    """One Table-1 row: synthesize + optimize (both modes) one circuit."""
+    run = once(benchmark, run_circuit, circuit, BENCH_CONFIG)
+    row = Table1Row.from_run(run)
+    _rows_cache.append(row)
+    _runs_cache.append(run)
+    # Shape assertions mirroring the paper's claims:
+    assert row.unc_power <= row.initial_power + 1e-9
+    assert row.con_power <= row.initial_power + 1e-9
+    assert row.con_delay <= row.initial_delay + 1e-9
+    # Constrained mode can never beat unconstrained by much (same greedy,
+    # strictly fewer admissible moves).
+    assert row.unc_reduction_pct >= -1e-9
+
+
+def test_table1_totals_and_print(benchmark):
+    """Assemble and print the table, checking the aggregate shape.
+
+    (Takes the ``benchmark`` fixture — timing the table assembly — so the
+    test still runs under ``--benchmark-only``.)
+    """
+    if not _rows_cache:
+        pytest.skip("per-circuit benches did not run")
+    result = benchmark(
+        lambda: Table1Result(rows=list(_rows_cache), runs=list(_runs_cache))
+    )
+    print()
+    print(format_table1(result))
+    # Paper shape: double-digit average unconstrained power reduction and a
+    # positive constrained reduction that does not exceed it.
+    assert result.unc_power_reduction_pct > 5.0
+    assert 0.0 <= result.con_power_reduction_pct
+    assert result.con_power_reduction_pct <= result.unc_power_reduction_pct + 2.0
+    # Constrained delay never increases in aggregate.
+    assert result.con_delay_reduction_pct >= -1e-9

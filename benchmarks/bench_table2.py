@@ -1,0 +1,36 @@
+"""Table 2 — contribution of the substitution classes.
+
+Runs the unconstrained protocol over the bench circuits, aggregates the
+per-move logs by class and prints the shares next to the paper's
+(power: OS2 32.5 / IS2 36.5 / OS3 27.6 / IS3 3.4 %).
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_CIRCUITS, BENCH_CONFIG, once
+from repro.experiments.common import run_circuit
+from repro.experiments.table2 import format_table2, table2_from_runs
+
+
+def _run_all():
+    return [
+        run_circuit(name, BENCH_CONFIG, constrained=False)
+        for name in BENCH_CIRCUITS
+    ]
+
+
+def test_table2_class_contributions(benchmark):
+    runs = once(benchmark, _run_all)
+    result = table2_from_runs(runs)
+    print()
+    print(format_table2(result))
+    total_moves = sum(s.count for s in result.stats.values())
+    assert total_moves > 0
+    # Shape: the 2-signal substitutions dominate, IS3 is marginal (paper:
+    # 3.4 % — "the power increase due to the new gate can be compensated
+    # only in rare cases").
+    shares = {k: result.power_share_pct(k) for k in result.stats}
+    assert shares["OS2"] + shares["IS2"] + shares["OS3"] >= 80.0
+    assert shares["IS3"] <= max(shares["OS2"], shares["IS2"])
+    # Power shares sum to 100% of the achieved reduction.
+    assert sum(shares.values()) == pytest.approx(100.0, abs=1e-6)

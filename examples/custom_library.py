@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Using your own genlib cell library.
+
+Defines a tiny NAND/NOR-only library in genlib text, maps a benchmark onto
+it (exercising the mapper's dual-phase covering — no AND/OR cells exist),
+and runs POWDER against it.  Also shows reading/writing genlib files and
+inspecting cell electrical data.
+
+Run:  python examples/custom_library.py
+"""
+
+from repro import parse_genlib
+from repro.bench.functions import comparator_exprs
+from repro.library.genlib import write_genlib
+from repro.power import PowerEstimator, SimulationProbability
+from repro.synth.mapper import MapOptions, technology_map
+from repro.synth.subject import SubjectGraph
+from repro.transform import power_optimize
+
+MY_GENLIB = """
+# A deliberately spartan library: inverter, NAND2, NOR2, XOR2 only.
+GATE my_inv  1.0 O=!a;        PIN * INV 1.0 999 0.8 0.3 0.8 0.3
+GATE my_nand 2.0 O=!(a*b);    PIN * INV 1.0 999 1.0 0.4 1.0 0.4
+GATE my_nor  2.2 O=!(a+b);    PIN * INV 1.0 999 1.2 0.5 1.2 0.5
+GATE my_xor  4.0 O=a*!b+!a*b; PIN * UNKNOWN 1.8 999 1.9 0.7 1.9 0.7
+"""
+
+
+def main():
+    library = parse_genlib(MY_GENLIB, name="spartan")
+    library.validate()
+    print(f"library {library.name!r}: {len(library)} cells")
+    for cell in library:
+        pin = cell.pins[0]
+        print(
+            f"  {cell.name:8s} area={cell.area:4.1f} "
+            f"f={cell.expression.to_genlib():14s} "
+            f"pin load={pin.load}, tau={pin.tau}, R={pin.resistance}"
+        )
+
+    # Build a 6-bit comparator and map it onto the spartan library.
+    bundle = comparator_exprs("comp6", 6)
+    graph = SubjectGraph(bundle.name)
+    for pi in bundle.input_names:
+        graph.add_pi(pi)
+    for po, expr in bundle.outputs.items():
+        graph.set_output(po, graph.add_expr(expr))
+
+    mapped = technology_map(graph, library, MapOptions(mode="power"))
+    used = {}
+    for gate in mapped.logic_gates():
+        used[gate.cell.name] = used.get(gate.cell.name, 0) + 1
+    print(f"\nmapped comp6: {mapped.num_gates()} gates, "
+          f"area {mapped.total_area():.1f}, cell mix {used}")
+
+    estimator = PowerEstimator(
+        mapped, SimulationProbability(mapped, num_patterns=2048, seed=5)
+    )
+    before = estimator.total()
+    result = power_optimize(mapped, num_patterns=2048, max_rounds=5)
+    print(f"POWDER: power {before:.3f} -> {result.final_power:.3f} "
+          f"({result.power_reduction_percent:.1f}% reduction, "
+          f"{len(result.moves)} moves)")
+
+    # Round-trip the library through the genlib writer.
+    text = write_genlib(library)
+    reparsed = parse_genlib(text, name="roundtrip")
+    assert {c.name for c in reparsed} == {c.name for c in library}
+    print("\ngenlib writer round-trip: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quantifying the paper's zero-delay assumption.
+
+The power model POWDER optimizes is zero-delay; the paper notes glitches
+"typically contribute about 20%" and argues pre-layout path delays are too
+unreliable to model them.  This example measures the glitch share of a
+benchmark under the linear-delay timing model, before and after POWDER —
+checking that optimizing the zero-delay objective does not silently explode
+the glitch component.
+
+Run:  python examples/glitch_analysis.py [benchmark]
+"""
+
+import sys
+
+from repro import standard_library
+from repro.bench import build_benchmark
+from repro.power import analyze_glitches
+from repro.transform import power_optimize
+
+
+def report(netlist, label, num_pairs=192):
+    result = analyze_glitches(netlist, num_pairs=num_pairs, seed=11)
+    print(
+        f"{label:18s} zero-delay power = {result.zero_delay_power:8.3f}   "
+        f"timed power = {result.timed_power:8.3f}   "
+        f"glitch share = {result.glitch_fraction:5.1%}"
+    )
+    return result
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "f51m"
+    lib = standard_library()
+    netlist = build_benchmark(name, lib, map_mode="power")
+    print(f"circuit {name}: {netlist.num_gates()} gates "
+          f"(paper's expectation: glitches ~20% of total power)\n")
+
+    before = report(netlist, "before POWDER")
+    print("\nworst glitching signals (transition surplus T - E):")
+    for signal, surplus in before.worst_glitchers(5):
+        print(f"  {signal:12s} +{surplus:.3f} transitions/cycle")
+
+    result = power_optimize(netlist, num_patterns=2048, max_rounds=6)
+    print(f"\nPOWDER: {len(result.moves)} moves, "
+          f"{result.power_reduction_percent:.1f}% zero-delay reduction\n")
+    after = report(netlist, "after POWDER")
+
+    timed_delta = 100 * (1 - after.timed_power / before.timed_power)
+    print(f"\ntimed (glitch-inclusive) power changed by {timed_delta:+.1f}% — "
+          "the zero-delay objective is a\nfaithful proxy when this tracks the "
+          f"nominal {result.power_reduction_percent:.1f}% reduction.")
+
+
+if __name__ == "__main__":
+    main()

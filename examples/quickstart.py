@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: build a small mapped circuit and let POWDER optimize it.
+
+Demonstrates the three-line happy path of the public API:
+
+    lib = standard_library()
+    netlist = ...            # build / parse / synthesize
+    result = power_optimize(netlist)
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import NetlistBuilder, power_optimize, standard_library
+from repro.equiv import check_equivalent
+from repro.power import PowerEstimator, SimulationProbability
+from repro.timing import TimingAnalysis
+
+
+def build_circuit():
+    """A small mapped netlist with some hidden redundancy.
+
+    y1 = (a AND b) OR (c AND d), y2 = NOT(a AND b), and a duplicated
+    a AND b cone that POWDER should discover and share.
+    """
+    lib = standard_library()
+    b = NetlistBuilder(lib, "quickstart")
+    a, bb, c, d = b.inputs("a", "b", "c", "d")
+    ab_1 = b.and_(a, bb, name="ab_1")
+    ab_2 = b.and_(a, bb, name="ab_2")  # duplicate logic
+    cd = b.and_(c, d, name="cd")
+    y1 = b.or_(ab_1, cd, name="y1")
+    y2 = b.not_(ab_2, name="y2")
+    b.output("y1", y1)
+    b.output("y2", y2)
+    return b.build()
+
+
+def main():
+    netlist = build_circuit()
+    reference = netlist.copy("reference")
+
+    estimator = PowerEstimator(netlist, SimulationProbability(netlist))
+    timing = TimingAnalysis(netlist)
+    print(f"before: power = {estimator.total():.3f}  "
+          f"area = {netlist.total_area():.0f}  "
+          f"delay = {timing.circuit_delay:.2f}")
+
+    result = power_optimize(netlist, num_patterns=2048, seed=7)
+
+    print(f"after : power = {result.final_power:.3f}  "
+          f"area = {result.final_area:.0f}  "
+          f"delay = {result.final_delay:.2f}")
+    print()
+    print(result.summary())
+    print()
+    for move in result.moves:
+        print(f"  applied {move.substitution}  "
+              f"(gain {move.measured_power_gain:+.4f})")
+
+    verdict = check_equivalent(reference, netlist)
+    print(f"\nfunctional equivalence after optimization: {verdict.status}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Redundancy identification.
+
+A stuck-at fault that no input vector can detect is *redundant*: the circuit
+function does not depend on the faulted line's correct value, so the line
+carries a don't-care that structural transformations can exploit.  This is
+exactly the link between ATPG and permissible transformations exploited by
+the paper's references [1, 2, 4, 5].
+
+:func:`is_redundant` wraps PODEM with the paper's abort semantics: an
+aborted search proves nothing, and callers must treat it as "not shown
+redundant".
+"""
+
+from __future__ import annotations
+
+from repro.atpg.fault import StuckAtFault
+from repro.atpg.podem import DEFAULT_BACKTRACK_LIMIT, Podem
+from repro.errors import AtpgAbort
+from repro.netlist.netlist import Netlist
+
+REDUNDANT = "redundant"
+TESTABLE = "testable"
+ABORTED = "aborted"
+
+
+def classify_fault(
+    netlist: Netlist,
+    fault: StuckAtFault,
+    backtrack_limit: int = DEFAULT_BACKTRACK_LIMIT,
+) -> str:
+    """One of :data:`REDUNDANT`, :data:`TESTABLE`, :data:`ABORTED`."""
+    try:
+        result = Podem(netlist, fault, backtrack_limit).run()
+    except AtpgAbort:
+        return ABORTED
+    return TESTABLE if result.testable else REDUNDANT
+
+
+def is_redundant(
+    netlist: Netlist,
+    fault: StuckAtFault,
+    backtrack_limit: int = DEFAULT_BACKTRACK_LIMIT,
+) -> bool:
+    """True only when PODEM *proves* the fault untestable."""
+    return classify_fault(netlist, fault, backtrack_limit) == REDUNDANT
+
+
+def redundant_faults(
+    netlist: Netlist,
+    faults,
+    backtrack_limit: int = DEFAULT_BACKTRACK_LIMIT,
+) -> list[StuckAtFault]:
+    """The subset of ``faults`` proven redundant."""
+    return [
+        fault
+        for fault in faults
+        if classify_fault(netlist, fault, backtrack_limit) == REDUNDANT
+    ]

@@ -1,0 +1,112 @@
+"""Multi-valued logic evaluation of library cells.
+
+3-valued domain: ``0``, ``1``, ``X`` (unknown).  A cell evaluates to a binary
+value only when every completion of its unknown inputs agrees; otherwise X.
+Evaluation is exact (it enumerates completions on the cell's ≤ handful of
+inputs) and memoised per (cell function, input tuple), so repeated PODEM
+implication passes are cheap.
+
+5-valued D-calculus values are pairs of 3-valued values — the good-circuit
+and faulty-circuit components.  ``D = (1, 0)``, ``D̄ = (0, 1)``; the classic
+symbols are just views of the pair.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.library.cell import Cell
+
+# 3-valued constants.
+ZERO = 0
+ONE = 1
+X = 2
+
+_eval_cache: dict[tuple[int, int, tuple[int, ...]], int] = {}
+
+
+def eval3(cell: Cell, inputs: Sequence[int]) -> int:
+    """3-valued evaluation of a cell."""
+    key = (cell.function.nvars, cell.function.bits, tuple(inputs))
+    cached = _eval_cache.get(key)
+    if cached is not None:
+        return cached
+    table = cell.function
+    unknown = [i for i, v in enumerate(inputs) if v == X]
+    base = 0
+    for i, v in enumerate(inputs):
+        if v == ONE:
+            base |= 1 << i
+    if not unknown:
+        result = table.value(base)
+    else:
+        seen0 = seen1 = False
+        for completion in range(1 << len(unknown)):
+            minterm = base
+            for j, var in enumerate(unknown):
+                if (completion >> j) & 1:
+                    minterm |= 1 << var
+            if table.value(minterm):
+                seen1 = True
+            else:
+                seen0 = True
+            if seen0 and seen1:
+                break
+        result = X if (seen0 and seen1) else (ONE if seen1 else ZERO)
+    _eval_cache[key] = result
+    return result
+
+
+def can_output(cell: Cell, inputs: Sequence[int], target: int) -> bool:
+    """True if some completion of the X inputs makes the cell output ``target``."""
+    value = eval3(cell, inputs)
+    return value == target or value == X
+
+
+def pin_settings_allowing(
+    cell: Cell, inputs: Sequence[int], pin: int, target: int
+) -> list[int]:
+    """Binary values for ``pin`` that keep output ``target`` achievable.
+
+    ``inputs[pin]`` must currently be X.  Used by PODEM's backtrace to decide
+    which value to request on the chosen fanin.
+    """
+    settings = []
+    for candidate in (ZERO, ONE):
+        trial = list(inputs)
+        trial[pin] = candidate
+        if can_output(cell, trial, target):
+            settings.append(candidate)
+    return settings
+
+
+# ----------------------------------------------------------------------
+# 5-valued pairs (good, faulty)
+# ----------------------------------------------------------------------
+def make5(good: int, faulty: int) -> tuple[int, int]:
+    return (good, faulty)
+
+
+def is_d_or_dbar(value: tuple[int, int]) -> bool:
+    """True for D (1/0) or D̄ (0/1): a propagated fault effect."""
+    good, faulty = value
+    return good != faulty and good != X and faulty != X
+
+
+def eval5(cell: Cell, inputs: Sequence[tuple[int, int]]) -> tuple[int, int]:
+    """Component-wise 3-valued evaluation of the (good, faulty) pair."""
+    good = eval3(cell, [v[0] for v in inputs])
+    faulty = eval3(cell, [v[1] for v in inputs])
+    return (good, faulty)
+
+
+def symbol5(value: tuple[int, int]) -> str:
+    """Human-readable D-calculus symbol for a 5-valued pair."""
+    good, faulty = value
+    if good == faulty:
+        return {ZERO: "0", ONE: "1", X: "X"}[good]
+    if good == ONE and faulty == ZERO:
+        return "D"
+    if good == ZERO and faulty == ONE:
+        return "D'"
+    return f"({good},{faulty})"

@@ -1,0 +1,37 @@
+"""Benchmark circuits.
+
+The paper evaluates on MCNC benchmarks synthesized by POSE with
+``lib2.genlib``.  The original netlists are not redistributable, so this
+package provides (see DESIGN.md for the substitution rationale):
+
+- :mod:`~repro.bench.pla` — a PLA container with Berkeley ``.pla`` I/O and a
+  seeded random-PLA generator,
+- :mod:`~repro.bench.functions` — functional generators for circuits whose
+  behaviour is public knowledge (weight functions rd84-style, the 9sym
+  symmetric family, comparators, adders/ALUs, parity, multipliers),
+- :mod:`~repro.bench.suite` — the named registry mirroring Table 1, each
+  entry buildable into a mapped netlist through the synthesis flow.
+"""
+
+from repro.bench.pla import Pla, parse_pla, write_pla, random_pla
+from repro.bench.suite import (
+    BenchmarkSpec,
+    SUITE,
+    DEFAULT_SUITE,
+    TRADEOFF_SUITE,
+    build_benchmark,
+    available_benchmarks,
+)
+
+__all__ = [
+    "Pla",
+    "parse_pla",
+    "write_pla",
+    "random_pla",
+    "BenchmarkSpec",
+    "SUITE",
+    "DEFAULT_SUITE",
+    "TRADEOFF_SUITE",
+    "build_benchmark",
+    "available_benchmarks",
+]

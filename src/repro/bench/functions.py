@@ -1,0 +1,361 @@
+"""Functional benchmark generators.
+
+Each function returns either a :class:`~repro.bench.pla.Pla` (for
+PLA-style specs) or an expression bundle (input names + per-output
+:class:`~repro.logic.expr.Expr`) for circuits, like wide comparators, whose
+two-level form would explode.
+
+These implement the circuits whose behaviour is public knowledge:
+
+- ``weight_pla`` — the rd53/rd73/rd84 family: outputs are the binary count
+  of ones of the inputs,
+- ``sym_pla`` — the 9sym family: 1 iff the input weight lies in a window,
+- ``comparator_exprs`` — n-bit magnitude comparator (the ``comp`` family),
+- ``adder_exprs`` / ``alu_exprs`` — ripple adders and a small ALU (the
+  ``alu2``/``alu4`` stand-ins),
+- ``multiplier_exprs`` — array multiplier (``f51m``-style arithmetic),
+- ``parity_exprs`` — XOR trees,
+- ``mux_tree_exprs`` — wide selectors (term1/example-style control logic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.logic.expr import Expr
+from repro.logic.sop import Cover, Cube
+from repro.bench.pla import Pla
+
+
+@dataclass
+class ExprBundle:
+    """Multi-output circuit given as expressions over shared inputs."""
+
+    name: str
+    input_names: list[str]
+    outputs: dict[str, Expr] = field(default_factory=dict)
+
+
+# ----------------------------------------------------------------------
+# PLA-style specs
+# ----------------------------------------------------------------------
+def weight_pla(name: str, num_inputs: int) -> Pla:
+    """Outputs = binary encoding of the number of ones (rd84 family)."""
+    num_outputs = max(1, (num_inputs).bit_length())
+    input_names = [f"x{i}" for i in range(num_inputs)]
+    output_names = [f"s{j}" for j in range(num_outputs)]
+    pla = Pla(name, input_names, output_names)
+    cubes: dict[str, list[Cube]] = {po: [] for po in output_names}
+    for minterm in range(1 << num_inputs):
+        weight = bin(minterm).count("1")
+        for j, po in enumerate(output_names):
+            if (weight >> j) & 1:
+                cubes[po].append(Cube.from_minterm(num_inputs, minterm))
+    for po in output_names:
+        pla.on[po] = Cover(num_inputs, cubes[po])
+    return pla
+
+
+def sym_pla(name: str, num_inputs: int, low: int, high: int) -> Pla:
+    """Single output, 1 iff ``low <= weight <= high`` (9sym: 9, 3, 6)."""
+    input_names = [f"x{i}" for i in range(num_inputs)]
+    pla = Pla(name, input_names, ["f"])
+    cubes = [
+        Cube.from_minterm(num_inputs, m)
+        for m in range(1 << num_inputs)
+        if low <= bin(m).count("1") <= high
+    ]
+    pla.on["f"] = Cover(num_inputs, cubes)
+    return pla
+
+
+# ----------------------------------------------------------------------
+# Expression-style specs
+# ----------------------------------------------------------------------
+def comparator_exprs(name: str, width: int) -> ExprBundle:
+    """n-bit magnitude comparator: gt / lt / eq (the comp family)."""
+    a = [f"a{i}" for i in range(width)]
+    b = [f"b{i}" for i in range(width)]
+    eq_bits = [
+        Expr.not_(Expr.xor(Expr.var(a[i]), Expr.var(b[i])))
+        for i in range(width)
+    ]
+    gt_terms = []
+    lt_terms = []
+    for i in reversed(range(width)):  # bit width-1 is most significant
+        higher_eq = eq_bits[i + 1 :]
+        gt_core = Expr.and_(Expr.var(a[i]), Expr.not_(Expr.var(b[i])))
+        lt_core = Expr.and_(Expr.not_(Expr.var(a[i])), Expr.var(b[i]))
+        if higher_eq:
+            gt_terms.append(Expr.and_(gt_core, *higher_eq))
+            lt_terms.append(Expr.and_(lt_core, *higher_eq))
+        else:
+            gt_terms.append(gt_core)
+            lt_terms.append(lt_core)
+    bundle = ExprBundle(name, a + b)
+    bundle.outputs["gt"] = (
+        gt_terms[0] if len(gt_terms) == 1 else Expr.or_(*gt_terms)
+    )
+    bundle.outputs["lt"] = (
+        lt_terms[0] if len(lt_terms) == 1 else Expr.or_(*lt_terms)
+    )
+    bundle.outputs["eq"] = (
+        eq_bits[0] if len(eq_bits) == 1 else Expr.and_(*eq_bits)
+    )
+    return bundle
+
+
+def adder_exprs(name: str, width: int, carry_in: bool = False) -> ExprBundle:
+    """Ripple-carry adder: sum bits plus carry out."""
+    a = [f"a{i}" for i in range(width)]
+    b = [f"b{i}" for i in range(width)]
+    inputs = a + b + (["cin"] if carry_in else [])
+    bundle = ExprBundle(name, inputs)
+    carry: Expr | None = Expr.var("cin") if carry_in else None
+    for i in range(width):
+        ai, bi = Expr.var(a[i]), Expr.var(b[i])
+        if carry is None:
+            bundle.outputs[f"s{i}"] = Expr.xor(ai, bi)
+            carry = Expr.and_(ai, bi)
+        else:
+            bundle.outputs[f"s{i}"] = Expr.xor(ai, bi, carry)
+            carry = Expr.or_(
+                Expr.and_(ai, bi),
+                Expr.and_(carry, Expr.xor(ai, bi)),
+            )
+    bundle.outputs["cout"] = carry
+    return bundle
+
+
+def alu_exprs(name: str, width: int) -> ExprBundle:
+    """A small ALU: op selects among ADD / AND / OR / XOR (alu2 stand-in).
+
+    Inputs: a[width], b[width], op0, op1.  Outputs: r[width], cout.
+    op = 00 -> ADD, 01 -> AND, 10 -> OR, 11 -> XOR.
+    """
+    a = [f"a{i}" for i in range(width)]
+    b = [f"b{i}" for i in range(width)]
+    inputs = a + b + ["op0", "op1"]
+    bundle = ExprBundle(name, inputs)
+    op0, op1 = Expr.var("op0"), Expr.var("op1")
+    is_add = Expr.and_(Expr.not_(op1), Expr.not_(op0))
+    is_and = Expr.and_(Expr.not_(op1), op0)
+    is_or = Expr.and_(op1, Expr.not_(op0))
+    is_xor = Expr.and_(op1, op0)
+    carry: Expr | None = None
+    for i in range(width):
+        ai, bi = Expr.var(a[i]), Expr.var(b[i])
+        if carry is None:
+            add_bit = Expr.xor(ai, bi)
+            carry = Expr.and_(ai, bi)
+        else:
+            add_bit = Expr.xor(ai, bi, carry)
+            carry = Expr.or_(
+                Expr.and_(ai, bi), Expr.and_(carry, Expr.xor(ai, bi))
+            )
+        bundle.outputs[f"r{i}"] = Expr.or_(
+            Expr.and_(is_add, add_bit),
+            Expr.and_(is_and, Expr.and_(ai, bi)),
+            Expr.and_(is_or, Expr.or_(ai, bi)),
+            Expr.and_(is_xor, Expr.xor(ai, bi)),
+        )
+    bundle.outputs["cout"] = Expr.and_(is_add, carry)
+    return bundle
+
+
+def multiplier_exprs(name: str, width: int) -> ExprBundle:
+    """Array multiplier: 2·width inputs, 2·width product outputs."""
+    a = [f"a{i}" for i in range(width)]
+    b = [f"b{i}" for i in range(width)]
+    bundle = ExprBundle(name, a + b)
+    # Column sums by ripple reduction of partial products.
+    columns: list[list[Expr]] = [[] for _ in range(2 * width)]
+    for i in range(width):
+        for j in range(width):
+            columns[i + j].append(
+                Expr.and_(Expr.var(a[i]), Expr.var(b[j]))
+            )
+    def push_carry(col: int, carry: Expr) -> None:
+        # The 2^(2w) bit of a w x w product is always 0, so a carry out of
+        # the top column can be dropped without changing the function.
+        if col < 2 * width:
+            columns[col].append(carry)
+
+    for col in range(2 * width):
+        bits = columns[col]
+        while len(bits) > 2:
+            x, y, z = bits.pop(), bits.pop(), bits.pop()
+            bits.append(Expr.xor(x, y, z))  # sum
+            push_carry(
+                col + 1,
+                Expr.or_(
+                    Expr.and_(x, y), Expr.and_(x, z), Expr.and_(y, z)
+                ),
+            )
+        if len(bits) == 2:
+            x, y = bits
+            columns[col] = [Expr.xor(x, y)]
+            push_carry(col + 1, Expr.and_(x, y))
+        if columns[col]:
+            bundle.outputs[f"p{col}"] = columns[col][0]
+        else:
+            bundle.outputs[f"p{col}"] = Expr.const(False)
+    return bundle
+
+
+def parity_exprs(name: str, num_inputs: int) -> ExprBundle:
+    """Single-output odd parity of all inputs."""
+    inputs = [f"x{i}" for i in range(num_inputs)]
+    bundle = ExprBundle(name, inputs)
+    bundle.outputs["p"] = Expr.xor(*[Expr.var(x) for x in inputs])
+    return bundle
+
+
+def mux_tree_exprs(name: str, select_bits: int) -> ExprBundle:
+    """A 2^k:1 selector — control-dominated logic (term1-like shape)."""
+    n = 1 << select_bits
+    data = [f"d{i}" for i in range(n)]
+    sels = [f"s{j}" for j in range(select_bits)]
+    bundle = ExprBundle(name, data + sels)
+    terms = []
+    for i in range(n):
+        literals = [Expr.var(data[i])]
+        for j in range(select_bits):
+            s = Expr.var(sels[j])
+            literals.append(s if (i >> j) & 1 else Expr.not_(s))
+        terms.append(Expr.and_(*literals))
+    bundle.outputs["y"] = Expr.or_(*terms)
+    return bundle
+
+
+# ----------------------------------------------------------------------
+# Bit-counting (symmetric) circuits, multi-level form
+# ----------------------------------------------------------------------
+def _add_bit_vectors(a_bits: list[Expr], b_bits: list[Expr]) -> list[Expr]:
+    """Ripple addition of two little-endian expression vectors."""
+    width = max(len(a_bits), len(b_bits))
+    result: list[Expr] = []
+    carry: Expr | None = None
+    for i in range(width):
+        terms = []
+        if i < len(a_bits):
+            terms.append(a_bits[i])
+        if i < len(b_bits):
+            terms.append(b_bits[i])
+        if carry is not None:
+            terms.append(carry)
+        if not terms:
+            result.append(Expr.const(False))
+            continue
+        result.append(terms[0] if len(terms) == 1 else Expr.xor(*terms))
+        if len(terms) == 2:
+            carry = Expr.and_(terms[0], terms[1])
+        elif len(terms) == 3:
+            x, y, z = terms
+            carry = Expr.or_(
+                Expr.and_(x, y), Expr.and_(x, z), Expr.and_(y, z)
+            )
+        else:
+            carry = None
+    if carry is not None:
+        result.append(carry)
+    return result
+
+
+def _count_ones(inputs: list[Expr], linear: bool = False) -> list[Expr]:
+    """Little-endian bit vector counting the ones among the inputs.
+
+    ``linear=True`` accumulates one input at a time instead of splitting
+    balanced halves — same function, different multi-level structure (used
+    to model the 9sym/9symml/Z9sym implementation variants).
+    """
+    if len(inputs) == 1:
+        return [inputs[0]]
+    if linear:
+        bits = [inputs[0]]
+        for x in inputs[1:]:
+            bits = _add_bit_vectors(bits, [x])
+        return bits
+    mid = len(inputs) // 2
+    return _add_bit_vectors(
+        _count_ones(inputs[:mid]), _count_ones(inputs[mid:])
+    )
+
+
+def weight_exprs(name: str, num_inputs: int) -> ExprBundle:
+    """Multi-level rd84-style circuit: outputs = binary weight of inputs."""
+    inputs = [f"x{i}" for i in range(num_inputs)]
+    bundle = ExprBundle(name, inputs)
+    bits = _count_ones([Expr.var(x) for x in inputs])
+    for j, bit in enumerate(bits):
+        bundle.outputs[f"s{j}"] = bit
+    return bundle
+
+
+def sym_exprs(
+    name: str,
+    num_inputs: int,
+    low: int,
+    high: int,
+    linear: bool = False,
+    reverse: bool = False,
+) -> ExprBundle:
+    """Multi-level 9sym-style circuit: 1 iff low <= weight <= high."""
+    inputs = [f"x{i}" for i in range(num_inputs)]
+    bundle = ExprBundle(name, inputs)
+    ordered = list(reversed(inputs)) if reverse else inputs
+    bits = _count_ones([Expr.var(x) for x in ordered], linear=linear)
+    terms = []
+    for value in range(low, high + 1):
+        literals = []
+        for j, bit in enumerate(bits):
+            literals.append(bit if (value >> j) & 1 else Expr.not_(bit))
+        terms.append(literals[0] if len(literals) == 1 else Expr.and_(*literals))
+    bundle.outputs["f"] = terms[0] if len(terms) == 1 else Expr.or_(*terms)
+    return bundle
+
+
+def priority_encoder_exprs(name: str, num_inputs: int) -> ExprBundle:
+    """Priority encoder: index of the highest asserted input, plus valid.
+
+    Outputs: e{j} (binary index, highest input wins) and ``valid``.
+    """
+    inputs = [f"r{i}" for i in range(num_inputs)]
+    bundle = ExprBundle(name, inputs)
+    width = max(1, (num_inputs - 1).bit_length())
+
+    def wins(i: int) -> Expr:
+        literals = [Expr.var(inputs[i])]
+        for higher in range(i + 1, num_inputs):
+            literals.append(Expr.not_(Expr.var(inputs[higher])))
+        return literals[0] if len(literals) == 1 else Expr.and_(*literals)
+
+    win_exprs = [wins(i) for i in range(num_inputs)]
+    for j in range(width):
+        terms = [win_exprs[i] for i in range(num_inputs) if (i >> j) & 1]
+        bundle.outputs[f"e{j}"] = (
+            Expr.const(False)
+            if not terms
+            else (terms[0] if len(terms) == 1 else Expr.or_(*terms))
+        )
+    vars_ = [Expr.var(x) for x in inputs]
+    bundle.outputs["valid"] = vars_[0] if len(vars_) == 1 else Expr.or_(*vars_)
+    return bundle
+
+
+def decoder_exprs(name: str, select_bits: int, enable: bool = True) -> ExprBundle:
+    """Binary decoder: 2^k one-hot outputs (optionally gated by enable)."""
+    sels = [f"s{j}" for j in range(select_bits)]
+    inputs = sels + (["en"] if enable else [])
+    bundle = ExprBundle(name, inputs)
+    for value in range(1 << select_bits):
+        literals = []
+        if enable:
+            literals.append(Expr.var("en"))
+        for j in range(select_bits):
+            s = Expr.var(sels[j])
+            literals.append(s if (value >> j) & 1 else Expr.not_(s))
+        bundle.outputs[f"d{value}"] = (
+            literals[0] if len(literals) == 1 else Expr.and_(*literals)
+        )
+    return bundle

@@ -1,0 +1,212 @@
+"""PLA (two-level) circuit specifications.
+
+:class:`Pla` is the input format of the synthesis flow: named inputs, and
+per-output ON-set / DC-set covers.  Berkeley espresso ``.pla`` files (types
+``f``, ``fd``, ``fr``) parse and print losslessly for the constructs used
+by the MCNC benchmarks, so genuine benchmark files can be dropped in.
+
+:func:`random_pla` generates seeded synthetic PLAs used as stand-ins for
+benchmarks whose functions are not public; the generator biases literal
+density and output sharing to produce the reconvergent, multi-output
+structure multi-level synthesis expects (a uniform random PLA would
+minimize to almost nothing).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.errors import ParseError
+from repro.logic.sop import Cover, Cube
+
+
+@dataclass
+class Pla:
+    """A multi-output two-level specification."""
+
+    name: str
+    input_names: list[str]
+    output_names: list[str]
+    on: dict[str, Cover] = field(default_factory=dict)
+    dc: dict[str, Cover] = field(default_factory=dict)
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.input_names)
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.output_names)
+
+    def cover(self, output: str) -> Cover:
+        return self.on.get(output, Cover(self.num_inputs, []))
+
+    def total_cubes(self) -> int:
+        return sum(len(c.cubes) for c in self.on.values())
+
+    def validate(self) -> None:
+        for po, cover in list(self.on.items()) + list(self.dc.items()):
+            if po not in self.output_names:
+                raise ParseError(f"cover for unknown output {po!r}")
+            if cover.nvars != self.num_inputs:
+                raise ParseError(
+                    f"output {po!r}: cover width {cover.nvars} != "
+                    f"{self.num_inputs} inputs"
+                )
+
+
+def parse_pla(text: str, name: str = "pla") -> Pla:
+    """Parse Berkeley ``.pla`` text (types f / fd / fr)."""
+    num_inputs = num_outputs = None
+    input_names: list[str] = []
+    output_names: list[str] = []
+    pla_type = "fd"
+    rows: list[tuple[str, str]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            tokens = line.split()
+            key = tokens[0]
+            if key == ".i":
+                num_inputs = int(tokens[1])
+            elif key == ".o":
+                num_outputs = int(tokens[1])
+            elif key == ".ilb":
+                input_names = tokens[1:]
+            elif key == ".ob":
+                output_names = tokens[1:]
+            elif key == ".type":
+                pla_type = tokens[1]
+            elif key in (".p", ".e", ".end"):
+                continue
+            else:
+                raise ParseError(f"unsupported PLA directive {key}", lineno)
+            continue
+        parts = line.split()
+        if len(parts) == 2:
+            in_part, out_part = parts
+        elif num_inputs is not None and len(parts) == 1:
+            in_part = line[:num_inputs]
+            out_part = line[num_inputs:].strip()
+        else:
+            in_part = "".join(parts[:-1])
+            out_part = parts[-1]
+        rows.append((in_part, out_part))
+
+    if num_inputs is None or num_outputs is None:
+        raise ParseError("PLA needs .i and .o")
+    if not input_names:
+        input_names = [f"x{i}" for i in range(num_inputs)]
+    if not output_names:
+        output_names = [f"y{i}" for i in range(num_outputs)]
+    if len(input_names) != num_inputs or len(output_names) != num_outputs:
+        raise ParseError("PLA label counts disagree with .i/.o")
+
+    pla = Pla(name, input_names, output_names)
+    on_cubes: dict[str, list[Cube]] = {po: [] for po in output_names}
+    dc_cubes: dict[str, list[Cube]] = {po: [] for po in output_names}
+    for in_part, out_part in rows:
+        if len(in_part) != num_inputs or len(out_part) != num_outputs:
+            raise ParseError(f"bad PLA row {in_part} {out_part}")
+        cube = Cube.from_string(in_part)
+        for po, flag in zip(output_names, out_part):
+            if flag in ("1", "4"):
+                on_cubes[po].append(cube)
+            elif flag in ("-", "2", "~"):
+                if pla_type in ("fd", "fdr"):
+                    dc_cubes[po].append(cube)
+            elif flag in ("0", "3"):
+                continue
+            else:
+                raise ParseError(f"bad output flag {flag!r}")
+    for po in output_names:
+        pla.on[po] = Cover(num_inputs, on_cubes[po])
+        if dc_cubes[po]:
+            pla.dc[po] = Cover(num_inputs, dc_cubes[po])
+    pla.validate()
+    return pla
+
+
+def parse_pla_file(path: str | Path) -> Pla:
+    path = Path(path)
+    return parse_pla(path.read_text(), name=path.stem)
+
+
+def write_pla(pla: Pla) -> str:
+    """Render to ``.pla`` text (type fd)."""
+    lines = [
+        f".i {pla.num_inputs}",
+        f".o {pla.num_outputs}",
+        ".ilb " + " ".join(pla.input_names),
+        ".ob " + " ".join(pla.output_names),
+        ".type fd",
+    ]
+    # Collect distinct input cubes, then emit one row per cube.
+    cube_flags: dict[Cube, list[str]] = {}
+    order: list[Cube] = []
+    for po_index, po in enumerate(pla.output_names):
+        for kind, cover in (("1", pla.on.get(po)), ("-", pla.dc.get(po))):
+            if cover is None:
+                continue
+            for cube in cover.cubes:
+                if cube not in cube_flags:
+                    cube_flags[cube] = ["0"] * pla.num_outputs
+                    order.append(cube)
+                cube_flags[cube][po_index] = kind
+    lines.append(f".p {len(order)}")
+    for cube in order:
+        lines.append(f"{cube} {''.join(cube_flags[cube])}")
+    lines.append(".e")
+    return "\n".join(lines) + "\n"
+
+
+def random_pla(
+    name: str,
+    num_inputs: int,
+    num_outputs: int,
+    num_cubes: int,
+    seed: int,
+    literal_low: int = 2,
+    literal_high: Optional[int] = None,
+    outputs_per_cube: int = 2,
+) -> Pla:
+    """A seeded synthetic PLA with benchmark-like structure.
+
+    Cubes draw ``literal_low..literal_high`` literals over a *biased* subset
+    of the inputs (earlier inputs appear more often, giving the reconvergence
+    real benchmarks have) and tag one or more outputs, so outputs share
+    product terms the way multi-output MCNC PLAs do.
+    """
+    rng = random.Random(seed)
+    if literal_high is None:
+        literal_high = max(literal_low, min(num_inputs, num_inputs // 2 + 2))
+    input_names = [f"x{i}" for i in range(num_inputs)]
+    output_names = [f"y{i}" for i in range(num_outputs)]
+    # Variable popularity bias: quadratic preference toward low indices.
+    weights = [(num_inputs - i) ** 2 for i in range(num_inputs)]
+    on_cubes: dict[str, list[Cube]] = {po: [] for po in output_names}
+    for _ in range(num_cubes):
+        k = rng.randint(literal_low, literal_high)
+        variables = set()
+        while len(variables) < k:
+            variables.add(rng.choices(range(num_inputs), weights=weights)[0])
+        cube = Cube.universe(num_inputs)
+        for var in variables:
+            cube = cube.with_literal(var, rng.randint(0, 1))
+        tagged = rng.sample(
+            output_names, k=min(num_outputs, rng.randint(1, outputs_per_cube))
+        )
+        for po in tagged:
+            on_cubes[po].append(cube)
+    pla = Pla(name, input_names, output_names)
+    for po in output_names:
+        cover = Cover(num_inputs, on_cubes[po])
+        cover.remove_contained()
+        pla.on[po] = cover
+    pla.validate()
+    return pla

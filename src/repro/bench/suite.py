@@ -1,0 +1,327 @@
+"""The named benchmark registry (mirrors the paper's Table 1).
+
+Every entry builds — deterministically — a mapped netlist through the full
+synthesis flow.  Circuits whose functions are public knowledge (the rd/sym
+families, comparators, arithmetic) are generated functionally; the rest are
+seeded synthetic PLAs with the original I/O counts, scaled to sizes a
+pure-Python ATPG can optimize in sensible time (see DESIGN.md §6).
+
+``DEFAULT_SUITE`` is what the Table-1/Table-2 experiments run;
+``TRADEOFF_SUITE`` is the Figure-6 subset; the full registry (including the
+larger configurations) is ``SUITE``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+from repro.bench.functions import (
+    ExprBundle,
+    alu_exprs,
+    adder_exprs,
+    comparator_exprs,
+    decoder_exprs,
+    multiplier_exprs,
+    mux_tree_exprs,
+    parity_exprs,
+    priority_encoder_exprs,
+    sym_exprs,
+    weight_exprs,
+    weight_pla,
+)
+from repro.bench.pla import Pla, random_pla
+from repro.errors import ReproError
+from repro.library.cell import Library
+from repro.netlist.netlist import Netlist
+from repro.synth.flow import SynthesisOptions, synthesize
+from repro.synth.mapper import MapOptions, technology_map
+from repro.synth.subject import SubjectGraph
+
+SpecBuilder = Callable[[], Union[Pla, ExprBundle]]
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One registry entry."""
+
+    name: str
+    builder: SpecBuilder
+    description: str
+    #: Corresponding Table-1 circuit, when this is a stand-in.
+    paper_name: str
+    #: True when the function is a seeded synthetic PLA, not the original.
+    synthetic: bool = False
+    #: Included in the default experiment run.
+    default: bool = False
+    #: Included in the Figure-6 trade-off sweep.
+    tradeoff: bool = False
+
+
+def _spec(
+    name: str,
+    builder: SpecBuilder,
+    description: str,
+    paper_name: Optional[str] = None,
+    synthetic: bool = False,
+    default: bool = False,
+    tradeoff: bool = False,
+) -> BenchmarkSpec:
+    return BenchmarkSpec(
+        name=name,
+        builder=builder,
+        description=description,
+        paper_name=paper_name or name,
+        synthetic=synthetic,
+        default=default,
+        tradeoff=tradeoff,
+    )
+
+
+SUITE: dict[str, BenchmarkSpec] = {}
+
+
+def _register(spec: BenchmarkSpec) -> None:
+    if spec.name in SUITE:
+        raise ReproError(f"duplicate benchmark {spec.name!r}")
+    SUITE[spec.name] = spec
+
+
+# ----------------------------------------------------------------------
+# Functional circuits (real behaviour)
+# ----------------------------------------------------------------------
+_register(_spec(
+    "comp", lambda: comparator_exprs("comp", 8),
+    "8-bit magnitude comparator (scaled-down MCNC comp)",
+    default=True, tradeoff=True,
+))
+_register(_spec(
+    "rd84", lambda: weight_exprs("rd84", 8),
+    "8-input ones-count (the rd84 function, multi-level form)",
+    default=True, tradeoff=True,
+))
+_register(_spec(
+    "rd53", lambda: weight_pla("rd53", 5),
+    "5-input ones-count, two-level spec (rd53)",
+    default=True,
+))
+_register(_spec(
+    "9sym", lambda: sym_exprs("9sym", 9, 3, 6),
+    "9-input symmetric: 1 iff weight in [3,6]",
+    default=True, tradeoff=True,
+))
+_register(_spec(
+    "9symml", lambda: sym_exprs("9symml", 9, 3, 6, linear=True),
+    "9sym, alternate (linear-count) multi-level implementation",
+    default=True,
+))
+_register(_spec(
+    "Z9sym", lambda: sym_exprs("Z9sym", 9, 3, 6, linear=True, reverse=True),
+    "9sym variant (third implementation structure)",
+))
+_register(_spec(
+    "f51m", lambda: multiplier_exprs("f51m", 4),
+    "4x4 array multiplier (arithmetic stand-in for f51m)",
+    default=True, tradeoff=True,
+))
+_register(_spec(
+    "alu2", lambda: alu_exprs("alu2", 4),
+    "4-bit 4-op ALU (stand-in for alu2)",
+    default=True, tradeoff=True,
+))
+_register(_spec(
+    "alu4", lambda: alu_exprs("alu4", 8),
+    "8-bit 4-op ALU (stand-in for alu4)",
+))
+_register(_spec(
+    "c8", lambda: adder_exprs("c8", 8, carry_in=True),
+    "8-bit ripple adder with carry-in (stand-in for c8)",
+    default=True,
+))
+_register(_spec(
+    "term1", lambda: mux_tree_exprs("term1", 4),
+    "16:1 selector, control-dominated (stand-in for term1)",
+    default=True, tradeoff=True,
+))
+_register(_spec(
+    "t481", lambda: random_pla("t481", 16, 1, 36, seed=481, literal_low=3, literal_high=7),
+    "16-in/1-out seeded synthetic PLA (t481 I/O counts)",
+    synthetic=True, default=True,
+))
+
+# ----------------------------------------------------------------------
+# Seeded synthetic PLAs with the original I/O counts
+# ----------------------------------------------------------------------
+_register(_spec(
+    "Z5xp1", lambda: random_pla("Z5xp1", 7, 10, 30, seed=51, literal_low=2, literal_high=5, outputs_per_cube=3),
+    "7-in/10-out synthetic PLA (Z5xp1 I/O counts)",
+    synthetic=True, default=True, tradeoff=True,
+))
+_register(_spec(
+    "clip", lambda: random_pla("clip", 9, 5, 32, seed=909, literal_low=3, literal_high=6, outputs_per_cube=2),
+    "9-in/5-out synthetic PLA (clip I/O counts)",
+    synthetic=True, default=True, tradeoff=True,
+))
+_register(_spec(
+    "bw", lambda: random_pla("bw", 5, 28, 40, seed=28, literal_low=2, literal_high=4, outputs_per_cube=4),
+    "5-in/28-out synthetic PLA (bw I/O counts)",
+    synthetic=True, default=True,
+))
+_register(_spec(
+    "misex1", lambda: random_pla("misex1", 8, 7, 24, seed=81, literal_low=2, literal_high=5, outputs_per_cube=3),
+    "8-in/7-out synthetic PLA (misex1 I/O counts)",
+    synthetic=True, default=True,
+))
+_register(_spec(
+    "sqrt8", lambda: random_pla("sqrt8", 8, 4, 26, seed=64, literal_low=2, literal_high=6, outputs_per_cube=2),
+    "8-in/4-out synthetic PLA",
+    synthetic=True, default=True,
+))
+_register(_spec(
+    "ttt2", lambda: random_pla("ttt2", 24, 21, 36, seed=242, literal_low=3, literal_high=7, outputs_per_cube=3),
+    "24-in/21-out synthetic PLA (ttt2 I/O counts)",
+    synthetic=True, default=True,
+))
+_register(_spec(
+    "frg1", lambda: random_pla("frg1", 28, 3, 30, seed=283, literal_low=3, literal_high=8, outputs_per_cube=1),
+    "28-in/3-out synthetic PLA (frg1 I/O counts)",
+    synthetic=True, default=True,
+))
+_register(_spec(
+    "duke2", lambda: random_pla("duke2", 22, 29, 60, seed=2229, literal_low=3, literal_high=8, outputs_per_cube=3),
+    "22-in/29-out synthetic PLA (duke2 I/O counts)",
+    synthetic=True,
+))
+_register(_spec(
+    "misex3", lambda: random_pla("misex3", 14, 14, 60, seed=1414, literal_low=3, literal_high=8, outputs_per_cube=3),
+    "14-in/14-out synthetic PLA (misex3 I/O counts)",
+    synthetic=True,
+))
+_register(_spec(
+    "vda", lambda: random_pla("vda", 17, 39, 70, seed=1739, literal_low=3, literal_high=9, outputs_per_cube=4),
+    "17-in/39-out synthetic PLA (vda I/O counts)",
+    synthetic=True,
+))
+_register(_spec(
+    "parity16", lambda: parity_exprs("parity16", 16),
+    "16-input parity tree",
+))
+_register(_spec(
+    "adder16", lambda: adder_exprs("adder16", 16, carry_in=True),
+    "16-bit ripple adder",
+))
+
+# Larger Table-1 names for patient (`--full`-style) runs; same protocol,
+# just bigger seeded synthetic PLAs with the original I/O counts.
+_register(_spec(
+    "apex7", lambda: random_pla("apex7", 49, 37, 80, seed=4937, literal_low=3, literal_high=9, outputs_per_cube=3),
+    "49-in/37-out synthetic PLA (apex7 I/O counts)", synthetic=True,
+))
+_register(_spec(
+    "x1", lambda: random_pla("x1", 51, 35, 80, seed=5135, literal_low=3, literal_high=9, outputs_per_cube=3),
+    "51-in/35-out synthetic PLA (x1 I/O counts)", synthetic=True,
+))
+_register(_spec(
+    "x4", lambda: random_pla("x4", 94, 71, 90, seed=9471, literal_low=3, literal_high=9, outputs_per_cube=3),
+    "94-in/71-out synthetic PLA (x4 I/O counts)", synthetic=True,
+))
+_register(_spec(
+    "example2", lambda: random_pla("example2", 85, 66, 90, seed=8566, literal_low=3, literal_high=9, outputs_per_cube=3),
+    "85-in/66-out synthetic PLA (example2 I/O counts)", synthetic=True,
+))
+_register(_spec(
+    "ex5", lambda: random_pla("ex5", 8, 63, 80, seed=863, literal_low=2, literal_high=6, outputs_per_cube=5),
+    "8-in/63-out synthetic PLA (ex5 I/O counts)", synthetic=True,
+))
+_register(_spec(
+    "C432", lambda: random_pla("C432", 36, 7, 70, seed=432, literal_low=4, literal_high=10, outputs_per_cube=2),
+    "36-in/7-out synthetic PLA (C432 I/O counts)", synthetic=True,
+))
+_register(_spec(
+    "i2", lambda: random_pla("i2", 201, 1, 60, seed=201, literal_low=4, literal_high=12, outputs_per_cube=1),
+    "201-in/1-out synthetic PLA (i2 I/O counts)", synthetic=True,
+))
+_register(_spec(
+    "pdc", lambda: random_pla("pdc", 16, 40, 90, seed=1640, literal_low=3, literal_high=8, outputs_per_cube=4),
+    "16-in/40-out synthetic PLA (pdc I/O counts)", synthetic=True,
+))
+_register(_spec(
+    "spla", lambda: random_pla("spla", 16, 46, 90, seed=1646, literal_low=3, literal_high=8, outputs_per_cube=4),
+    "16-in/46-out synthetic PLA (spla I/O counts)", synthetic=True,
+))
+_register(_spec(
+    "table5", lambda: random_pla("table5", 17, 15, 90, seed=1715, literal_low=3, literal_high=9, outputs_per_cube=3),
+    "17-in/15-out synthetic PLA (table5 I/O counts)", synthetic=True,
+))
+_register(_spec(
+    "alu4tl", lambda: alu_exprs("alu4tl", 6),
+    "6-bit 4-op ALU (stand-in for alu4tl)",
+))
+_register(_spec(
+    "rd73", lambda: weight_exprs("rd73", 7),
+    "7-input ones-count (the rd73 function)",
+))
+_register(_spec(
+    "comp16", lambda: comparator_exprs("comp16", 16),
+    "16-bit magnitude comparator (full-size comp)",
+))
+_register(_spec(
+    "mul6", lambda: multiplier_exprs("mul6", 6),
+    "6x6 array multiplier (larger arithmetic block)",
+))
+_register(_spec(
+    "penc8", lambda: priority_encoder_exprs("penc8", 8),
+    "8-input priority encoder",
+))
+_register(_spec(
+    "dec4", lambda: decoder_exprs("dec4", 4),
+    "4-to-16 decoder with enable",
+))
+
+DEFAULT_SUITE: tuple[str, ...] = tuple(
+    name for name, spec in SUITE.items() if spec.default
+)
+TRADEOFF_SUITE: tuple[str, ...] = tuple(
+    name for name, spec in SUITE.items() if spec.tradeoff
+)
+
+
+def available_benchmarks() -> list[str]:
+    return list(SUITE)
+
+
+def build_benchmark(
+    name: str,
+    library: Library,
+    map_mode: str = "power",
+    synthesis_options: Optional[SynthesisOptions] = None,
+) -> Netlist:
+    """Build a registry circuit into a mapped netlist.
+
+    ``map_mode`` selects the mapper cost ("power" reproduces the paper's
+    POSE-style low-power starting point; "area" gives a conventional start).
+    """
+    spec = SUITE.get(name)
+    if spec is None:
+        raise ReproError(
+            f"unknown benchmark {name!r}; available: {', '.join(SUITE)}"
+        )
+    built = spec.builder()
+    options = synthesis_options or SynthesisOptions(
+        map_options=MapOptions(mode=map_mode)
+    )
+    if isinstance(built, Pla):
+        return synthesize(
+            built.input_names,
+            built.on,
+            library,
+            dont_cares=built.dc or None,
+            options=options,
+            name=spec.name,
+        )
+    graph = SubjectGraph(spec.name)
+    for pi in built.input_names:
+        graph.add_pi(pi)
+    for po, expr in built.outputs.items():
+        graph.set_output(po, graph.add_expr(expr))
+    return technology_map(graph, library, options.map_options, spec.name)

@@ -1,0 +1,365 @@
+"""Command-line interface: ``python -m repro <command>`` or ``powder``.
+
+Commands:
+
+- ``table1`` / ``table2`` / ``figure6`` — regenerate the paper's tables and
+  figure over the benchmark suite (``--full`` for the whole registry),
+- ``synth`` — synthesize a ``.pla`` or logic ``.blif`` to a mapped netlist,
+- ``optimize`` — run POWDER on a mapped BLIF netlist (``--objective
+  power|area|delay``, ``--delay-slack``, Verilog export),
+- ``verify`` — equivalence-check two mapped BLIFs,
+- ``atpg`` — fault coverage and redundancy report,
+- ``glitch`` — glitch-aware power analysis,
+- ``stats`` — netlist metrics and cell mix,
+- ``bench-list`` — list the benchmark registry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench.pla import parse_pla_file
+from repro.bench.suite import DEFAULT_SUITE, SUITE
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.figure6 import format_figure6, run_figure6
+from repro.experiments.table1 import format_table1, run_table1
+from repro.experiments.table2 import format_table2, table2_from_runs
+from repro.library.genlib import parse_genlib_file
+from repro.library.standard import standard_library
+from repro.netlist.blif import parse_blif_file, write_blif
+from repro.synth.flow import SynthesisOptions, synthesize
+from repro.synth.mapper import MapOptions
+from repro.transform.optimizer import OptimizeOptions, power_optimize
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--patterns", type=int, default=2048,
+        help="random patterns for probability estimation (default 2048)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=25,
+        help="substitutions per candidate round (default 25)",
+    )
+    parser.add_argument(
+        "--max-rounds", type=int, default=20,
+        help="candidate-generation rounds cap (default 20)",
+    )
+    parser.add_argument(
+        "--max-moves", type=int, default=None,
+        help="hard cap on substitutions per circuit (default unlimited)",
+    )
+    parser.add_argument(
+        "--circuits", nargs="*", default=None,
+        help="benchmark subset (default: the paper suite)",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="run every registry circuit, including the large synthetic "
+        "PLAs (slow)",
+    )
+
+
+def _config_from(args) -> ExperimentConfig:
+    return ExperimentConfig(
+        num_patterns=args.patterns,
+        repeat=args.repeat,
+        max_rounds=args.max_rounds,
+        max_moves=args.max_moves,
+    )
+
+
+def _circuits_from(args):
+    if args.circuits:
+        return args.circuits
+    if getattr(args, "full", False):
+        return list(SUITE)
+    return None
+
+
+def _cmd_table1(args) -> int:
+    config = _config_from(args)
+    print(f"Running Table 1 on {args.circuits or list(DEFAULT_SUITE)} ...")
+    result = run_table1(_circuits_from(args), config, progress=True)
+    print()
+    print(format_table1(result))
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    config = _config_from(args)
+    print("Running Table 2 (unconstrained move logs) ...")
+    table1 = run_table1(_circuits_from(args), config, progress=True)
+    print()
+    print(format_table2(table2_from_runs(table1.runs)))
+    return 0
+
+
+def _cmd_figure6(args) -> int:
+    config = _config_from(args)
+    print("Running Figure 6 trade-off sweep ...")
+    result = run_figure6(_circuits_from(args), config=config, progress=True)
+    print()
+    print(format_figure6(result))
+    return 0
+
+
+def _cmd_optimize(args) -> int:
+    library = (
+        parse_genlib_file(args.library)
+        if args.library
+        else standard_library()
+    )
+    netlist = parse_blif_file(args.netlist, library)
+    options = OptimizeOptions(
+        objective=args.objective,
+        repeat=args.repeat,
+        num_patterns=args.patterns,
+        max_rounds=args.max_rounds,
+        max_moves=args.max_moves,
+        delay_slack_percent=args.delay_slack,
+    )
+    result = power_optimize(netlist, options)
+    print(result.summary())
+    if args.output:
+        Path(args.output).write_text(write_blif(netlist))
+        print(f"optimized netlist written to {args.output}")
+    if args.verilog:
+        from repro.netlist.verilog import write_verilog
+
+        Path(args.verilog).write_text(write_verilog(netlist))
+        print(f"structural Verilog written to {args.verilog}")
+    return 0
+
+
+def _cmd_synth(args) -> int:
+    library = (
+        parse_genlib_file(args.library)
+        if args.library
+        else standard_library()
+    )
+    source = Path(args.pla)
+    options = SynthesisOptions(map_options=MapOptions(mode=args.mode))
+    if source.suffix == ".blif":
+        from repro.synth.blif_logic import synthesize_logic_blif
+
+        netlist = synthesize_logic_blif(
+            source.read_text(), library, options, name=source.stem
+        )
+    else:
+        pla = parse_pla_file(source)
+        netlist = synthesize(
+            pla.input_names,
+            pla.on,
+            library,
+            dont_cares=pla.dc or None,
+            options=options,
+            name=pla.name,
+        )
+    text = write_blif(netlist)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(
+            f"{netlist.num_gates()} gates, area {netlist.total_area():.0f} "
+            f"-> {args.output}"
+        )
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from repro.equiv.checker import check_equivalent
+
+    library = (
+        parse_genlib_file(args.library)
+        if args.library
+        else standard_library()
+    )
+    left = parse_blif_file(args.left, library)
+    right = parse_blif_file(args.right, library)
+    result = check_equivalent(left, right)
+    print(f"equivalence: {result.status} (decided by {result.stage})")
+    if result.counterexample:
+        print("counterexample:", result.counterexample)
+    return 0 if result.equal else 1
+
+
+def _cmd_atpg(args) -> int:
+    from repro.atpg.fault import all_faults
+    from repro.atpg.faultsim import fault_coverage, undetected_faults
+    from repro.atpg.redundancy import classify_fault
+    from repro.netlist.simulate import SimState, random_patterns
+
+    library = (
+        parse_genlib_file(args.library)
+        if args.library
+        else standard_library()
+    )
+    netlist = parse_blif_file(args.netlist, library)
+    faults = all_faults(netlist)
+    sim = SimState(
+        netlist, random_patterns(netlist.input_names, args.patterns, seed=11)
+    )
+    coverage = fault_coverage(sim, faults)
+    print(
+        f"{len(faults)} stuck-at faults, random-pattern coverage "
+        f"({args.patterns} patterns): {coverage:.1%}"
+    )
+    leftovers = undetected_faults(sim, faults)
+    print(f"{len(leftovers)} undetected faults; classifying with PODEM:")
+    for fault in leftovers:
+        print(f"  {str(fault):24s} {classify_fault(netlist, fault)}")
+    return 0
+
+
+def _cmd_glitch(args) -> int:
+    from repro.power.glitch import analyze_glitches
+
+    library = (
+        parse_genlib_file(args.library)
+        if args.library
+        else standard_library()
+    )
+    netlist = parse_blif_file(args.netlist, library)
+    result = analyze_glitches(netlist, num_pairs=args.pairs)
+    print(
+        f"zero-delay power : {result.zero_delay_power:10.4f}\n"
+        f"timed power      : {result.timed_power:10.4f}\n"
+        f"glitch share     : {result.glitch_fraction:.1%} "
+        f"(paper's expectation: ~20%)"
+    )
+    print("worst glitching signals:")
+    for name, surplus in result.worst_glitchers(8):
+        print(f"  {name:16s} +{surplus:.3f} transitions/cycle")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.power.estimate import PowerEstimator
+    from repro.power.probability import SimulationProbability
+    from repro.timing.analysis import TimingAnalysis
+    from repro.transform.dedupe import count_duplicate_gates
+
+    library = (
+        parse_genlib_file(args.library)
+        if args.library
+        else standard_library()
+    )
+    netlist = parse_blif_file(args.netlist, library)
+    estimator = PowerEstimator(
+        netlist,
+        SimulationProbability(netlist, num_patterns=args.patterns, seed=3),
+    )
+    timing = TimingAnalysis(netlist)
+    print(f"netlist {netlist.name!r}:")
+    print(f"  inputs/outputs : {len(netlist.input_names)} / {len(netlist.outputs)}")
+    print(f"  gates          : {netlist.num_gates()}")
+    print(f"  area           : {netlist.total_area():.0f}")
+    print(f"  power (sum CE) : {estimator.total():.4f}")
+    print(f"  delay          : {timing.circuit_delay:.3f}")
+    print(f"  duplicate gates: {count_duplicate_gates(netlist)}")
+    mix: dict[str, int] = {}
+    for gate in netlist.logic_gates():
+        mix[gate.cell.name] = mix.get(gate.cell.name, 0) + 1
+    print("  cell mix       : " + ", ".join(
+        f"{name}x{count}" for name, count in sorted(mix.items())
+    ))
+    print("  top power contributors:")
+    for name, ce in estimator.report().top_contributors(8):
+        print(f"    {name:16s} C*E = {ce:.4f}")
+    return 0
+
+
+def _cmd_bench_list(_args) -> int:
+    print(f"{'name':10s} {'default':>7s} {'synthetic':>9s}  description")
+    for name, spec in SUITE.items():
+        print(
+            f"{name:10s} {'yes' if spec.default else '':>7s} "
+            f"{'yes' if spec.synthetic else '':>9s}  {spec.description}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="powder",
+        description=(
+            "POWDER reproduction: power reduction after technology mapping "
+            "by ATPG-based structural transformations (DAC 1996)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, func in (
+        ("table1", _cmd_table1),
+        ("table2", _cmd_table2),
+        ("figure6", _cmd_figure6),
+    ):
+        p = sub.add_parser(name, help=f"regenerate the paper's {name}")
+        _add_config_arguments(p)
+        p.set_defaults(func=func)
+
+    p = sub.add_parser("optimize", help="run POWDER on a mapped BLIF file")
+    p.add_argument("netlist", help="mapped BLIF input")
+    p.add_argument("--library", help="genlib file (default: built-in)")
+    p.add_argument("--output", "-o", help="write optimized BLIF here")
+    p.add_argument("--verilog", help="also write structural Verilog here")
+    p.add_argument("--objective", choices=("power", "area", "delay"),
+                   default="power",
+                   help="what each substitution must improve (default power)")
+    p.add_argument("--delay-slack", type=float, default=None,
+                   help="delay constraint as %% over initial (e.g. 0)")
+    p.add_argument("--patterns", type=int, default=2048)
+    p.add_argument("--repeat", type=int, default=25)
+    p.add_argument("--max-rounds", type=int, default=20)
+    p.add_argument("--max-moves", type=int, default=None)
+    p.set_defaults(func=_cmd_optimize)
+
+    p = sub.add_parser(
+        "synth", help="synthesize a .pla or logic .blif to a mapped netlist"
+    )
+    p.add_argument("pla", help="espresso .pla or .names-style .blif input")
+    p.add_argument("--library", help="genlib file (default: built-in)")
+    p.add_argument("--mode", choices=("area", "power", "delay"), default="power")
+    p.add_argument("--output", "-o", help="write mapped BLIF here")
+    p.set_defaults(func=_cmd_synth)
+
+    p = sub.add_parser("verify", help="check equivalence of two mapped BLIFs")
+    p.add_argument("left")
+    p.add_argument("right")
+    p.add_argument("--library", help="genlib file (default: built-in)")
+    p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser("atpg", help="fault coverage and redundancy report")
+    p.add_argument("netlist", help="mapped BLIF input")
+    p.add_argument("--library", help="genlib file (default: built-in)")
+    p.add_argument("--patterns", type=int, default=1024)
+    p.set_defaults(func=_cmd_atpg)
+
+    p = sub.add_parser("glitch", help="glitch-aware power analysis")
+    p.add_argument("netlist", help="mapped BLIF input")
+    p.add_argument("--library", help="genlib file (default: built-in)")
+    p.add_argument("--pairs", type=int, default=192)
+    p.set_defaults(func=_cmd_glitch)
+
+    p = sub.add_parser("stats", help="report netlist metrics and cell mix")
+    p.add_argument("netlist", help="mapped BLIF input")
+    p.add_argument("--library", help="genlib file (default: built-in)")
+    p.add_argument("--patterns", type=int, default=2048)
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("bench-list", help="list the benchmark registry")
+    p.set_defaults(func=_cmd_bench_list)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

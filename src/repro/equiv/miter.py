@@ -1,0 +1,129 @@
+"""Miter construction.
+
+A miter of two netlists with identical primary-input and primary-output
+name sets: both circuits share the inputs, each output pair feeds an XOR,
+and an OR tree collects the XORs into the single output ``miter``.  The
+miter output can be 1 for some input vector iff the circuits differ.
+
+The compare logic uses the cheapest XOR/XNOR-based cells in the library;
+any library accepted by :meth:`Library.validate` plus an XOR gate works.
+When the library lacks XOR, the comparison is synthesised from AND/OR/INV.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NetlistError
+from repro.library.cell import Library
+from repro.logic.truthtable import TruthTable
+from repro.netlist.netlist import Gate, Netlist
+from repro.netlist.traverse import topological_order
+
+_XOR2 = TruthTable(2, 0b0110)
+_OR2 = TruthTable(2, 0b1110)
+_AND2 = TruthTable(2, 0b1000)
+_NOR2 = TruthTable(2, 0b0001)
+_NAND2 = TruthTable(2, 0b0111)
+
+
+def _cheapest(library: Library, function: TruthTable):
+    best = None
+    for cell in library.cells_with_inputs(function.nvars):
+        if cell.function == function and (best is None or cell.area < best.area):
+            best = cell
+    return best
+
+
+def _add_binary(miter: Netlist, library: Library, function: TruthTable, a: Gate, b: Gate) -> Gate:
+    cell = _cheapest(library, function)
+    if cell is not None:
+        return miter.add_gate(cell, [a, b], name=miter.fresh_name("cmp"))
+    if function == _XOR2:
+        # a^b = (a+b) * !(a*b), built from whatever primitives exist.
+        or_ab = _add_binary(miter, library, _OR2, a, b)
+        nand_ab = _add_nand(miter, library, a, b)
+        return _add_binary(miter, library, _AND2, or_ab, nand_ab)
+    if function == _OR2:
+        nor = _cheapest(library, _NOR2)
+        if nor is not None:
+            g = miter.add_gate(nor, [a, b], name=miter.fresh_name("cmp"))
+            return miter.add_gate(
+                library.inverter(), [g], name=miter.fresh_name("cmp")
+            )
+        # a+b = !(!a * !b)
+        na = miter.add_gate(library.inverter(), [a], name=miter.fresh_name("cmp"))
+        nb = miter.add_gate(library.inverter(), [b], name=miter.fresh_name("cmp"))
+        return _add_nand(miter, library, na, nb)
+    if function == _AND2:
+        nand = _add_nand(miter, library, a, b)
+        return miter.add_gate(
+            library.inverter(), [nand], name=miter.fresh_name("cmp")
+        )
+    raise NetlistError(f"cannot synthesise comparator function 0x{function.bits:x}")
+
+
+def _add_nand(miter: Netlist, library: Library, a: Gate, b: Gate) -> Gate:
+    cell = _cheapest(library, _NAND2)
+    if cell is not None:
+        return miter.add_gate(cell, [a, b], name=miter.fresh_name("cmp"))
+    and_cell = _cheapest(library, _AND2)
+    if and_cell is None:
+        raise NetlistError("library lacks both NAND2 and AND2")
+    g = miter.add_gate(and_cell, [a, b], name=miter.fresh_name("cmp"))
+    return miter.add_gate(library.inverter(), [g], name=miter.fresh_name("cmp"))
+
+
+def build_miter(
+    left: Netlist, right: Netlist, name: str = "miter"
+) -> tuple[Netlist, Gate]:
+    """Join two netlists into a miter; returns (netlist, output gate).
+
+    Both operands must agree on primary-input and primary-output names.
+    The operands are not modified.
+    """
+    if set(left.input_names) != set(right.input_names):
+        raise NetlistError("miter operands have different input sets")
+    if set(left.outputs) != set(right.outputs):
+        raise NetlistError("miter operands have different output sets")
+    library = left.library or right.library
+    if library is None:
+        raise NetlistError("miter construction needs a cell library")
+
+    miter = Netlist(name, library)
+    for pi in left.input_names:
+        miter.add_input(pi)
+
+    def import_netlist(source: Netlist, prefix: str) -> dict[str, Gate]:
+        mapping: dict[int, Gate] = {}
+        for pi in source.input_names:
+            mapping[id(source.gates[pi])] = miter.gates[pi]
+        for gate in topological_order(source):
+            if gate.is_input:
+                continue
+            fanins = [mapping[id(f)] for f in gate.fanins]
+            mapping[id(gate)] = miter.add_gate(
+                gate.cell, fanins, name=miter.fresh_name(prefix)
+            )
+        return {
+            po: mapping[id(driver)] for po, driver in source.outputs.items()
+        }
+
+    left_outs = import_netlist(left, "l")
+    right_outs = import_netlist(right, "r")
+
+    xors: list[Gate] = []
+    for po in sorted(left.outputs):
+        xors.append(
+            _add_binary(miter, library, _XOR2, left_outs[po], right_outs[po])
+        )
+    # OR-tree reduction to the single miter output.
+    level = xors
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(_add_binary(miter, library, _OR2, level[i], level[i + 1]))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    out = level[0]
+    miter.set_output("miter", out)
+    return miter, out

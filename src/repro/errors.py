@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch one type at the API boundary.  Subsystems raise the most specific
+subclass that applies.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class LogicError(ReproError):
+    """Invalid Boolean-function operation (bad support, arity mismatch...)."""
+
+
+class ParseError(ReproError):
+    """Malformed input text (genlib, BLIF, PLA, expression...).
+
+    Attributes
+    ----------
+    line:
+        1-based line number of the offending input, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class LibraryError(ReproError):
+    """Inconsistent cell library (missing inverter, bad pin data...)."""
+
+
+class NetlistError(ReproError):
+    """Structurally invalid netlist operation (cycle, dangling pin...)."""
+
+
+class MappingError(ReproError):
+    """Technology mapping could not cover the subject graph."""
+
+
+class AtpgError(ReproError):
+    """Internal failure of the test-generation engine."""
+
+
+class AtpgAbort(AtpgError):
+    """The ATPG search exceeded its backtrack limit.
+
+    Mirrors the paper's ``check_candidate`` semantics: an aborted ATPG run
+    means the substitution is treated as not permissible.
+    """
+
+
+class TransformError(ReproError):
+    """A structural transformation could not be applied."""
+
+
+class TimingError(ReproError):
+    """Timing analysis failure (unconstrained graph, negative load...)."""

@@ -1,0 +1,27 @@
+"""Experiment harnesses regenerating the paper's tables and figures.
+
+- :mod:`~repro.experiments.common` — shared circuit runner and row types,
+- :mod:`~repro.experiments.table1` — Table 1 (per-circuit power/area/delay,
+  unconstrained and delay-constrained POWDER),
+- :mod:`~repro.experiments.table2` — Table 2 (per-class contributions),
+- :mod:`~repro.experiments.figure6` — Figure 6 (power-delay trade-off).
+"""
+
+from repro.experiments.common import CircuitRun, ExperimentConfig, run_circuit
+from repro.experiments.table1 import Table1Row, run_table1, format_table1
+from repro.experiments.table2 import run_table2, format_table2
+from repro.experiments.figure6 import TradeoffPoint, run_figure6, format_figure6
+
+__all__ = [
+    "CircuitRun",
+    "ExperimentConfig",
+    "run_circuit",
+    "Table1Row",
+    "run_table1",
+    "format_table1",
+    "run_table2",
+    "format_table2",
+    "TradeoffPoint",
+    "run_figure6",
+    "format_figure6",
+]

@@ -1,0 +1,165 @@
+"""Table 1: POWDER on the benchmark suite.
+
+Reproduces the paper's per-circuit columns — initial power/area/delay,
+unconstrained optimization (power, reduction %, area) and delay-constrained
+optimization (power, reduction %, area, delay, CPU seconds) — plus the
+bottom totals row (paper: −26.1 % power unconstrained, −21.4 % power /
+−6.8 % delay constrained).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.bench.suite import DEFAULT_SUITE
+from repro.experiments.common import CircuitRun, ExperimentConfig, run_circuit
+
+
+@dataclass
+class Table1Row:
+    """One line of Table 1."""
+
+    circuit: str
+    initial_power: float
+    initial_area: float
+    initial_delay: float
+    unc_power: float
+    unc_reduction_pct: float
+    unc_area: float
+    con_power: float
+    con_reduction_pct: float
+    con_area: float
+    con_delay: float
+    cpu_seconds: float
+
+    @classmethod
+    def from_run(cls, run: CircuitRun) -> "Table1Row":
+        unc = run.unconstrained
+        con = run.constrained
+        return cls(
+            circuit=run.name,
+            initial_power=run.initial_power,
+            initial_area=run.initial_area,
+            initial_delay=run.initial_delay,
+            unc_power=unc.final_power if unc else run.initial_power,
+            unc_reduction_pct=unc.power_reduction_percent if unc else 0.0,
+            unc_area=unc.final_area if unc else run.initial_area,
+            con_power=con.final_power if con else run.initial_power,
+            con_reduction_pct=con.power_reduction_percent if con else 0.0,
+            con_area=con.final_area if con else run.initial_area,
+            con_delay=con.final_delay if con else run.initial_delay,
+            cpu_seconds=run.cpu_seconds,
+        )
+
+
+@dataclass
+class Table1Result:
+    rows: list[Table1Row]
+    runs: list[CircuitRun]
+
+    # Aggregates matching the paper's bottom rows.
+    @property
+    def total_initial_power(self) -> float:
+        return sum(r.initial_power for r in self.rows)
+
+    @property
+    def total_unc_power(self) -> float:
+        return sum(r.unc_power for r in self.rows)
+
+    @property
+    def total_con_power(self) -> float:
+        return sum(r.con_power for r in self.rows)
+
+    @property
+    def unc_power_reduction_pct(self) -> float:
+        return 100.0 * (1 - self.total_unc_power / self.total_initial_power)
+
+    @property
+    def con_power_reduction_pct(self) -> float:
+        return 100.0 * (1 - self.total_con_power / self.total_initial_power)
+
+    @property
+    def unc_area_reduction_pct(self) -> float:
+        total_area = sum(r.initial_area for r in self.rows)
+        return 100.0 * (1 - sum(r.unc_area for r in self.rows) / total_area)
+
+    @property
+    def con_area_reduction_pct(self) -> float:
+        total_area = sum(r.initial_area for r in self.rows)
+        return 100.0 * (1 - sum(r.con_area for r in self.rows) / total_area)
+
+    @property
+    def con_delay_reduction_pct(self) -> float:
+        total_delay = sum(r.initial_delay for r in self.rows)
+        return 100.0 * (1 - sum(r.con_delay for r in self.rows) / total_delay)
+
+
+def run_table1(
+    circuits: Optional[Sequence[str]] = None,
+    config: ExperimentConfig = ExperimentConfig(),
+    progress: bool = False,
+) -> Table1Result:
+    """Run the Table-1 protocol over the suite (or a subset)."""
+    names = list(circuits) if circuits is not None else list(DEFAULT_SUITE)
+    rows: list[Table1Row] = []
+    runs: list[CircuitRun] = []
+    for name in names:
+        run = run_circuit(name, config)
+        runs.append(run)
+        rows.append(Table1Row.from_run(run))
+        if progress:
+            row = rows[-1]
+            print(
+                f"  {name:10s} power {row.initial_power:8.2f} -> "
+                f"{row.unc_power:8.2f} ({row.unc_reduction_pct:5.1f}%) unc | "
+                f"{row.con_power:8.2f} ({row.con_reduction_pct:5.1f}%) con "
+                f"[{row.cpu_seconds:6.1f}s]"
+            )
+    return Table1Result(rows=rows, runs=runs)
+
+
+def format_table1(result: Table1Result) -> str:
+    """Render the table in the paper's column layout."""
+    header = (
+        f"{'circuit':10s} {'power':>9s} {'area':>9s} {'delay':>7s} | "
+        f"{'power':>9s} {'red.%':>6s} {'area':>9s} | "
+        f"{'power':>9s} {'red.%':>6s} {'area':>9s} {'delay':>7s} {'CPU':>7s}"
+    )
+    title = (
+        f"{'':10s} {'initial':>27s} | {'no delay constraints':>26s} | "
+        f"{'with delay constraints':>42s}"
+    )
+    lines = [title, header, "-" * len(header)]
+    for r in result.rows:
+        lines.append(
+            f"{r.circuit:10s} {r.initial_power:9.2f} {r.initial_area:9.0f} "
+            f"{r.initial_delay:7.1f} | {r.unc_power:9.2f} "
+            f"{r.unc_reduction_pct:6.1f} {r.unc_area:9.0f} | "
+            f"{r.con_power:9.2f} {r.con_reduction_pct:6.1f} "
+            f"{r.con_area:9.0f} {r.con_delay:7.1f} {r.cpu_seconds:7.1f}"
+        )
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'total':10s} {result.total_initial_power:9.2f} "
+        f"{sum(r.initial_area for r in result.rows):9.0f} "
+        f"{sum(r.initial_delay for r in result.rows):7.1f} | "
+        f"{result.total_unc_power:9.2f} {result.unc_power_reduction_pct:6.1f} "
+        f"{sum(r.unc_area for r in result.rows):9.0f} | "
+        f"{result.total_con_power:9.2f} {result.con_power_reduction_pct:6.1f} "
+        f"{sum(r.con_area for r in result.rows):9.0f} "
+        f"{sum(r.con_delay for r in result.rows):7.1f}"
+    )
+    lines.append(
+        f"{'reduction%':10s} {'':9s} {'':9s} {'':7s} | "
+        f"{'':9s} {result.unc_power_reduction_pct:6.1f} "
+        f"{result.unc_area_reduction_pct:9.1f} | "
+        f"{'':9s} {result.con_power_reduction_pct:6.1f} "
+        f"{result.con_area_reduction_pct:9.1f} "
+        f"{result.con_delay_reduction_pct:7.1f}"
+    )
+    lines.append(
+        "paper:      power -26.1% / area -8.9% unconstrained; "
+        "power -21.4% / area -7.5% / delay -6.8% constrained"
+    )
+    return "\n".join(lines)

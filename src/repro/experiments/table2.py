@@ -1,0 +1,94 @@
+"""Table 2: contribution of substitution classes to power and area.
+
+The paper sums the per-move power and area savings by class over the whole
+unconstrained benchmark run and reports each class's share (power: OS2
+32.5 %, IS2 36.5 %, OS3 27.6 %, IS3 3.4 %; area: OS2 171.5 %, IS2 −11.6 %,
+OS3 −27.7 %, IS3 −32.2 % — i.e. only OS2 shrinks circuits).  This module
+aggregates the optimizer's move logs the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.experiments.common import CircuitRun, ExperimentConfig
+from repro.experiments.table1 import Table1Result, run_table1
+from repro.transform.report import ALL_CLASSES, ClassStats, class_statistics
+
+#: The paper's Table 2 for shape comparison.
+PAPER_POWER_SHARES = {"OS2": 32.5, "IS2": 36.5, "OS3": 27.6, "IS3": 3.4}
+PAPER_AREA_SHARES = {"OS2": 171.5, "IS2": -11.6, "OS3": -27.7, "IS3": -32.2}
+
+
+@dataclass
+class Table2Result:
+    stats: dict[str, ClassStats]
+    total_power_gain: float
+    total_area_delta: float
+
+    def power_share_pct(self, kind: str) -> float:
+        if self.total_power_gain == 0:
+            return 0.0
+        return 100.0 * self.stats[kind].power_gain / self.total_power_gain
+
+    def area_share_pct(self, kind: str) -> float:
+        """Share of the total area *reduction* (negative delta = reduction)."""
+        reduction = -self.total_area_delta
+        if reduction == 0:
+            return 0.0
+        return 100.0 * (-self.stats[kind].area_delta) / reduction
+
+
+def table2_from_runs(runs: Sequence[CircuitRun]) -> Table2Result:
+    """Aggregate class statistics over the unconstrained move logs."""
+    moves = []
+    for run in runs:
+        if run.unconstrained is not None:
+            moves.extend(run.unconstrained.moves)
+    stats = class_statistics(moves)
+    return Table2Result(
+        stats=stats,
+        total_power_gain=sum(s.power_gain for s in stats.values()),
+        total_area_delta=sum(s.area_delta for s in stats.values()),
+    )
+
+
+def run_table2(
+    circuits: Optional[Sequence[str]] = None,
+    config: ExperimentConfig = ExperimentConfig(),
+    table1: Optional[Table1Result] = None,
+    progress: bool = False,
+) -> Table2Result:
+    """Run (or reuse) the Table-1 protocol and aggregate per class."""
+    if table1 is None:
+        table1 = run_table1(circuits, config, progress=progress)
+    return table2_from_runs(table1.runs)
+
+
+def format_table2(result: Table2Result) -> str:
+    header = (
+        f"{'substitution':>14s} " + " ".join(f"{k:>8s}" for k in ALL_CLASSES)
+    )
+    lines = [header, "-" * len(header)]
+    lines.append(
+        f"{'moves':>14s} "
+        + " ".join(f"{result.stats[k].count:8d}" for k in ALL_CLASSES)
+    )
+    lines.append(
+        f"{'power red. %':>14s} "
+        + " ".join(f"{result.power_share_pct(k):8.1f}" for k in ALL_CLASSES)
+    )
+    lines.append(
+        f"{'(paper)':>14s} "
+        + " ".join(f"{PAPER_POWER_SHARES[k]:8.1f}" for k in ALL_CLASSES)
+    )
+    lines.append(
+        f"{'area red. %':>14s} "
+        + " ".join(f"{result.area_share_pct(k):8.1f}" for k in ALL_CLASSES)
+    )
+    lines.append(
+        f"{'(paper)':>14s} "
+        + " ".join(f"{PAPER_AREA_SHARES[k]:8.1f}" for k in ALL_CLASSES)
+    )
+    return "\n".join(lines)

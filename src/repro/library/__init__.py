@@ -1,0 +1,23 @@
+"""Cell library: gate models, genlib parsing, and the built-in library.
+
+The paper maps circuits with the MCNC ``lib2.genlib`` library.  That exact
+file is not redistributable here, so :mod:`repro.library.standard` provides a
+library with the same gate classes and plausible area / capacitance / delay
+figures, and :mod:`repro.library.genlib` parses the real thing when a user
+has it.
+"""
+
+from repro.library.cell import Cell, Pin, Library
+from repro.library.genlib import parse_genlib, parse_genlib_file, write_genlib
+from repro.library.standard import standard_library, STANDARD_GENLIB
+
+__all__ = [
+    "Cell",
+    "Pin",
+    "Library",
+    "parse_genlib",
+    "parse_genlib_file",
+    "write_genlib",
+    "standard_library",
+    "STANDARD_GENLIB",
+]

@@ -1,0 +1,222 @@
+"""Gate and library models.
+
+A :class:`Cell` is a combinational gate with one output.  Its logic function
+is stored both as a genlib expression AST and as a
+:class:`~repro.logic.truthtable.TruthTable` over the cell's ordered pin list.
+Electrical data follows the paper's linear model:
+
+- every input pin has a capacitive ``load`` it presents to its driver,
+- the gate delay from pin *i* is ``tau[i] + R[i] * C_out`` where ``C_out`` is
+  the capacitance driven by the gate output.
+
+A :class:`Library` is a named collection of cells with convenience lookups
+used by the mapper (cells by input count, canonical-function index) and by
+the optimizer (cheapest 2-input gate of a given function).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import LibraryError
+from repro.logic.expr import Expr, parse_expression
+from repro.logic.truthtable import TruthTable
+
+
+@dataclass(frozen=True)
+class Pin:
+    """One input pin of a cell."""
+
+    name: str
+    load: float  # input capacitance presented to the driving signal
+    max_load: float = 999.0  # drive limit of the *driving* gate (genlib field)
+    tau: float = 1.0  # intrinsic (block) delay through this pin
+    resistance: float = 0.2  # load-dependent delay slope (R in tau + R*C)
+
+    def __post_init__(self):
+        if self.load < 0:
+            raise LibraryError(f"pin {self.name!r}: negative load")
+        if self.tau < 0 or self.resistance < 0:
+            raise LibraryError(f"pin {self.name!r}: negative delay parameter")
+
+
+class Cell:
+    """A single-output combinational library gate."""
+
+    def __init__(
+        self,
+        name: str,
+        area: float,
+        output: str,
+        expression: Expr | str,
+        pins: Sequence[Pin],
+    ):
+        if area < 0:
+            raise LibraryError(f"cell {name!r}: negative area")
+        self.name = name
+        self.area = float(area)
+        self.output = output
+        if isinstance(expression, str):
+            expression = parse_expression(expression)
+        self.expression = expression
+        self.pins: tuple[Pin, ...] = tuple(pins)
+        self.pin_names: tuple[str, ...] = tuple(p.name for p in self.pins)
+        if len(set(self.pin_names)) != len(self.pin_names):
+            raise LibraryError(f"cell {name!r}: duplicate pin names")
+        used = set(expression.variables())
+        declared = set(self.pin_names)
+        if used - declared:
+            raise LibraryError(
+                f"cell {name!r}: expression uses undeclared pins {sorted(used - declared)}"
+            )
+        self.function: TruthTable = expression.to_truthtable(self.pin_names)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_inputs(self) -> int:
+        return len(self.pins)
+
+    def pin_index(self, name: str) -> int:
+        try:
+            return self.pin_names.index(name)
+        except ValueError:
+            raise LibraryError(f"cell {self.name!r} has no pin {name!r}") from None
+
+    def pin(self, index_or_name) -> Pin:
+        if isinstance(index_or_name, str):
+            return self.pins[self.pin_index(index_or_name)]
+        return self.pins[index_or_name]
+
+    def input_load(self, index: int) -> float:
+        return self.pins[index].load
+
+    def total_input_load(self) -> float:
+        return sum(p.load for p in self.pins)
+
+    def is_constant(self) -> bool:
+        return self.num_inputs == 0
+
+    def is_inverter(self) -> bool:
+        return self.num_inputs == 1 and self.function.bits == 0b01
+
+    def is_buffer(self) -> bool:
+        return self.num_inputs == 1 and self.function.bits == 0b10
+
+    def evaluate(self, inputs: Sequence[int]) -> int:
+        return self.function.evaluate(inputs)
+
+    def __repr__(self) -> str:
+        return f"Cell({self.name!r}, area={self.area}, f={self.expression})"
+
+
+@dataclass
+class Library:
+    """A named collection of cells."""
+
+    name: str
+    cells: dict[str, Cell] = field(default_factory=dict)
+
+    def add(self, cell: Cell) -> None:
+        if cell.name in self.cells:
+            raise LibraryError(f"duplicate cell {cell.name!r}")
+        self.cells[cell.name] = cell
+        self._inverter_cache = None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.cells
+
+    def __getitem__(self, name: str) -> Cell:
+        try:
+            return self.cells[name]
+        except KeyError:
+            raise LibraryError(f"library {self.name!r} has no cell {name!r}") from None
+
+    def __iter__(self) -> Iterator[Cell]:
+        return iter(self.cells.values())
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    # ------------------------------------------------------------------
+    # Lookups used across the system
+    # ------------------------------------------------------------------
+    def cells_with_inputs(self, n: int) -> list[Cell]:
+        return [c for c in self.cells.values() if c.num_inputs == n]
+
+    def inverter(self) -> Cell:
+        """The smallest inverter; every usable library must have one."""
+        cached = getattr(self, "_inverter_cache", None)
+        if cached is not None:
+            return cached
+        candidates = [c for c in self.cells.values() if c.is_inverter()]
+        if not candidates:
+            raise LibraryError(f"library {self.name!r} has no inverter")
+        best = min(candidates, key=lambda c: c.area)
+        self._inverter_cache = best
+        return best
+
+    def buffer(self) -> Cell | None:
+        candidates = [c for c in self.cells.values() if c.is_buffer()]
+        return min(candidates, key=lambda c: c.area) if candidates else None
+
+    def constant(self, value: bool) -> Cell | None:
+        """A tie cell driving the given constant, if present."""
+        target = TruthTable.constant(value, 0)
+        for cell in self.cells.values():
+            if cell.is_constant() and cell.function == target:
+                return cell
+        return None
+
+    def find_two_input(self, function: TruthTable) -> Cell | None:
+        """Cheapest 2-input cell computing the function, pin order as given.
+
+        Used by OS3/IS3 to realise the new 2-input gate; per the paper, only
+        gates actually in the library may be inserted.
+        """
+        if function.nvars != 2:
+            raise LibraryError("find_two_input expects a 2-variable function")
+        best: Cell | None = None
+        for cell in self.cells_with_inputs(2):
+            if cell.function == function and (best is None or cell.area < best.area):
+                best = cell
+        return best
+
+    def matchable_cells(self, max_inputs: int | None = None) -> list[Cell]:
+        """Cells eligible for technology mapping, sorted by area."""
+        cells = [
+            c
+            for c in self.cells.values()
+            if c.num_inputs > 0 and not c.function.is_constant()
+        ]
+        if max_inputs is not None:
+            cells = [c for c in cells if c.num_inputs <= max_inputs]
+        return sorted(cells, key=lambda c: (c.area, c.name))
+
+    def validate(self) -> None:
+        """Check the invariants the rest of the system relies on."""
+        self.inverter()
+        have_nand2 = any(
+            c.num_inputs == 2 and c.function.bits == 0b0111
+            for c in self.cells.values()
+        )
+        have_and2_or2 = any(
+            c.num_inputs == 2 and c.function.bits in (0b1000, 0b1110)
+            for c in self.cells.values()
+        )
+        if not (have_nand2 or have_and2_or2):
+            raise LibraryError(
+                f"library {self.name!r} needs a 2-input NAND/AND/OR for mapping"
+            )
+
+    def __repr__(self) -> str:
+        return f"Library({self.name!r}, {len(self.cells)} cells)"
+
+
+def build_library(name: str, cell_specs: Iterable[Cell]) -> Library:
+    """Assemble and validate a library from cells."""
+    library = Library(name)
+    for cell in cell_specs:
+        library.add(cell)
+    library.validate()
+    return library

@@ -1,0 +1,189 @@
+"""Reader/writer for the SIS ``genlib`` library format.
+
+The accepted grammar is the practically-relevant subset::
+
+    GATE <name> <area> <output> = <expression> ;
+    PIN  <name|*> <phase> <input-load> <max-load>
+         <rise-block> <rise-fanout> <fall-block> <fall-fanout>
+
+- ``#`` starts a comment to end of line.
+- A ``PIN *`` line applies to every input of the preceding gate.
+- Rise/fall delay pairs are averaged into the single ``tau``/``resistance``
+  of the paper's linear model.
+- ``CONST0``/``CONST1`` gates become zero-input tie cells.
+
+:func:`write_genlib` emits the same subset, so a round-trip preserves every
+field this library uses.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.errors import ParseError
+from repro.library.cell import Cell, Library, Pin
+
+_PHASES = {"INV", "NONINV", "UNKNOWN"}
+
+
+def _strip_comments(text: str) -> str:
+    return re.sub(r"#[^\n]*", "", text)
+
+
+def _tokenize(text: str) -> list[tuple[str, int]]:
+    """Split into tokens tagged with their 1-based line number."""
+    tokens: list[tuple[str, int]] = []
+    for lineno, line in enumerate(_strip_comments(text).splitlines(), start=1):
+        # Keep '=' and ';' as separate tokens, leave expression chars intact.
+        line = line.replace("=", " = ").replace(";", " ; ")
+        for token in line.split():
+            tokens.append((token, lineno))
+    return tokens
+
+
+class _TokenStream:
+    def __init__(self, tokens: list[tuple[str, int]]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos][0] if self.pos < len(self.tokens) else None
+
+    def line(self) -> int:
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos][1]
+        return self.tokens[-1][1] if self.tokens else 0
+
+    def take(self, expected: str | None = None) -> str:
+        if self.pos >= len(self.tokens):
+            raise ParseError("unexpected end of genlib input")
+        token, lineno = self.tokens[self.pos]
+        if expected is not None and token != expected:
+            raise ParseError(f"expected {expected!r}, got {token!r}", lineno)
+        self.pos += 1
+        return token
+
+    def take_float(self, what: str) -> float:
+        token, lineno = self.tokens[self.pos], self.line()
+        try:
+            value = float(self.take())
+        except ValueError:
+            raise ParseError(f"bad {what}: {token[0]!r}", lineno) from None
+        return value
+
+
+def parse_genlib(text: str, name: str = "genlib") -> Library:
+    """Parse genlib text into a :class:`Library`."""
+    stream = _TokenStream(_tokenize(text))
+    library = Library(name)
+    while stream.peek() is not None:
+        if stream.peek().upper() != "GATE":
+            raise ParseError(f"expected GATE, got {stream.peek()!r}", stream.line())
+        stream.take()
+        gate_line = stream.line()
+        gate_name = stream.take()
+        area = stream.take_float("area")
+        output = stream.take()
+        stream.take("=")
+        expr_tokens: list[str] = []
+        while stream.peek() is not None and stream.peek() != ";":
+            expr_tokens.append(stream.take())
+        stream.take(";")
+        expression = " ".join(expr_tokens)
+        if not expression:
+            raise ParseError(f"gate {gate_name!r}: empty expression", gate_line)
+
+        pin_specs: list[tuple[str, Pin]] = []
+        while stream.peek() is not None and stream.peek().upper() == "PIN":
+            stream.take()
+            pin_line = stream.line()
+            pin_name = stream.take()
+            phase = stream.take().upper()
+            if phase not in _PHASES:
+                raise ParseError(
+                    f"gate {gate_name!r}: bad pin phase {phase!r}", pin_line
+                )
+            load = stream.take_float("input load")
+            max_load = stream.take_float("max load")
+            rise_block = stream.take_float("rise block delay")
+            rise_fanout = stream.take_float("rise fanout delay")
+            fall_block = stream.take_float("fall block delay")
+            fall_fanout = stream.take_float("fall fanout delay")
+            pin_specs.append(
+                (
+                    pin_name,
+                    Pin(
+                        name=pin_name,
+                        load=load,
+                        max_load=max_load,
+                        tau=(rise_block + fall_block) / 2.0,
+                        resistance=(rise_fanout + fall_fanout) / 2.0,
+                    ),
+                )
+            )
+
+        cell = _build_cell(gate_name, area, output, expression, pin_specs, gate_line)
+        library.add(cell)
+    return library
+
+
+def _build_cell(
+    gate_name: str,
+    area: float,
+    output: str,
+    expression: str,
+    pin_specs: list[tuple[str, Pin]],
+    lineno: int,
+) -> Cell:
+    from repro.logic.expr import parse_expression
+
+    expr = parse_expression(expression)
+    variables = list(expr.variables())
+    wildcard = next((p for n, p in pin_specs if n == "*"), None)
+    named = {n: p for n, p in pin_specs if n != "*"}
+    unknown = set(named) - set(variables)
+    if unknown:
+        raise ParseError(
+            f"gate {gate_name!r}: PIN lines for unused inputs {sorted(unknown)}",
+            lineno,
+        )
+    pins: list[Pin] = []
+    for var in variables:
+        if var in named:
+            pins.append(named[var])
+        elif wildcard is not None:
+            pins.append(
+                Pin(
+                    name=var,
+                    load=wildcard.load,
+                    max_load=wildcard.max_load,
+                    tau=wildcard.tau,
+                    resistance=wildcard.resistance,
+                )
+            )
+        else:
+            raise ParseError(
+                f"gate {gate_name!r}: no PIN data for input {var!r}", lineno
+            )
+    return Cell(gate_name, area, output, expr, pins)
+
+
+def parse_genlib_file(path: str | Path) -> Library:
+    path = Path(path)
+    return parse_genlib(path.read_text(), name=path.stem)
+
+
+def write_genlib(library: Library) -> str:
+    """Render a library back to genlib text."""
+    lines = [f"# library {library.name}"]
+    for cell in library:
+        lines.append(
+            f"GATE {cell.name} {cell.area:g} {cell.output}={cell.expression.to_genlib()};"
+        )
+        for pin in cell.pins:
+            lines.append(
+                f"  PIN {pin.name} UNKNOWN {pin.load:g} {pin.max_load:g} "
+                f"{pin.tau:g} {pin.resistance:g} {pin.tau:g} {pin.resistance:g}"
+            )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,66 @@
+"""The built-in standard-cell library.
+
+The paper mapped its benchmarks with MCNC ``lib2.genlib``.  That file is not
+redistributable, so this module defines a library with the same *shape*: the
+usual static-CMOS gate classes (inverters/buffer, NAND/NOR/AND/OR of 2-4
+inputs, XOR/XNOR, AOI/OAI complex gates) with plausible relative areas, pin
+capacitances and linear-model delays.  Capacitances follow the paper's
+Figure-2 convention (simple-gate input = 1 unit, XOR input = 2 units).
+
+The text lives in :data:`STANDARD_GENLIB` and is parsed by the regular genlib
+reader, so the built-in library exercises exactly the code path a real
+``lib2.genlib`` would.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.library.cell import Library
+from repro.library.genlib import parse_genlib
+
+#: genlib source of the built-in library.
+STANDARD_GENLIB = """
+# repro standard library (lib2-like gate classes)
+# PIN fields: name phase input-load max-load rise-block rise-fanout fall-block fall-fanout
+
+GATE inv1   928  O=!a;            PIN * INV 1.0 999 1.0 0.9 1.0 0.9
+GATE inv2  1392  O=!a;            PIN * INV 2.0 999 1.0 0.45 1.0 0.45
+GATE buf1  1856  O=a;             PIN * NONINV 1.0 999 2.0 0.7 2.0 0.7
+
+GATE nand2 1392  O=!(a*b);        PIN * INV 1.0 999 1.2 1.0 1.2 1.0
+GATE nand3 1856  O=!(a*b*c);      PIN * INV 1.0 999 1.6 1.1 1.6 1.1
+GATE nand4 2320  O=!(a*b*c*d);    PIN * INV 1.0 999 2.0 1.2 2.0 1.2
+
+GATE nor2  1392  O=!(a+b);        PIN * INV 1.0 999 1.4 1.1 1.4 1.1
+GATE nor3  1856  O=!(a+b+c);      PIN * INV 1.0 999 2.0 1.3 2.0 1.3
+GATE nor4  2320  O=!(a+b+c+d);    PIN * INV 1.0 999 2.6 1.5 2.6 1.5
+
+GATE and2  1856  O=a*b;           PIN * NONINV 1.0 999 1.9 0.9 1.9 0.9
+GATE and3  2320  O=a*b*c;         PIN * NONINV 1.0 999 2.3 1.0 2.3 1.0
+GATE or2   1856  O=a+b;           PIN * NONINV 1.0 999 2.1 1.0 2.1 1.0
+GATE or3   2320  O=a+b+c;         PIN * NONINV 1.0 999 2.7 1.1 2.7 1.1
+
+GATE xor2  2784  O=a*!b+!a*b;     PIN * UNKNOWN 2.0 999 2.6 1.2 2.6 1.2
+GATE xnor2 2784  O=a*b+!a*!b;     PIN * UNKNOWN 2.0 999 2.6 1.2 2.6 1.2
+
+GATE aoi21 1856  O=!(a*b+c);      PIN * INV 1.0 999 1.8 1.1 1.8 1.1
+GATE aoi22 2320  O=!(a*b+c*d);    PIN * INV 1.0 999 2.1 1.2 2.1 1.2
+GATE oai21 1856  O=!((a+b)*c);    PIN * INV 1.0 999 1.8 1.1 1.8 1.1
+GATE oai22 2320  O=!((a+b)*(c+d)); PIN * INV 1.0 999 2.1 1.2 2.1 1.2
+
+GATE zero   464  O=CONST0;
+GATE one    464  O=CONST1;
+"""
+
+
+@lru_cache(maxsize=1)
+def _cached_standard() -> Library:
+    library = parse_genlib(STANDARD_GENLIB, name="repro-std")
+    library.validate()
+    return library
+
+
+def standard_library() -> Library:
+    """The built-in library (parsed once, shared instance)."""
+    return _cached_standard()

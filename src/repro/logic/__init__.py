@@ -1,0 +1,27 @@
+"""Boolean function kernel.
+
+This subpackage provides the function representations used throughout the
+library:
+
+- :class:`~repro.logic.truthtable.TruthTable` — dense bit-vector truth tables
+  for functions of small support (library cells, cut functions, PLA outputs).
+- :mod:`~repro.logic.expr` — parser/printer for genlib-style Boolean
+  expressions.
+- :mod:`~repro.logic.sop` — cube/cover algebra for two-level representations.
+- :mod:`~repro.logic.bdd` — a reduced ordered BDD package used for exact
+  signal-probability computation.
+"""
+
+from repro.logic.truthtable import TruthTable
+from repro.logic.expr import Expr, parse_expression
+from repro.logic.sop import Cube, Cover
+from repro.logic.bdd import BddManager
+
+__all__ = [
+    "TruthTable",
+    "Expr",
+    "parse_expression",
+    "Cube",
+    "Cover",
+    "BddManager",
+]

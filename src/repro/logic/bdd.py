@@ -1,0 +1,261 @@
+"""A compact reduced ordered BDD (ROBDD) package.
+
+Used for *exact* signal-probability computation on small and medium circuits
+(:mod:`repro.power.probability`).  The design is deliberately simple and
+allocation-light:
+
+- nodes live in parallel arrays (``var``, ``low``, ``high``) indexed by an
+  integer id; ids 0 and 1 are the terminals,
+- a unique table guarantees canonicity,
+- binary operations go through a memoised :meth:`BddManager.apply`,
+- probabilities are computed by one memoised bottom-up pass.
+
+There is no garbage collection or dynamic reordering: managers are cheap,
+callers build one per query batch and drop it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import LogicError
+
+#: Terminal node ids.
+ZERO = 0
+ONE = 1
+
+_OP_AND = "and"
+_OP_OR = "or"
+_OP_XOR = "xor"
+
+#: Safety valve against runaway BDD growth on pathological circuits.
+DEFAULT_NODE_LIMIT = 2_000_000
+
+
+class BddSizeError(LogicError):
+    """The BDD exceeded the manager's node limit."""
+
+
+class BddManager:
+    """ROBDD manager over a fixed variable order ``0 .. nvars-1``."""
+
+    def __init__(self, nvars: int, node_limit: int = DEFAULT_NODE_LIMIT):
+        if nvars < 0:
+            raise LogicError("nvars must be non-negative")
+        self.nvars = nvars
+        self.node_limit = node_limit
+        # Terminals occupy slots 0 and 1; ``var`` = nvars acts as +infinity
+        # so terminals sort below every decision node.
+        self._var: list[int] = [nvars, nvars]
+        self._low: list[int] = [0, 1]
+        self._high: list[int] = [0, 1]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._apply_cache: dict[tuple[str, int, int], int] = {}
+        self._not_cache: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+    def var_of(self, node: int) -> int:
+        return self._var[node]
+
+    def low_of(self, node: int) -> int:
+        return self._low[node]
+
+    def high_of(self, node: int) -> int:
+        return self._high[node]
+
+    def num_nodes(self) -> int:
+        return len(self._var)
+
+    def mk(self, var: int, low: int, high: int) -> int:
+        """Get-or-create the canonical node (var, low, high)."""
+        if low == high:
+            return low
+        key = (var, low, high)
+        node = self._unique.get(key)
+        if node is not None:
+            return node
+        if len(self._var) >= self.node_limit:
+            raise BddSizeError(
+                f"BDD node limit of {self.node_limit} exceeded"
+            )
+        node = len(self._var)
+        self._var.append(var)
+        self._low.append(low)
+        self._high.append(high)
+        self._unique[key] = node
+        return node
+
+    def variable(self, var: int) -> int:
+        """BDD of the projection function ``x_var``."""
+        if not 0 <= var < self.nvars:
+            raise LogicError(f"variable {var} out of range")
+        return self.mk(var, ZERO, ONE)
+
+    def constant(self, value: bool) -> int:
+        return ONE if value else ZERO
+
+    # ------------------------------------------------------------------
+    # Boolean operations
+    # ------------------------------------------------------------------
+    def apply_and(self, f: int, g: int) -> int:
+        return self._apply(_OP_AND, f, g)
+
+    def apply_or(self, f: int, g: int) -> int:
+        return self._apply(_OP_OR, f, g)
+
+    def apply_xor(self, f: int, g: int) -> int:
+        return self._apply(_OP_XOR, f, g)
+
+    def apply_not(self, f: int) -> int:
+        cached = self._not_cache.get(f)
+        if cached is not None:
+            return cached
+        if f == ZERO:
+            result = ONE
+        elif f == ONE:
+            result = ZERO
+        else:
+            result = self.mk(
+                self._var[f],
+                self.apply_not(self._low[f]),
+                self.apply_not(self._high[f]),
+            )
+        self._not_cache[f] = result
+        return result
+
+    def _terminal_case(self, op: str, f: int, g: int) -> int | None:
+        if op == _OP_AND:
+            if f == ZERO or g == ZERO:
+                return ZERO
+            if f == ONE:
+                return g
+            if g == ONE:
+                return f
+            if f == g:
+                return f
+        elif op == _OP_OR:
+            if f == ONE or g == ONE:
+                return ONE
+            if f == ZERO:
+                return g
+            if g == ZERO:
+                return f
+            if f == g:
+                return f
+        else:  # XOR
+            if f == ZERO:
+                return g
+            if g == ZERO:
+                return f
+            if f == g:
+                return ZERO
+            if f == ONE:
+                return self.apply_not(g)
+            if g == ONE:
+                return self.apply_not(f)
+        return None
+
+    def _apply(self, op: str, f: int, g: int) -> int:
+        terminal = self._terminal_case(op, f, g)
+        if terminal is not None:
+            return terminal
+        if op != _OP_AND and op != _OP_OR and op != _OP_XOR:
+            raise LogicError(f"unknown BDD operation {op!r}")
+        # Commutative ops: normalise the cache key.
+        key = (op, f, g) if f <= g else (op, g, f)
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            return cached
+        var_f, var_g = self._var[f], self._var[g]
+        top = min(var_f, var_g)
+        f0, f1 = (self._low[f], self._high[f]) if var_f == top else (f, f)
+        g0, g1 = (self._low[g], self._high[g]) if var_g == top else (g, g)
+        result = self.mk(
+            top, self._apply(op, f0, g0), self._apply(op, f1, g1)
+        )
+        self._apply_cache[key] = result
+        return result
+
+    def apply_ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``f·g + !f·h`` built from the binary ops."""
+        return self.apply_or(
+            self.apply_and(f, g), self.apply_and(self.apply_not(f), h)
+        )
+
+    # ------------------------------------------------------------------
+    # Evaluation and analysis
+    # ------------------------------------------------------------------
+    def evaluate(self, node: int, inputs: Sequence[int]) -> int:
+        while node > ONE:
+            var = self._var[node]
+            node = self._high[node] if inputs[var] else self._low[node]
+        return node
+
+    def probability(
+        self, node: int, input_probs: Sequence[float]
+    ) -> float:
+        """Exact probability that the function is 1.
+
+        ``input_probs[v]`` is P(x_v = 1); inputs are assumed independent.
+        One memoised bottom-up pass, linear in BDD size.
+        """
+        if len(input_probs) != self.nvars:
+            raise LogicError("one probability per variable required")
+        memo: dict[int, float] = {ZERO: 0.0, ONE: 1.0}
+        stack = [node]
+        while stack:
+            n = stack[-1]
+            if n in memo:
+                stack.pop()
+                continue
+            low, high = self._low[n], self._high[n]
+            missing = [c for c in (low, high) if c not in memo]
+            if missing:
+                stack.extend(missing)
+                continue
+            p = input_probs[self._var[n]]
+            memo[n] = (1.0 - p) * memo[low] + p * memo[high]
+            stack.pop()
+        return memo[node]
+
+    def count_minterms(self, node: int) -> int:
+        """Number of satisfying assignments over the full variable set."""
+        memo: dict[int, int] = {}
+
+        def solve(n: int) -> int:
+            # Counts assignments of variables var(n) .. nvars-1 (terminals
+            # have var = nvars, so they count a single empty assignment).
+            if n == ZERO:
+                return 0
+            if n == ONE:
+                return 1
+            cached = memo.get(n)
+            if cached is not None:
+                return cached
+            var = self._var[n]
+            low, high = self._low[n], self._high[n]
+            count = (solve(low) << (self._var[low] - var - 1)) + (
+                solve(high) << (self._var[high] - var - 1)
+            )
+            memo[n] = count
+            return count
+
+        # Variables above the root are free.
+        return solve(node) << self._var[node]
+
+    def support(self, node: int) -> tuple[int, ...]:
+        """Variables the function depends on."""
+        seen: set[int] = set()
+        visited: set[int] = set()
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            if n <= ONE or n in visited:
+                continue
+            visited.add(n)
+            seen.add(self._var[n])
+            stack.append(self._low[n])
+            stack.append(self._high[n])
+        return tuple(sorted(seen))

@@ -1,0 +1,278 @@
+"""Genlib-style Boolean expression parser and AST.
+
+The grammar follows SIS ``genlib`` conventions:
+
+- ``+`` — OR (lowest precedence)
+- ``*`` or juxtaposition — AND
+- ``^`` — XOR (between OR and AND; an extension, some libraries use it)
+- ``!a`` (prefix) and ``a'`` (postfix) — NOT
+- ``CONST0`` / ``CONST1`` — constants
+- parentheses group as usual
+
+Identifiers are ``[A-Za-z_][A-Za-z0-9_<>\\[\\]]*``.  The AST is a small
+immutable :class:`Expr` tree that can be evaluated, tabulated to a
+:class:`~repro.logic.truthtable.TruthTable`, and pretty-printed back to genlib
+syntax.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ParseError
+from repro.logic.truthtable import TruthTable
+
+# Node kinds
+CONST = "const"
+VAR = "var"
+NOT = "not"
+AND = "and"
+OR = "or"
+XOR = "xor"
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<ident>[A-Za-z_][A-Za-z0-9_<>\[\]]*)"
+    r"|(?P<op>[()!*+^'])"
+    r"|(?P<bad>\S))"
+)
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Immutable Boolean expression node.
+
+    ``kind`` is one of the module constants; ``children`` holds operand nodes
+    (ordered, n-ary for AND/OR/XOR); ``name`` is the variable name for VAR
+    nodes; ``value`` the constant for CONST nodes.
+    """
+
+    kind: str
+    children: tuple["Expr", ...] = ()
+    name: Optional[str] = None
+    value: Optional[bool] = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def const(value: bool) -> "Expr":
+        return Expr(CONST, value=bool(value))
+
+    @staticmethod
+    def var(name: str) -> "Expr":
+        return Expr(VAR, name=name)
+
+    @staticmethod
+    def not_(child: "Expr") -> "Expr":
+        return Expr(NOT, (child,))
+
+    @staticmethod
+    def and_(*children: "Expr") -> "Expr":
+        return Expr(AND, tuple(children))
+
+    @staticmethod
+    def or_(*children: "Expr") -> "Expr":
+        return Expr(OR, tuple(children))
+
+    @staticmethod
+    def xor(*children: "Expr") -> "Expr":
+        return Expr(XOR, tuple(children))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def variables(self) -> tuple[str, ...]:
+        """Variable names in first-appearance order."""
+        seen: dict[str, None] = {}
+
+        def walk(node: "Expr") -> None:
+            if node.kind == VAR:
+                seen.setdefault(node.name or "", None)
+            for child in node.children:
+                walk(child)
+
+        walk(self)
+        return tuple(seen)
+
+    def evaluate(self, assignment: Mapping[str, int]) -> int:
+        """Evaluate under a name -> {0,1} assignment."""
+        if self.kind == CONST:
+            return int(bool(self.value))
+        if self.kind == VAR:
+            try:
+                return int(bool(assignment[self.name]))
+            except KeyError:
+                raise ParseError(f"unbound variable {self.name!r}") from None
+        values = [child.evaluate(assignment) for child in self.children]
+        if self.kind == NOT:
+            return 1 - values[0]
+        if self.kind == AND:
+            return int(all(values))
+        if self.kind == OR:
+            return int(any(values))
+        if self.kind == XOR:
+            return sum(values) & 1
+        raise ParseError(f"unknown node kind {self.kind!r}")
+
+    def to_truthtable(self, order: Sequence[str] | None = None) -> TruthTable:
+        """Tabulate on the given variable order (default: appearance order)."""
+        names = list(order) if order is not None else list(self.variables())
+        index = {name: i for i, name in enumerate(names)}
+        missing = [v for v in self.variables() if v not in index]
+        if missing:
+            raise ParseError(f"order is missing variables: {missing}")
+
+        def build(node: "Expr") -> TruthTable:
+            n = len(names)
+            if node.kind == CONST:
+                return TruthTable.constant(bool(node.value), n)
+            if node.kind == VAR:
+                return TruthTable.variable(index[node.name], n)
+            tables = [build(child) for child in node.children]
+            if node.kind == NOT:
+                return ~tables[0]
+            result = tables[0]
+            for t in tables[1:]:
+                if node.kind == AND:
+                    result = result & t
+                elif node.kind == OR:
+                    result = result | t
+                else:
+                    result = result ^ t
+            return result
+
+        return build(self)
+
+    # ------------------------------------------------------------------
+    # Printing
+    # ------------------------------------------------------------------
+    def to_genlib(self) -> str:
+        """Render in genlib syntax (``*`` for AND, ``+`` for OR, ``!`` NOT)."""
+
+        def render(node: "Expr", parent: str) -> str:
+            if node.kind == CONST:
+                return "CONST1" if node.value else "CONST0"
+            if node.kind == VAR:
+                return node.name or "?"
+            if node.kind == NOT:
+                inner = render(node.children[0], NOT)
+                return f"!{inner}"
+            symbol = {AND: "*", OR: "+", XOR: "^"}[node.kind]
+            body = symbol.join(render(c, node.kind) for c in node.children)
+            needs_parens = (
+                parent == NOT
+                or (parent == AND and node.kind in (OR, XOR))
+                or (parent == XOR and node.kind == OR)
+            )
+            return f"({body})" if needs_parens else body
+
+        return render(self, "")
+
+    def __str__(self) -> str:
+        return self.to_genlib()
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str):
+        self.tokens = self._tokenize(text)
+        self.pos = 0
+
+    @staticmethod
+    def _tokenize(text: str) -> list[str]:
+        tokens: list[str] = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN_RE.match(text, pos)
+            if match is None:
+                break
+            if match.group("bad"):
+                raise ParseError(f"unexpected character {match.group('bad')!r}")
+            tokens.append(match.group("ident") or match.group("op"))
+            pos = match.end()
+        return tokens
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of expression")
+        self.pos += 1
+        return token
+
+    def parse(self) -> Expr:
+        node = self.parse_or()
+        if self.peek() is not None:
+            raise ParseError(f"trailing input at token {self.peek()!r}")
+        return node
+
+    def parse_or(self) -> Expr:
+        terms = [self.parse_xor()]
+        while self.peek() == "+":
+            self.take()
+            terms.append(self.parse_xor())
+        return terms[0] if len(terms) == 1 else Expr.or_(*terms)
+
+    def parse_xor(self) -> Expr:
+        terms = [self.parse_and()]
+        while self.peek() == "^":
+            self.take()
+            terms.append(self.parse_and())
+        return terms[0] if len(terms) == 1 else Expr.xor(*terms)
+
+    def parse_and(self) -> Expr:
+        terms = [self.parse_unary()]
+        while True:
+            token = self.peek()
+            if token == "*":
+                self.take()
+                terms.append(self.parse_unary())
+            elif token is not None and (token == "(" or token == "!" or _is_ident(token)):
+                # juxtaposition AND, e.g. "a b" or "a!b"
+                terms.append(self.parse_unary())
+            else:
+                break
+        return terms[0] if len(terms) == 1 else Expr.and_(*terms)
+
+    def parse_unary(self) -> Expr:
+        token = self.peek()
+        if token == "!":
+            self.take()
+            return Expr.not_(self.parse_unary())
+        node = self.parse_atom()
+        while self.peek() == "'":
+            self.take()
+            node = Expr.not_(node)
+        return node
+
+    def parse_atom(self) -> Expr:
+        token = self.take()
+        if token == "(":
+            node = self.parse_or()
+            if self.take() != ")":
+                raise ParseError("expected ')'")
+            return node
+        if token == "CONST0":
+            return Expr.const(False)
+        if token == "CONST1":
+            return Expr.const(True)
+        if _is_ident(token):
+            return Expr.var(token)
+        raise ParseError(f"unexpected token {token!r}")
+
+
+def _is_ident(token: str) -> bool:
+    return bool(re.fullmatch(r"[A-Za-z_][A-Za-z0-9_<>\[\]]*", token))
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse a genlib-style Boolean expression into an :class:`Expr`."""
+    if not text or not text.strip():
+        raise ParseError("empty expression")
+    return _Parser(text).parse()

@@ -1,0 +1,41 @@
+"""Mapped-netlist data structures and algorithms.
+
+- :mod:`~repro.netlist.netlist` — the mutable gate-level DAG with ordered
+  pins, stems/branches and incremental edit operations.
+- :mod:`~repro.netlist.traverse` — topological orders, transitive fanin/
+  fanout, maximum fanout-free cones (the paper's dominated regions).
+- :mod:`~repro.netlist.simulate` — bit-parallel logic simulation with
+  incremental re-simulation of fanout cones.
+- :mod:`~repro.netlist.blif` — BLIF I/O for mapped netlists.
+- :mod:`~repro.netlist.verify` — structural invariant checking.
+"""
+
+from repro.netlist.netlist import Gate, Netlist
+from repro.netlist.traverse import (
+    topological_order,
+    transitive_fanin,
+    transitive_fanout,
+    mffc,
+    logic_levels,
+)
+from repro.netlist.simulate import SimState, random_patterns, exhaustive_patterns
+from repro.netlist.blif import parse_blif, write_blif
+from repro.netlist.verilog import write_verilog
+from repro.netlist.verify import check_netlist
+
+__all__ = [
+    "Gate",
+    "Netlist",
+    "topological_order",
+    "transitive_fanin",
+    "transitive_fanout",
+    "mffc",
+    "logic_levels",
+    "SimState",
+    "random_patterns",
+    "exhaustive_patterns",
+    "parse_blif",
+    "write_blif",
+    "write_verilog",
+    "check_netlist",
+]

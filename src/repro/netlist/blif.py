@@ -1,0 +1,225 @@
+"""BLIF I/O for mapped netlists.
+
+Supported constructs:
+
+- ``.model``, ``.inputs``, ``.outputs``, ``.end`` (with ``\\`` continuation),
+- ``.gate <cell> pin=net ... out=net`` — a mapped library gate,
+- ``.names`` — only the degenerate forms a mapped netlist needs: constant
+  drivers and single-input buffers/inverters (general ``.names`` logic belongs
+  to the synthesis front-end, see :mod:`repro.bench.pla`).
+
+Nets that feed primary outputs through a distinct name are connected
+directly; a buffer cell is only inserted when the library demands it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import ParseError
+from repro.library.cell import Library
+from repro.netlist.netlist import Gate, Netlist
+from repro.netlist.traverse import topological_order
+
+
+def _logical_lines(text: str) -> list[tuple[int, str]]:
+    """Join continuation lines; strip comments; return (lineno, line)."""
+    lines: list[tuple[int, str]] = []
+    pending = ""
+    pending_line = 0
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].rstrip()
+        if not line.strip() and not pending:
+            continue
+        if pending:
+            line = pending + " " + line.strip()
+            pending = ""
+        else:
+            pending_line = lineno
+        if line.endswith("\\"):
+            pending = line[:-1].rstrip()
+            continue
+        if line.strip():
+            lines.append((pending_line, line.strip()))
+    if pending:
+        lines.append((pending_line, pending))
+    return lines
+
+
+def parse_blif(text: str, library: Library, name: str | None = None) -> Netlist:
+    """Parse a mapped BLIF description into a :class:`Netlist`."""
+    model_name = name or "blif"
+    inputs: list[str] = []
+    outputs: list[str] = []
+    gate_specs: list[tuple[int, str, dict[str, str]]] = []
+    names_specs: list[tuple[int, list[str], list[str]]] = []
+
+    lines = _logical_lines(text)
+    index = 0
+    while index < len(lines):
+        lineno, line = lines[index]
+        index += 1
+        tokens = line.split()
+        directive = tokens[0]
+        if directive == ".model":
+            if len(tokens) > 1 and name is None:
+                model_name = tokens[1]
+        elif directive == ".inputs":
+            inputs.extend(tokens[1:])
+        elif directive == ".outputs":
+            outputs.extend(tokens[1:])
+        elif directive == ".gate":
+            if len(tokens) < 3:
+                raise ParseError("malformed .gate line", lineno)
+            cell_name = tokens[1]
+            bindings: dict[str, str] = {}
+            for pair in tokens[2:]:
+                if "=" not in pair:
+                    raise ParseError(f"bad pin binding {pair!r}", lineno)
+                pin, net = pair.split("=", 1)
+                bindings[pin] = net
+            gate_specs.append((lineno, cell_name, bindings))
+        elif directive == ".names":
+            nets = tokens[1:]
+            rows: list[str] = []
+            while index < len(lines) and not lines[index][1].startswith("."):
+                rows.append(lines[index][1])
+                index += 1
+            names_specs.append((lineno, nets, rows))
+        elif directive == ".end":
+            break
+        elif directive in (".latch", ".subckt"):
+            raise ParseError(f"unsupported construct {directive}", lineno)
+        else:
+            raise ParseError(f"unknown directive {directive!r}", lineno)
+
+    netlist = Netlist(model_name, library)
+    drivers: dict[str, Gate] = {}
+    for pi in inputs:
+        drivers[pi] = netlist.add_input(pi)
+
+    # Two passes so gates may appear in any order.
+    unresolved = list(gate_specs) + [
+        (lineno, None, (nets, rows)) for lineno, nets, rows in names_specs
+    ]
+    progress = True
+    while unresolved and progress:
+        progress = False
+        remaining = []
+        for item in unresolved:
+            if item[1] is not None:
+                lineno, cell_name, bindings = item
+                if cell_name not in library:
+                    raise ParseError(f"unknown cell {cell_name!r}", lineno)
+                cell = library[cell_name]
+                extra = set(bindings) - set(cell.pin_names) - {cell.output}
+                if extra:
+                    raise ParseError(
+                        f"cell {cell_name!r}: unknown pins {sorted(extra)}", lineno
+                    )
+                out_net = bindings.get(cell.output)
+                if out_net is None:
+                    raise ParseError(
+                        f"cell {cell_name!r}: output {cell.output!r} unbound", lineno
+                    )
+                fanin_nets = []
+                ready = True
+                for pin in cell.pin_names:
+                    net = bindings.get(pin)
+                    if net is None:
+                        raise ParseError(
+                            f"cell {cell_name!r}: input {pin!r} unbound", lineno
+                        )
+                    if net not in drivers:
+                        ready = False
+                        break
+                    fanin_nets.append(net)
+                if not ready:
+                    remaining.append(item)
+                    continue
+                gate = netlist.add_gate(
+                    cell, [drivers[n] for n in fanin_nets], name=_unique_net(netlist, out_net)
+                )
+                drivers[out_net] = gate
+                progress = True
+            else:
+                lineno, _marker, (nets, rows) = item
+                gate = _resolve_names(netlist, library, drivers, nets, rows, lineno)
+                if gate is None:
+                    remaining.append(item)
+                    continue
+                drivers[nets[-1]] = gate
+                progress = True
+        unresolved = remaining
+    if unresolved:
+        raise ParseError(
+            f"unresolvable driver for line {unresolved[0][0]} (cycle or missing net)"
+        )
+
+    for po in outputs:
+        if po not in drivers:
+            raise ParseError(f"primary output {po!r} has no driver")
+        netlist.set_output(po, drivers[po])
+    return netlist
+
+
+def _unique_net(netlist: Netlist, net: str) -> str:
+    return net if net not in netlist.gates else netlist.fresh_name(net + "_")
+
+
+def _resolve_names(netlist, library, drivers, nets, rows, lineno):
+    """Handle the degenerate .names forms used in mapped files."""
+    *fanin_nets, out_net = nets
+    if len(fanin_nets) == 0:
+        value = bool(rows and rows[0].strip() == "1")
+        cell = library.constant(value)
+        if cell is None:
+            raise ParseError(
+                f"library lacks a constant-{int(value)} cell for {out_net!r}", lineno
+            )
+        return netlist.add_gate(cell, [], name=_unique_net(netlist, out_net))
+    if len(fanin_nets) == 1:
+        if fanin_nets[0] not in drivers:
+            return None
+        src = drivers[fanin_nets[0]]
+        row = rows[0].split() if rows else ["1", "1"]
+        if row == ["1", "1"]:
+            # Pure alias: connect the sink nets straight to the source stem.
+            return src
+        if row == ["0", "1"]:
+            cell = library.inverter()
+            return netlist.add_gate(cell, [src], name=_unique_net(netlist, out_net))
+        raise ParseError(f"unsupported .names rows {rows}", lineno)
+    raise ParseError(
+        ".names with multiple inputs is not a mapped-netlist construct", lineno
+    )
+
+
+def parse_blif_file(path: str | Path, library: Library) -> Netlist:
+    path = Path(path)
+    return parse_blif(path.read_text(), library, name=path.stem)
+
+
+def write_blif(netlist: Netlist) -> str:
+    """Render a mapped netlist as BLIF ``.gate`` lines."""
+    lines = [f".model {netlist.name}"]
+    if netlist.input_names:
+        lines.append(".inputs " + " ".join(netlist.input_names))
+    if netlist.outputs:
+        lines.append(".outputs " + " ".join(netlist.outputs))
+    # PO ports whose name differs from the driving stem need an alias line.
+    for po, driver in netlist.outputs.items():
+        if po != driver.name:
+            lines.append(f".names {driver.name} {po}")
+            lines.append("1 1")
+    for gate in topological_order(netlist):
+        if gate.is_input:
+            continue
+        bindings = [
+            f"{pin}={fanin.name}"
+            for pin, fanin in zip(gate.cell.pin_names, gate.fanins)
+        ]
+        bindings.append(f"{gate.cell.output}={gate.name}")
+        lines.append(f".gate {gate.cell.name} " + " ".join(bindings))
+    lines.append(".end")
+    return "\n".join(lines) + "\n"

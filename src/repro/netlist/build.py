@@ -1,0 +1,121 @@
+"""Fluent construction of mapped netlists for tests, examples and generators.
+
+:class:`NetlistBuilder` wraps a library and exposes one method per common
+gate function (``and2``, ``xor2``...), resolving each to the cheapest library
+cell with that function.  This keeps hand-built circuits independent of cell
+naming in any particular library.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import LibraryError
+from repro.library.cell import Cell, Library
+from repro.logic.truthtable import TruthTable
+from repro.netlist.netlist import Gate, Netlist
+
+# Two-input function truth tables, variable 0 = first pin.
+_TT2 = {
+    "and2": 0b1000,
+    "or2": 0b1110,
+    "nand2": 0b0111,
+    "nor2": 0b0001,
+    "xor2": 0b0110,
+    "xnor2": 0b1001,
+}
+
+
+class NetlistBuilder:
+    """Builds a :class:`Netlist` gate by gate against a library."""
+
+    def __init__(self, library: Library, name: str = "circuit"):
+        self.library = library
+        self.netlist = Netlist(name, library)
+        self._cell_cache: dict[tuple[int, int], Cell] = {}
+
+    # ------------------------------------------------------------------
+    def input(self, name: str) -> Gate:
+        return self.netlist.add_input(name)
+
+    def inputs(self, *names: str) -> list[Gate]:
+        return [self.input(n) for n in names]
+
+    def output(self, name: str, driver: Gate, load: float = 1.0) -> None:
+        self.netlist.set_output(name, driver, load)
+
+    def cell_by_function(self, function: TruthTable) -> Cell:
+        """Cheapest cell computing the function with pins in order."""
+        key = (function.nvars, function.bits)
+        cached = self._cell_cache.get(key)
+        if cached is not None:
+            return cached
+        best: Optional[Cell] = None
+        for cell in self.library.cells_with_inputs(function.nvars):
+            if cell.function == function and (best is None or cell.area < best.area):
+                best = cell
+        if best is None:
+            raise LibraryError(
+                f"library {self.library.name!r} has no cell for "
+                f"{function.nvars}-input function 0x{function.bits:x}"
+            )
+        self._cell_cache[key] = best
+        return best
+
+    def gate(self, function: TruthTable, *fanins: Gate, name: Optional[str] = None) -> Gate:
+        cell = self.cell_by_function(function)
+        return self.netlist.add_gate(cell, list(fanins), name=name)
+
+    def cell_gate(self, cell_name: str, *fanins: Gate, name: Optional[str] = None) -> Gate:
+        return self.netlist.add_gate(self.library[cell_name], list(fanins), name=name)
+
+    # ------------------------------------------------------------------
+    def not_(self, a: Gate, name: Optional[str] = None) -> Gate:
+        return self.netlist.add_gate(self.library.inverter(), [a], name=name)
+
+    def _two_input(self, kind: str, a: Gate, b: Gate, name: Optional[str]) -> Gate:
+        return self.gate(TruthTable(2, _TT2[kind]), a, b, name=name)
+
+    def and_(self, a: Gate, b: Gate, name: Optional[str] = None) -> Gate:
+        return self._two_input("and2", a, b, name)
+
+    def or_(self, a: Gate, b: Gate, name: Optional[str] = None) -> Gate:
+        return self._two_input("or2", a, b, name)
+
+    def nand_(self, a: Gate, b: Gate, name: Optional[str] = None) -> Gate:
+        return self._two_input("nand2", a, b, name)
+
+    def nor_(self, a: Gate, b: Gate, name: Optional[str] = None) -> Gate:
+        return self._two_input("nor2", a, b, name)
+
+    def xor_(self, a: Gate, b: Gate, name: Optional[str] = None) -> Gate:
+        return self._two_input("xor2", a, b, name)
+
+    def xnor_(self, a: Gate, b: Gate, name: Optional[str] = None) -> Gate:
+        return self._two_input("xnor2", a, b, name)
+
+    def and_tree(self, gates: list[Gate]) -> Gate:
+        """Balanced AND over any number of signals."""
+        return self._tree("and2", gates)
+
+    def or_tree(self, gates: list[Gate]) -> Gate:
+        return self._tree("or2", gates)
+
+    def xor_tree(self, gates: list[Gate]) -> Gate:
+        return self._tree("xor2", gates)
+
+    def _tree(self, kind: str, gates: list[Gate]) -> Gate:
+        if not gates:
+            raise LibraryError("cannot build a tree over zero signals")
+        level = list(gates)
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(self._two_input(kind, level[i], level[i + 1], None))
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        return level[0]
+
+    def build(self) -> Netlist:
+        return self.netlist

@@ -1,0 +1,58 @@
+"""Graphviz (DOT) export of netlists.
+
+For quick visual inspection of small circuits and optimizer before/after
+diffs:  ``write_dot(netlist)`` renders inputs as boxes, gates as ellipses
+labelled ``name\\ncell``, primary outputs as double octagons, and can
+highlight a set of gates (e.g. a substitution's dying region or TFO).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.netlist.netlist import Netlist
+from repro.netlist.traverse import topological_order
+
+
+def _quote(name: str) -> str:
+    escaped = name.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def write_dot(
+    netlist: Netlist,
+    highlight: Optional[Iterable[str]] = None,
+    rankdir: str = "LR",
+) -> str:
+    """Render the netlist as a Graphviz digraph."""
+    marked = set(highlight or ())
+    lines = [
+        f"digraph {_quote(netlist.name)} {{",
+        f"  rankdir={rankdir};",
+        "  node [fontsize=10];",
+    ]
+    for pi in netlist.input_names:
+        lines.append(f"  {_quote(pi)} [shape=box, style=filled, fillcolor=lightblue];")
+    for gate in topological_order(netlist):
+        if gate.is_input:
+            continue
+        attrs = [f'label="{gate.name}\\n{gate.cell.name}"']
+        if gate.name in marked:
+            attrs.append("style=filled")
+            attrs.append("fillcolor=orange")
+        lines.append(f"  {_quote(gate.name)} [{', '.join(attrs)}];")
+    for po, driver in netlist.outputs.items():
+        node = f"PO:{po}"
+        lines.append(
+            f"  {_quote(node)} [shape=doubleoctagon, style=filled, "
+            "fillcolor=lightgrey];"
+        )
+        lines.append(f"  {_quote(driver.name)} -> {_quote(node)};")
+    for gate in topological_order(netlist):
+        for pin, fanin in enumerate(gate.fanins):
+            lines.append(
+                f"  {_quote(fanin.name)} -> {_quote(gate.name)} "
+                f'[taillabel="", headlabel="{pin}"];'
+            )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

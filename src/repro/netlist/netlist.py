@@ -1,0 +1,318 @@
+"""The mapped netlist: a DAG of library gates with ordered pins.
+
+Terminology follows the paper (§2): the output signal of a gate is a *stem*;
+each connection of that stem to a fanout pin is a *branch*.  A gate is
+identified by its unique name, which also names its output signal.
+
+Primary inputs are gates with ``cell is None``.  Primary outputs are named
+ports; each port connects to one driving gate and contributes a fixed load
+capacitance to its stem.
+
+The class supports the incremental edits the optimizer needs —
+:meth:`Netlist.replace_fanin` (input substitution), :meth:`Netlist.replace_fanouts`
+(output substitution), :meth:`Netlist.add_gate`, :meth:`Netlist.remove_gate`,
+and :meth:`Netlist.sweep_dead` — keeping fanout bookkeeping consistent and
+rejecting edits that would create a combinational cycle.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Optional
+
+from repro.errors import NetlistError
+from repro.library.cell import Cell, Library
+
+#: Default capacitive load a primary output presents to its driver.
+DEFAULT_PO_LOAD = 1.0
+
+
+class Gate:
+    """One gate instance (or primary input) in a netlist."""
+
+    __slots__ = ("name", "cell", "fanins", "fanouts", "po_names", "uid")
+
+    def __init__(self, name: str, cell: Optional[Cell], uid: int):
+        self.name = name
+        self.cell = cell
+        #: Ordered driving gates, one per input pin.
+        self.fanins: list["Gate"] = []
+        #: (sink gate, pin index) pairs fed by this gate's stem.
+        self.fanouts: list[tuple["Gate", int]] = []
+        #: Primary-output ports driven by this gate.
+        self.po_names: list[str] = []
+        self.uid = uid
+
+    # ------------------------------------------------------------------
+    @property
+    def is_input(self) -> bool:
+        return self.cell is None
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.fanins)
+
+    def fanout_count(self) -> int:
+        """Number of branches (gate pins plus PO ports)."""
+        return len(self.fanouts) + len(self.po_names)
+
+    def fanout_gates(self) -> list["Gate"]:
+        """Distinct sink gates, in connection order."""
+        seen: dict[int, Gate] = {}
+        for sink, _pin in self.fanouts:
+            seen.setdefault(id(sink), sink)
+        return list(seen.values())
+
+    def __repr__(self) -> str:
+        kind = "PI" if self.is_input else self.cell.name
+        return f"Gate({self.name!r}, {kind})"
+
+
+class Netlist:
+    """A combinational gate-level netlist."""
+
+    def __init__(self, name: str, library: Optional[Library] = None):
+        self.name = name
+        self.library = library
+        self.gates: dict[str, Gate] = {}
+        self.input_names: list[str] = []
+        #: PO port name -> driving gate.
+        self.outputs: dict[str, Gate] = {}
+        #: PO port name -> load capacitance.
+        self.output_loads: dict[str, float] = {}
+        self._uid_counter = 0
+        self._name_counter = 0
+        self._topo_cache: Optional[list[Gate]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _fresh_uid(self) -> int:
+        self._uid_counter += 1
+        return self._uid_counter
+
+    def fresh_name(self, prefix: str = "n") -> str:
+        """A gate name not yet used in this netlist."""
+        while True:
+            self._name_counter += 1
+            name = f"{prefix}{self._name_counter}"
+            if name not in self.gates and name not in self.outputs:
+                return name
+
+    def add_input(self, name: str) -> Gate:
+        if name in self.gates:
+            raise NetlistError(f"duplicate gate name {name!r}")
+        gate = Gate(name, None, self._fresh_uid())
+        self.gates[name] = gate
+        self.input_names.append(name)
+        self._invalidate()
+        return gate
+
+    def add_gate(
+        self,
+        cell: Cell,
+        fanins: Sequence[Gate],
+        name: Optional[str] = None,
+    ) -> Gate:
+        """Instantiate ``cell`` driven by ``fanins`` (pin order = cell order)."""
+        if len(fanins) != cell.num_inputs:
+            raise NetlistError(
+                f"cell {cell.name!r} needs {cell.num_inputs} fanins, got {len(fanins)}"
+            )
+        if name is None:
+            name = self.fresh_name()
+        if name in self.gates:
+            raise NetlistError(f"duplicate gate name {name!r}")
+        for driver in fanins:
+            self._check_member(driver)
+        gate = Gate(name, cell, self._fresh_uid())
+        self.gates[name] = gate
+        for pin, driver in enumerate(fanins):
+            gate.fanins.append(driver)
+            driver.fanouts.append((gate, pin))
+        self._invalidate()
+        return gate
+
+    def set_output(
+        self, po_name: str, driver: Gate, load: float = DEFAULT_PO_LOAD
+    ) -> None:
+        """Connect (or reconnect) a primary-output port to ``driver``."""
+        self._check_member(driver)
+        old = self.outputs.get(po_name)
+        if old is not None:
+            old.po_names.remove(po_name)
+        self.outputs[po_name] = driver
+        self.output_loads[po_name] = load
+        driver.po_names.append(po_name)
+        self._invalidate()
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def _check_member(self, gate: Gate) -> None:
+        if self.gates.get(gate.name) is not gate:
+            raise NetlistError(f"gate {gate.name!r} does not belong to {self.name!r}")
+
+    def gate(self, name: str) -> Gate:
+        try:
+            return self.gates[name]
+        except KeyError:
+            raise NetlistError(f"no gate named {name!r}") from None
+
+    def inputs(self) -> list[Gate]:
+        return [self.gates[n] for n in self.input_names]
+
+    def output_names(self) -> list[str]:
+        return list(self.outputs)
+
+    def logic_gates(self) -> Iterator[Gate]:
+        """All non-input gates (arbitrary order)."""
+        return (g for g in self.gates.values() if not g.is_input)
+
+    def num_gates(self) -> int:
+        """Number of logic gates (primary inputs excluded)."""
+        return sum(1 for _ in self.logic_gates())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.gates
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    # ------------------------------------------------------------------
+    # Electrical quantities
+    # ------------------------------------------------------------------
+    def load_of(self, gate: Gate) -> float:
+        """Total capacitance C(s) driven by the gate's stem (eq. 1)."""
+        total = 0.0
+        for sink, pin in gate.fanouts:
+            total += sink.cell.pins[pin].load
+        for po in gate.po_names:
+            total += self.output_loads[po]
+        return total
+
+    def total_area(self) -> float:
+        return sum(g.cell.area for g in self.logic_gates())
+
+    # ------------------------------------------------------------------
+    # Incremental edits
+    # ------------------------------------------------------------------
+    def _invalidate(self) -> None:
+        self._topo_cache = None
+
+    def would_create_cycle(self, driver: Gate, sink: Gate) -> bool:
+        """True if connecting driver -> sink closes a combinational loop."""
+        if driver is sink:
+            return True
+        # Cycle iff sink reaches driver through existing edges.
+        stack = [sink]
+        seen = {id(sink)}
+        while stack:
+            gate = stack.pop()
+            for out, _pin in gate.fanouts:
+                if out is driver:
+                    return True
+                if id(out) not in seen:
+                    seen.add(id(out))
+                    stack.append(out)
+        return False
+
+    def replace_fanin(self, sink: Gate, pin: int, new_driver: Gate) -> Gate:
+        """Reconnect one input branch (the IS2 edit).  Returns the old driver."""
+        self._check_member(sink)
+        self._check_member(new_driver)
+        if not 0 <= pin < sink.num_inputs:
+            raise NetlistError(f"gate {sink.name!r} has no pin {pin}")
+        old_driver = sink.fanins[pin]
+        if old_driver is new_driver:
+            return old_driver
+        if self.would_create_cycle(new_driver, sink):
+            raise NetlistError(
+                f"connecting {new_driver.name!r} to {sink.name!r} creates a cycle"
+            )
+        old_driver.fanouts.remove((sink, pin))
+        sink.fanins[pin] = new_driver
+        new_driver.fanouts.append((sink, pin))
+        self._invalidate()
+        return old_driver
+
+    def replace_fanouts(self, old: Gate, new: Gate) -> None:
+        """Move every branch of ``old`` (pins and POs) to ``new`` (OS2 edit)."""
+        self._check_member(old)
+        self._check_member(new)
+        if old is new:
+            return
+        for sink, _pin in old.fanouts:
+            if sink is not old and self.would_create_cycle(new, sink):
+                raise NetlistError(
+                    f"substituting {old.name!r} by {new.name!r} creates a cycle"
+                )
+        for sink, pin in list(old.fanouts):
+            sink.fanins[pin] = new
+            new.fanouts.append((sink, pin))
+        old.fanouts.clear()
+        for po in list(old.po_names):
+            self.outputs[po] = new
+            new.po_names.append(po)
+        old.po_names.clear()
+        self._invalidate()
+
+    def remove_gate(self, gate: Gate) -> None:
+        """Delete a fanout-free logic gate."""
+        self._check_member(gate)
+        if gate.is_input:
+            raise NetlistError(f"cannot remove primary input {gate.name!r}")
+        if gate.fanout_count():
+            raise NetlistError(f"gate {gate.name!r} still has fanout")
+        for pin, driver in enumerate(gate.fanins):
+            driver.fanouts.remove((gate, pin))
+        gate.fanins.clear()
+        del self.gates[gate.name]
+        self._invalidate()
+
+    def sweep_dead(self) -> list[str]:
+        """Remove all fanout-free logic gates transitively; returns names."""
+        removed: list[str] = []
+        worklist = [g for g in self.logic_gates() if not g.fanout_count()]
+        while worklist:
+            gate = worklist.pop()
+            if gate.name not in self.gates or gate.fanout_count():
+                continue
+            drivers = list(gate.fanins)
+            self.remove_gate(gate)
+            removed.append(gate.name)
+            for driver in drivers:
+                if not driver.is_input and not driver.fanout_count():
+                    worklist.append(driver)
+        return removed
+
+    # ------------------------------------------------------------------
+    # Copying
+    # ------------------------------------------------------------------
+    def copy(self, name: Optional[str] = None) -> "Netlist":
+        """Deep structural copy (cells are shared, gates re-created)."""
+        clone = Netlist(name or self.name, self.library)
+        mapping: dict[int, Gate] = {}
+        for pi in self.input_names:
+            mapping[id(self.gates[pi])] = clone.add_input(pi)
+        from repro.netlist.traverse import topological_order
+
+        for gate in topological_order(self):
+            if gate.is_input:
+                continue
+            fanins = [mapping[id(f)] for f in gate.fanins]
+            mapping[id(gate)] = clone.add_gate(gate.cell, fanins, name=gate.name)
+        for po, driver in self.outputs.items():
+            clone.set_output(po, mapping[id(driver)], self.output_loads[po])
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"Netlist({self.name!r}, {len(self.input_names)} PI, "
+            f"{len(self.outputs)} PO, {self.num_gates()} gates)"
+        )
+
+
+def signals(netlist: Netlist) -> Iterable[Gate]:
+    """All stem signals (primary inputs and gate outputs)."""
+    return netlist.gates.values()

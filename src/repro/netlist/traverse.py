@@ -1,0 +1,171 @@
+"""Graph traversals over netlists.
+
+Includes the paper's structural notions: transitive fanout ``TFO(s)``,
+transitive fanin, and the *dominated region* ``Dom(s)`` — the set of gates
+every one of whose output paths passes through ``s``.  When a stem is
+substituted away, exactly this region becomes dead; it coincides with the
+maximum fanout-free cone (MFFC) rooted at the gate, which :func:`mffc`
+computes by virtual fanout peeling.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import NetlistError
+from repro.netlist.netlist import Gate, Netlist
+
+
+def topological_order(netlist: Netlist) -> list[Gate]:
+    """Gates in fanin-before-fanout order (PIs first).  Cached per edit."""
+    cached = netlist._topo_cache
+    if cached is not None:
+        return cached
+    order: list[Gate] = []
+    state: dict[int, int] = {}  # 0 = visiting, 1 = done
+    for root in netlist.gates.values():
+        if id(root) in state:
+            continue
+        stack: list[tuple[Gate, int]] = [(root, 0)]
+        while stack:
+            gate, child = stack[-1]
+            if child == 0:
+                marker = state.get(id(gate))
+                if marker == 1:
+                    stack.pop()
+                    continue
+                if marker == 0:
+                    raise NetlistError(
+                        f"combinational cycle through {gate.name!r}"
+                    )
+                state[id(gate)] = 0
+            if child < len(gate.fanins):
+                stack[-1] = (gate, child + 1)
+                nxt = gate.fanins[child]
+                if state.get(id(nxt)) != 1:
+                    stack.append((nxt, 0))
+            else:
+                state[id(gate)] = 1
+                order.append(gate)
+                stack.pop()
+    netlist._topo_cache = order
+    return order
+
+
+def topological_index(netlist: Netlist) -> dict[int, int]:
+    """``id(gate) -> position`` in the topological order (cached per edit)."""
+    cached = getattr(netlist, "_topo_index_cache", None)
+    order = topological_order(netlist)
+    if cached is not None and cached[0] is order:
+        return cached[1]
+    index = {id(g): i for i, g in enumerate(order)}
+    netlist._topo_index_cache = (order, index)
+    return index
+
+
+def transitive_fanout(netlist: Netlist, roots: Iterable[Gate]) -> list[Gate]:
+    """TFO of the given stems, in topological order (roots excluded).
+
+    One forward sweep carrying reachability as an integer bitset over
+    topological positions — considerably cheaper than per-gate set lookups
+    on the optimizer's hot path.
+    """
+    order = topological_order(netlist)
+    index = topological_index(netlist)
+    root_bits = 0
+    for gate in roots:
+        root_bits |= 1 << index[id(gate)]
+    if not root_bits:
+        return []
+    reach_bits = 0
+    start = (root_bits & -root_bits).bit_length()  # first position after min root
+    for i in range(start, len(order)):
+        gate = order[i]
+        bit = 1 << i
+        if root_bits & bit:
+            continue
+        for fanin in gate.fanins:
+            j = index[id(fanin)]
+            if (root_bits | reach_bits) >> j & 1:
+                reach_bits |= bit
+                break
+    return [order[i] for i in range(len(order)) if (reach_bits >> i) & 1]
+
+
+def transitive_fanin(netlist: Netlist, roots: Iterable[Gate]) -> list[Gate]:
+    """TFI of the given gates, topological order (roots excluded)."""
+    seen: set[int] = set()
+    result_ids: set[int] = set()
+    stack = list(roots)
+    root_ids = {id(g) for g in stack}
+    while stack:
+        gate = stack.pop()
+        for fanin in gate.fanins:
+            if id(fanin) not in seen:
+                seen.add(id(fanin))
+                result_ids.add(id(fanin))
+                stack.append(fanin)
+    result_ids -= root_ids
+    return [g for g in topological_order(netlist) if id(g) in result_ids]
+
+
+def mffc(netlist: Netlist, root: Gate) -> list[Gate]:
+    """Maximum fanout-free cone of ``root`` — the paper's ``Dom(root)``.
+
+    Returns the logic gates (root included, primary inputs excluded) that die
+    when the root's stem is disconnected, i.e. the gates all of whose paths
+    to primary outputs run through ``root``.  Computed by virtually removing
+    the root and peeling gates whose remaining fanout count reaches zero.
+    """
+    if root.is_input:
+        return []
+    region: list[Gate] = [root]
+    region_ids = {id(root)}
+    # Remaining external fanout count for gates we are considering.
+    pending: dict[int, int] = {}
+    worklist = list(root.fanins)
+    for gate in worklist:
+        pending[id(gate)] = pending.get(id(gate), 0)
+    # Breadth: repeatedly try to absorb fanins whose every branch lands in
+    # the region and that drive no primary output.
+    changed = True
+    while changed:
+        changed = False
+        candidates: dict[int, Gate] = {}
+        for gate in region:
+            for fanin in gate.fanins:
+                if not fanin.is_input and id(fanin) not in region_ids:
+                    candidates[id(fanin)] = fanin
+        for gate in candidates.values():
+            if gate.po_names:
+                continue
+            if all(id(sink) in region_ids for sink, _pin in gate.fanouts):
+                region.append(gate)
+                region_ids.add(id(gate))
+                changed = True
+    return region
+
+
+def region_inputs(netlist: Netlist, region: list[Gate]) -> list[Gate]:
+    """Gates outside the region with a direct fanout into it.
+
+    This is the paper's ``inputs(Dom(s))`` (eq. 3's second sum).
+    """
+    region_ids = {id(g) for g in region}
+    found: dict[int, Gate] = {}
+    for gate in region:
+        for fanin in gate.fanins:
+            if id(fanin) not in region_ids:
+                found.setdefault(id(fanin), fanin)
+    return list(found.values())
+
+
+def logic_levels(netlist: Netlist) -> dict[str, int]:
+    """Level of each gate: PIs at 0, otherwise 1 + max fanin level."""
+    levels: dict[str, int] = {}
+    for gate in topological_order(netlist):
+        if gate.is_input or not gate.fanins:
+            levels[gate.name] = 0
+        else:
+            levels[gate.name] = 1 + max(levels[f.name] for f in gate.fanins)
+    return levels

@@ -1,0 +1,111 @@
+"""Structural Verilog writer for mapped netlists.
+
+Emits one module per netlist: library cells become module instances, the
+cell library itself is emitted as behavioural leaf modules (``assign``
+expressions derived from each cell's genlib function), so the output is
+self-contained and simulates in any Verilog tool.
+
+Identifiers are sanitised to Verilog rules; a name map is returned for
+callers that need to correlate signals.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.library.cell import Cell
+from repro.logic.expr import AND, CONST, NOT, OR, VAR, XOR, Expr
+from repro.netlist.netlist import Netlist
+from repro.netlist.traverse import topological_order
+
+_ID_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
+_KEYWORDS = {
+    "module", "endmodule", "input", "output", "wire", "assign", "not",
+    "and", "or", "xor", "nand", "nor", "xnor", "buf", "reg", "always",
+}
+
+
+def _sanitize(name: str, used: set[str]) -> str:
+    candidate = re.sub(r"[^A-Za-z0-9_$]", "_", name)
+    if not candidate or not _ID_RE.match(candidate) or candidate in _KEYWORDS:
+        candidate = "n_" + candidate
+    base = candidate
+    suffix = 1
+    while candidate in used:
+        suffix += 1
+        candidate = f"{base}_{suffix}"
+    used.add(candidate)
+    return candidate
+
+
+def _expr_to_verilog(expr: Expr) -> str:
+    if expr.kind == CONST:
+        return "1'b1" if expr.value else "1'b0"
+    if expr.kind == VAR:
+        return expr.name
+    if expr.kind == NOT:
+        return f"~({_expr_to_verilog(expr.children[0])})"
+    symbol = {AND: " & ", OR: " | ", XOR: " ^ "}[expr.kind]
+    return "(" + symbol.join(_expr_to_verilog(c) for c in expr.children) + ")"
+
+
+def _cell_module(cell: Cell) -> str:
+    ports = list(cell.pin_names) + [cell.output]
+    lines = [f"module {cell.name} (" + ", ".join(ports) + ");"]
+    for pin in cell.pin_names:
+        lines.append(f"  input {pin};")
+    lines.append(f"  output {cell.output};")
+    lines.append(
+        f"  assign {cell.output} = {_expr_to_verilog(cell.expression)};"
+    )
+    lines.append("endmodule")
+    return "\n".join(lines)
+
+
+def write_verilog(
+    netlist: Netlist, include_cell_models: bool = True
+) -> str:
+    """Render the netlist as self-contained structural Verilog."""
+    used: set[str] = set()
+    names: dict[str, str] = {}
+    for gate_name in netlist.gates:
+        names[gate_name] = _sanitize(gate_name, used)
+    po_names = {po: _sanitize(po, used) for po in netlist.outputs}
+
+    ports = [names[pi] for pi in netlist.input_names] + list(po_names.values())
+    lines = [f"module {_sanitize(netlist.name, set())} ("]
+    lines.append("  " + ",\n  ".join(ports))
+    lines.append(");")
+    for pi in netlist.input_names:
+        lines.append(f"  input {names[pi]};")
+    for po in netlist.outputs:
+        lines.append(f"  output {po_names[po]};")
+    wires = [
+        names[g.name]
+        for g in netlist.logic_gates()
+    ]
+    if wires:
+        lines.append("  wire " + ", ".join(sorted(wires)) + ";")
+
+    used_cells: dict[str, Cell] = {}
+    for index, gate in enumerate(topological_order(netlist)):
+        if gate.is_input:
+            continue
+        used_cells[gate.cell.name] = gate.cell
+        bindings = [
+            f".{pin}({names[fanin.name]})"
+            for pin, fanin in zip(gate.cell.pin_names, gate.fanins)
+        ]
+        bindings.append(f".{gate.cell.output}({names[gate.name]})")
+        lines.append(
+            f"  {gate.cell.name} u{index} (" + ", ".join(bindings) + ");"
+        )
+    for po, driver in netlist.outputs.items():
+        lines.append(f"  assign {po_names[po]} = {names[driver.name]};")
+    lines.append("endmodule")
+
+    if include_cell_models:
+        for cell in sorted(used_cells.values(), key=lambda c: c.name):
+            lines.append("")
+            lines.append(_cell_module(cell))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,41 @@
+"""Power estimation under the paper's zero-delay model.
+
+``P = 1/2 · Vdd² · f · Σ_i C(i)·E(i)`` with ``E(s) = 2·p(s)·(1 - p(s))``
+(eq. 1, temporal independence of primary inputs).  The experiments report the
+technology-dependent factor ``Σ C·E`` exactly as the paper's *power* column
+does.
+
+Three interchangeable probability engines are provided:
+
+- :class:`~repro.power.probability.SimulationProbability` — deterministic
+  bit-parallel Monte-Carlo; supports cheap incremental re-estimation of
+  transitive-fanout regions (what POWDER's inner loop needs),
+- :class:`~repro.power.probability.ExactBddProbability` — global ROBDDs,
+  exact, for small circuits and for validating the estimators,
+- :class:`~repro.power.probability.PropagationProbability` — gate-local
+  propagation assuming spatial independence (fast, ignores reconvergence).
+"""
+
+from repro.power.probability import (
+    ProbabilityEngine,
+    SimulationProbability,
+    ExactBddProbability,
+    PropagationProbability,
+)
+from repro.power.estimate import PowerEstimator, PowerReport, transition_probability
+from repro.power.temporal import TemporalSimulationProbability, TemporalSpec
+from repro.power.glitch import GlitchReport, analyze_glitches
+
+__all__ = [
+    "ProbabilityEngine",
+    "SimulationProbability",
+    "ExactBddProbability",
+    "PropagationProbability",
+    "TemporalSimulationProbability",
+    "TemporalSpec",
+    "GlitchReport",
+    "analyze_glitches",
+    "PowerEstimator",
+    "PowerReport",
+    "transition_probability",
+]

@@ -1,0 +1,28 @@
+"""A small CNF SAT solver and circuit encoder.
+
+The paper's permissibility machinery is ATPG; modern reproductions of the
+same idea (redundancy addition/removal, resubstitution) are SAT-based.
+This package provides the SAT side as an *independent* oracle:
+
+- :mod:`~repro.sat.cnf` — CNF formulas and the Tseitin encoding of
+  netlists/miters,
+- :mod:`~repro.sat.dpll` — a DPLL solver with two-watched-literal unit
+  propagation and an activity decision heuristic,
+- :func:`~repro.sat.oracle.sat_check_equivalent` — a drop-in equivalence
+  check used by the test-suite to cross-validate the PODEM oracle.
+"""
+
+from repro.sat.cnf import CnfFormula, tseitin_encode, miter_cnf
+from repro.sat.dpll import DpllSolver, SAT, UNSAT, UNKNOWN
+from repro.sat.oracle import sat_check_equivalent
+
+__all__ = [
+    "CnfFormula",
+    "tseitin_encode",
+    "miter_cnf",
+    "DpllSolver",
+    "SAT",
+    "UNSAT",
+    "UNKNOWN",
+    "sat_check_equivalent",
+]

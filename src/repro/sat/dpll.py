@@ -1,0 +1,214 @@
+"""A compact DPLL SAT solver.
+
+Features: two-watched-literal unit propagation, static occurrence-weighted
+variable order with phase saving, and a conflict budget that returns
+:data:`UNKNOWN` instead of running away.  No clause learning — this solver
+is a correctness cross-check and teaching artifact, not a competition
+entry; the staged PODEM + BDD oracle remains the production path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sat.cnf import CnfFormula
+
+SAT = "sat"
+UNSAT = "unsat"
+UNKNOWN = "unknown"
+
+
+@dataclass
+class SatResult:
+    status: str
+    model: dict[int, bool] = field(default_factory=dict)
+    conflicts: int = 0
+    decisions: int = 0
+
+    def value_of(self, formula: CnfFormula, name: str) -> Optional[bool]:
+        var = formula.var_of.get(name)
+        if var is None:
+            return None
+        return self.model.get(var)
+
+
+class DpllSolver:
+    """Solve one CNF formula (single-shot; build a new solver per query)."""
+
+    def __init__(self, formula: CnfFormula, conflict_limit: int = 200_000):
+        self.formula = formula
+        self.conflict_limit = conflict_limit
+        self.num_vars = formula.num_vars
+        self.clauses: list[tuple[int, ...]] = []
+        #: literal -> list of clause indices watching it.
+        self.watchers: dict[int, list[int]] = {}
+        #: per-clause watched literal pair.
+        self.watched: list[list[int]] = []
+        # assignment[var] in {None, True, False}
+        self.assignment: list[Optional[bool]] = [None] * (self.num_vars + 1)
+        self.trail: list[int] = []  # assigned literals in order
+        #: decision stack entries: [trail position, literal, tried_both]
+        self.decision_stack: list[list] = []
+        self.phase: list[bool] = [False] * (self.num_vars + 1)
+        self.conflicts = 0
+        self.decisions = 0
+        self._units: list[int] = []
+        self._contradiction = False
+        self._initialise()
+
+    # ------------------------------------------------------------------
+    def _initialise(self) -> None:
+        occurrence = [0] * (self.num_vars + 1)
+        for clause in self.formula.clauses:
+            unique = tuple(dict.fromkeys(clause))
+            if any(-lit in unique for lit in unique):
+                continue  # tautological clause
+            if not unique:
+                self._contradiction = True
+                return
+            if len(unique) == 1:
+                self._units.append(unique[0])
+                continue
+            index = len(self.clauses)
+            self.clauses.append(unique)
+            self.watched.append([unique[0], unique[1]])
+            self.watchers.setdefault(unique[0], []).append(index)
+            self.watchers.setdefault(unique[1], []).append(index)
+            for lit in unique:
+                occurrence[abs(lit)] += 1
+        # Static decision order: most-constrained variables first.
+        self.order = sorted(
+            range(1, self.num_vars + 1),
+            key=lambda v: -occurrence[v],
+        )
+
+    # ------------------------------------------------------------------
+    def _value(self, literal: int) -> Optional[bool]:
+        value = self.assignment[abs(literal)]
+        if value is None:
+            return None
+        return value if literal > 0 else not value
+
+    def _assign(self, literal: int) -> None:
+        self.assignment[abs(literal)] = literal > 0
+        self.phase[abs(literal)] = literal > 0
+        self.trail.append(literal)
+
+    def _propagate(self) -> Optional[int]:
+        """Unit propagation from the current trail head; returns a
+        conflicting clause index or None."""
+        head = getattr(self, "_head", 0)
+        while head < len(self.trail):
+            literal = self.trail[head]
+            head += 1
+            falsified = -literal
+            watch_list = self.watchers.get(falsified, [])
+            index_pos = 0
+            while index_pos < len(watch_list):
+                clause_index = watch_list[index_pos]
+                clause = self.clauses[clause_index]
+                pair = self.watched[clause_index]
+                other = pair[0] if pair[1] == falsified else pair[1]
+                if self._value(other) is True:
+                    index_pos += 1
+                    continue
+                # Find a replacement watch.
+                replacement = None
+                for lit in clause:
+                    if lit == other or lit == falsified:
+                        continue
+                    if self._value(lit) is not False:
+                        replacement = lit
+                        break
+                if replacement is not None:
+                    if pair[0] == falsified:
+                        pair[0] = replacement
+                    else:
+                        pair[1] = replacement
+                    self.watchers.setdefault(replacement, []).append(
+                        clause_index
+                    )
+                    watch_list[index_pos] = watch_list[-1]
+                    watch_list.pop()
+                    continue
+                other_value = self._value(other)
+                if other_value is None:
+                    self._assign(other)
+                elif other_value is False:
+                    self._head = head
+                    return clause_index
+                index_pos += 1
+        self._head = head
+        return None
+
+    def _decide(self) -> Optional[int]:
+        for var in self.order:
+            if self.assignment[var] is None:
+                return var if self.phase[var] else -var
+        return None
+
+    def _backtrack(self) -> Optional[int]:
+        """Undo to the deepest decision with an untried phase; flips it in
+        place (the flipped value re-uses the same decision level).  Returns
+        the flipped literal, or None when the tree is exhausted."""
+        while self.decision_stack:
+            entry = self.decision_stack[-1]
+            limit, decision, tried_both = entry
+            for literal in self.trail[limit:]:
+                self.assignment[abs(literal)] = None
+            del self.trail[limit:]
+            self._head = limit
+            if not tried_both:
+                entry[1] = -decision
+                entry[2] = True
+                return -decision
+            self.decision_stack.pop()
+        return None
+
+    # ------------------------------------------------------------------
+    def solve(self) -> SatResult:
+        if self._contradiction:
+            return SatResult(UNSAT)
+        self._head = 0
+        for unit in self._units:
+            value = self._value(unit)
+            if value is False:
+                return SatResult(UNSAT)
+            if value is None:
+                self._assign(unit)
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                if self.conflicts > self.conflict_limit:
+                    return SatResult(
+                        UNKNOWN, conflicts=self.conflicts,
+                        decisions=self.decisions,
+                    )
+                flipped = self._backtrack()
+                if flipped is None:
+                    return SatResult(
+                        UNSAT, conflicts=self.conflicts,
+                        decisions=self.decisions,
+                    )
+                self._assign(flipped)
+                continue
+            decision = self._decide()
+            if decision is None:
+                model = {
+                    v: bool(self.assignment[v])
+                    for v in range(1, self.num_vars + 1)
+                    if self.assignment[v] is not None
+                }
+                return SatResult(
+                    SAT, model, self.conflicts, self.decisions
+                )
+            self.decisions += 1
+            self.decision_stack.append([len(self.trail), decision, False])
+            self._assign(decision)
+
+
+def solve(formula: CnfFormula, conflict_limit: int = 200_000) -> SatResult:
+    """One-shot convenience wrapper."""
+    return DpllSolver(formula, conflict_limit).solve()

@@ -1,0 +1,51 @@
+"""POSE-like synthesis front-end.
+
+The paper's input circuits were produced by USC's POSE (power-oriented
+logic optimization + low-power technology mapping).  This package provides
+the equivalent flow so the experiments can start from the same kind of
+netlists:
+
+- :mod:`~repro.synth.twolevel` — espresso-style two-level minimization
+  (expand / irredundant / reduce),
+- :mod:`~repro.synth.kernels` — algebraic kernels and co-kernels,
+- :mod:`~repro.synth.factor` — algebraic factoring into an expression tree,
+- :mod:`~repro.synth.subject` — the technology-independent AND2/INV subject
+  graph with structural hashing,
+- :mod:`~repro.synth.mapper` — cut-based DP technology mapping with area-
+  and power-driven cost functions,
+- :mod:`~repro.synth.flow` — the end-to-end ``synthesize`` entry point.
+"""
+
+from repro.synth.twolevel import minimize_cover
+from repro.synth.kernels import kernels, cube_free
+from repro.synth.factor import factor_cover
+from repro.synth.subject import SubjectGraph
+from repro.synth.mapper import MapOptions, technology_map
+from repro.synth.flow import synthesize, build_subject_graph, SynthesisOptions
+from repro.synth.extract import extract_kernels, ExtractionResult
+from repro.synth.resynth import unmap, resynthesize
+from repro.synth.blif_logic import (
+    parse_logic_blif,
+    synthesize_logic_blif,
+    LogicNetwork,
+)
+
+__all__ = [
+    "minimize_cover",
+    "kernels",
+    "cube_free",
+    "factor_cover",
+    "SubjectGraph",
+    "MapOptions",
+    "technology_map",
+    "synthesize",
+    "build_subject_graph",
+    "SynthesisOptions",
+    "extract_kernels",
+    "ExtractionResult",
+    "parse_logic_blif",
+    "synthesize_logic_blif",
+    "LogicNetwork",
+    "unmap",
+    "resynthesize",
+]

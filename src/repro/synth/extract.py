@@ -1,0 +1,200 @@
+"""Multi-function kernel extraction (MIS-style common-divisor sharing).
+
+Algebraic factoring (``factor_cover``) only shares logic *within* one
+function; extraction finds kernels common to several functions (or used
+several times in one), pulls each out as a new intermediate variable, and
+rewrites the functions over it — the classic literal-savings loop:
+
+    repeat:
+        enumerate kernels of every function
+        value(K) = Σ_f |quotient(f, K)| · (lit(K) − 1)  −  lit(K)
+        extract the best-valued kernel as a fresh variable
+    until no kernel saves literals
+
+The result feeds the subject-graph builder: each intermediate is factored
+and decomposed once and referenced everywhere it is used, shrinking the
+mapped circuit beyond what per-output factoring achieves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.logic.sop import Cover, Cube
+from repro.synth.kernels import kernels, weak_divide
+
+
+@dataclass
+class ExtractionResult:
+    """Outcome of an extraction pass."""
+
+    #: All variable names, primary inputs first, then intermediates in
+    #: creation order (covers below are over this list).
+    names: list[str]
+    #: Rewritten output covers.
+    outputs: dict[str, Cover]
+    #: Intermediate definitions, in creation (= topological) order.
+    intermediates: dict[str, Cover] = field(default_factory=dict)
+
+    @property
+    def num_extracted(self) -> int:
+        return len(self.intermediates)
+
+
+def _widen(cover: Cover, nvars: int) -> Cover:
+    """Re-express a cover over a wider variable set (new vars unused)."""
+    return Cover(
+        nvars, [Cube(nvars, c.care, c.values) for c in cover.cubes]
+    )
+
+
+def _kernel_key(kernel: Cover) -> tuple:
+    return tuple(sorted((c.care, c.values) for c in kernel.cubes))
+
+
+def _candidate_kernels(
+    covers: Mapping[str, Cover], max_cover_cubes: int
+) -> dict[tuple, Cover]:
+    found: dict[tuple, Cover] = {}
+    for cover in covers.values():
+        if not 2 <= len(cover.cubes) <= max_cover_cubes:
+            continue
+        for _co, kernel in kernels(cover):
+            if len(kernel.cubes) < 2:
+                continue
+            found.setdefault(_kernel_key(kernel), kernel)
+    return found
+
+
+def _kernel_saving(covers: Mapping[str, Cover], kernel: Cover) -> int:
+    """Literal savings if this kernel becomes an intermediate variable.
+
+    Each quotient cube Q currently expands to ``|K|`` cubes ``Q·k_j`` with
+    ``lit(Q) + lit(k_j)`` literals; afterwards it is the single cube ``Q·t``
+    with ``lit(Q) + 1`` literals — a saving of
+    ``(|K| − 1)·lit(Q) + lit(K) − 1`` per quotient cube.  The kernel body
+    itself must be built once (``−lit(K)``).
+    """
+    kernel_literals = kernel.num_literals()
+    kernel_cubes = len(kernel.cubes)
+    saving = -kernel_literals
+    for cover in covers.values():
+        quotient, _rem = weak_divide(cover, kernel)
+        for q in quotient.cubes:
+            saving += (
+                (kernel_cubes - 1) * q.num_literals() + kernel_literals - 1
+            )
+    return saving
+
+
+def extract_kernels(
+    input_names: list[str],
+    outputs: Mapping[str, Cover],
+    max_extractions: int = 32,
+    min_saving: int = 1,
+    max_cover_cubes: int = 60,
+    intermediate_prefix: str = "k",
+) -> ExtractionResult:
+    """Run the extraction loop; returns rewritten covers + intermediates.
+
+    All input covers must share the ``input_names`` variable space.  The
+    returned covers live over ``result.names`` (inputs + intermediates).
+    """
+    names = list(input_names)
+    working: dict[str, Cover] = {po: cover.copy() for po, cover in outputs.items()}
+    intermediates: dict[str, Cover] = {}
+    #: variable index of each intermediate name.
+    var_of: dict[str, int] = {}
+    #: transitive variable dependencies of each intermediate *index*.
+    deps: dict[int, frozenset[int]] = {}
+
+    def closure(cover: Cover) -> frozenset[int]:
+        result: set[int] = set()
+        for var in range(cover.nvars):
+            for cube in cover.cubes:
+                if cube.literal(var) is not None:
+                    result.add(var)
+                    result |= deps.get(var, frozenset())
+                    break
+        return frozenset(result)
+
+    for _round in range(max_extractions):
+        candidates = _candidate_kernels(working, max_cover_cubes)
+        best_kernel: Optional[Cover] = None
+        best_saving = min_saving - 1
+        for kernel in candidates.values():
+            saving = _kernel_saving(working, kernel)
+            if saving > best_saving:
+                best_kernel, best_saving = kernel, saving
+        if best_kernel is None:
+            break
+
+        new_index = len(names)
+        new_name = f"{intermediate_prefix}{len(intermediates)}"
+        while new_name in names:
+            new_name = "_" + new_name
+        names.append(new_name)
+
+        wide_kernel = _widen(best_kernel, len(names))
+        kernel_deps = closure(wide_kernel) | {new_index}
+        deps[new_index] = frozenset(kernel_deps)
+        var_of[new_name] = new_index
+
+        rewritten: dict[str, Cover] = {}
+        for po, cover in working.items():
+            wide = _widen(cover, len(names))
+            # Rewriting an intermediate the new kernel depends on would
+            # close a combinational cycle — leave those untouched.
+            own_var = var_of.get(po)
+            if own_var is not None and own_var in kernel_deps:
+                rewritten[po] = wide
+                continue
+            quotient, remainder = weak_divide(wide, wide_kernel)
+            if not quotient.cubes:
+                rewritten[po] = wide
+                continue
+            new_cubes = [
+                q.with_literal(new_index, 1) for q in quotient.cubes
+            ]
+            new_cubes.extend(remainder.cubes)
+            rewritten[po] = Cover(len(names), new_cubes)
+        working = rewritten
+        # Widen previously-extracted intermediates too, so every cover in
+        # the result shares one variable space.
+        intermediates = {
+            name: _widen(cover, len(names))
+            for name, cover in intermediates.items()
+        }
+        intermediates[new_name] = wide_kernel
+        # Intermediates are themselves candidates for further extraction.
+        working[new_name] = wide_kernel
+        # Dependency sets of previously rewritten intermediates may grow;
+        # iterate to fixpoint (deps only ever grow, so this terminates).
+        changed = True
+        while changed:
+            changed = False
+            for name, index in var_of.items():
+                updated = frozenset(closure(working[name]) | {index})
+                if updated != deps[index]:
+                    deps[index] = updated
+                    changed = True
+
+    # Separate outputs from intermediates again (an intermediate may have
+    # been rewritten by later extractions).
+    final_outputs = {po: working[po] for po in outputs}
+    final_intermediates = {
+        name: working[name] for name in intermediates
+    }
+    return ExtractionResult(
+        names=names,
+        outputs=final_outputs,
+        intermediates=final_intermediates,
+    )
+
+
+def total_literals(result: ExtractionResult) -> int:
+    """Literal count of the extracted network (quality metric)."""
+    total = sum(c.num_literals() for c in result.outputs.values())
+    total += sum(c.num_literals() for c in result.intermediates.values())
+    return total

@@ -1,0 +1,139 @@
+"""Algebraic factoring of covers into expression trees.
+
+:func:`factor_cover` turns a two-level cover into a (usually much smaller)
+factored :class:`~repro.logic.expr.Expr` using the classic recursive scheme:
+
+1. divide out the common cube,
+2. divide by the best kernel (falling back to the most frequent literal),
+3. recurse on quotient, divisor and remainder.
+
+The output expression is algebraically equivalent to the cover (same cube
+expansion), hence logically equivalent.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import LogicError
+from repro.logic.expr import Expr
+from repro.logic.sop import Cover, Cube
+from repro.synth.kernels import (
+    common_cube,
+    cube_free,
+    divide_by_cube,
+    kernels,
+    weak_divide,
+)
+
+
+def _literal_expr(var: int, polarity: int, names: Sequence[str]) -> Expr:
+    e = Expr.var(names[var])
+    return e if polarity else Expr.not_(e)
+
+
+def _cube_expr(cube: Cube, names: Sequence[str]) -> Expr:
+    literals = [_literal_expr(var, pol, names) for var, pol in cube.literals()]
+    if not literals:
+        return Expr.const(True)
+    if len(literals) == 1:
+        return literals[0]
+    return Expr.and_(*literals)
+
+
+def _best_literal(cover: Cover) -> Cube | None:
+    counts: dict[tuple[int, int], int] = {}
+    for cube in cover.cubes:
+        for var, polarity in cube.literals():
+            counts[(var, polarity)] = counts.get((var, polarity), 0) + 1
+    best = None
+    best_count = 1
+    for (var, polarity), count in sorted(counts.items()):
+        if count > best_count:
+            best = Cube.universe(cover.nvars).with_literal(var, polarity)
+            best_count = count
+    return best
+
+
+def _best_kernel(cover: Cover) -> Cover | None:
+    """Kernel with the best literal savings; None when no multi-cube kernel."""
+    best: Cover | None = None
+    best_score = 0
+    for _co, kernel in kernels(cover):
+        if len(kernel.cubes) < 2:
+            continue
+        # Same-cover kernel is the whole thing; dividing by it is vacuous.
+        if len(kernel.cubes) == len(cover.cubes) and kernel.num_literals() == cube_free(cover).num_literals():
+            continue
+        quotient, _rem = weak_divide(cover, kernel)
+        if len(quotient.cubes) < 1 or (len(quotient.cubes) == 1 and quotient.cubes[0].care == 0):
+            continue
+        score = (len(quotient.cubes)) * (kernel.num_literals() - 1)
+        if score > best_score:
+            best, best_score = kernel, score
+    return best
+
+
+def factor_cover(cover: Cover, names: Sequence[str], _depth: int = 0) -> Expr:
+    """Factor a cover into an expression over the given variable names."""
+    if len(names) < cover.nvars:
+        raise LogicError("one name per cover variable required")
+    if cover.is_empty():
+        return Expr.const(False)
+    if any(c.care == 0 for c in cover.cubes):
+        return Expr.const(True)
+    if len(cover.cubes) == 1:
+        return _cube_expr(cover.cubes[0], names)
+    if _depth > 200:  # pathological recursion guard
+        return _sum_of_cubes(cover, names)
+
+    # Step 1: common cube out front.
+    cc = common_cube(cover)
+    if cc.care:
+        body = divide_by_cube(cover, cc)
+        return Expr.and_(
+            _cube_expr(cc, names), factor_cover(body, names, _depth + 1)
+        )
+
+    # Step 2: divide by the best kernel, else the most frequent literal.
+    divisor_cover = _best_kernel(cover)
+    if divisor_cover is not None:
+        quotient, remainder = weak_divide(cover, divisor_cover)
+        if quotient.cubes:
+            parts = [
+                Expr.and_(
+                    factor_cover(quotient, names, _depth + 1),
+                    factor_cover(divisor_cover, names, _depth + 1),
+                )
+            ]
+            if remainder.cubes:
+                parts.append(factor_cover(remainder, names, _depth + 1))
+            return parts[0] if len(parts) == 1 else Expr.or_(*parts)
+
+    literal = _best_literal(cover)
+    if literal is None:
+        return _sum_of_cubes(cover, names)
+    quotient, remainder = weak_divide(cover, Cover(cover.nvars, [literal]))
+    if not quotient.cubes:
+        return _sum_of_cubes(cover, names)
+    parts = [
+        Expr.and_(
+            _cube_expr(literal, names),
+            factor_cover(quotient, names, _depth + 1),
+        )
+    ]
+    if remainder.cubes:
+        parts.append(factor_cover(remainder, names, _depth + 1))
+    return parts[0] if len(parts) == 1 else Expr.or_(*parts)
+
+
+def _sum_of_cubes(cover: Cover, names: Sequence[str]) -> Expr:
+    terms = [_cube_expr(cube, names) for cube in cover.cubes]
+    return terms[0] if len(terms) == 1 else Expr.or_(*terms)
+
+
+def factored_literal_count(expr: Expr) -> int:
+    """Number of variable occurrences in a factored expression."""
+    if expr.kind == "var":
+        return 1
+    return sum(factored_literal_count(child) for child in expr.children)

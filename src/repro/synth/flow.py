@@ -1,0 +1,133 @@
+"""The end-to-end synthesis flow (the POSE stand-in).
+
+``synthesize`` takes a two-level specification — one ON-set cover (and an
+optional don't-care cover) per output, all over a shared primary-input
+list — and produces a mapped netlist:
+
+1. espresso-style two-level minimization per output,
+2. algebraic factoring into expression trees,
+3. decomposition into the shared AND2/INV subject graph (structural
+   hashing shares logic across outputs),
+4. cut-based technology mapping, area- or power-driven.
+
+This mirrors the paper's experimental setup: its initial circuits came from
+POSE's power-oriented logic optimization and mapping; POWDER then optimizes
+the *mapped* result further.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.errors import LogicError
+from repro.library.cell import Library
+from repro.logic.sop import Cover
+from repro.netlist.netlist import Netlist
+from repro.synth.factor import factor_cover
+from repro.synth.mapper import MapOptions, technology_map
+from repro.synth.subject import SubjectGraph
+from repro.synth.twolevel import minimize_cover
+
+
+@dataclass(frozen=True)
+class SynthesisOptions:
+    """Flow configuration."""
+
+    minimize: bool = True
+    #: Run MIS-style multi-function kernel extraction before factoring,
+    #: sharing common divisors *across* outputs.
+    extract: bool = False
+    max_extractions: int = 32
+    map_options: MapOptions = field(default_factory=MapOptions)
+    #: Cap on exact two-level minimization effort (cube count guard).
+    minimize_cube_limit: int = 256
+    #: Skip minimization for very wide covers — the OFF-set complement of a
+    #: sparse cover over many variables can explode.
+    minimize_var_limit: int = 28
+
+
+def build_subject_graph(
+    input_names: list[str],
+    outputs: Mapping[str, Cover],
+    dont_cares: Optional[Mapping[str, Cover]] = None,
+    options: Optional[SynthesisOptions] = None,
+    name: str = "circuit",
+) -> SubjectGraph:
+    """Steps 1-3 of the flow: minimized, factored, hashed subject graph."""
+    options = options or SynthesisOptions()
+    graph = SubjectGraph(name)
+    for pi in input_names:
+        graph.add_pi(pi)
+    minimized: dict[str, Cover] = {}
+    for po in sorted(outputs):
+        cover = outputs[po]
+        if cover.nvars != len(input_names):
+            raise LogicError(
+                f"output {po!r}: cover width {cover.nvars} != "
+                f"{len(input_names)} inputs"
+            )
+        dc = (dont_cares or {}).get(po)
+        if (
+            options.minimize
+            and len(cover.cubes) <= options.minimize_cube_limit
+            and cover.nvars <= options.minimize_var_limit
+        ):
+            cover = minimize_cover(cover, dc)
+        minimized[po] = cover
+
+    if options.extract:
+        from repro.synth.extract import extract_kernels
+
+        extraction = extract_kernels(
+            list(input_names),
+            minimized,
+            max_extractions=options.max_extractions,
+        )
+        env: dict[str, int] = {
+            pi: graph.pi_index[pi] for pi in input_names
+        }
+        # Later extraction rounds may rewrite earlier intermediates, so
+        # build them in dependency order, not creation order.
+        pending = dict(extraction.intermediates)
+        while pending:
+            progress = False
+            for inter_name in list(pending):
+                cover = pending[inter_name]
+                refs = [
+                    extraction.names[v]
+                    for v in range(cover.nvars)
+                    if any(c.literal(v) is not None for c in cover.cubes)
+                ]
+                if all(r in env for r in refs):
+                    expr = factor_cover(cover, extraction.names)
+                    env[inter_name] = graph.add_expr(expr, env)
+                    del pending[inter_name]
+                    progress = True
+            if not progress:
+                raise LogicError("cyclic kernel-extraction result")
+        for po, cover in extraction.outputs.items():
+            expr = factor_cover(cover, extraction.names)
+            graph.set_output(po, graph.add_expr(expr, env))
+        return graph
+
+    for po, cover in minimized.items():
+        expr = factor_cover(cover, input_names)
+        graph.set_output(po, graph.add_expr(expr))
+    return graph
+
+
+def synthesize(
+    input_names: list[str],
+    outputs: Mapping[str, Cover],
+    library: Library,
+    dont_cares: Optional[Mapping[str, Cover]] = None,
+    options: Optional[SynthesisOptions] = None,
+    name: str = "circuit",
+) -> Netlist:
+    """Full flow: two-level spec in, mapped netlist out."""
+    options = options or SynthesisOptions()
+    graph = build_subject_graph(
+        input_names, outputs, dont_cares, options, name
+    )
+    return technology_map(graph, library, options.map_options, name)

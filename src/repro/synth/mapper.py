@@ -1,0 +1,370 @@
+"""Cut-based technology mapping with dual-phase dynamic programming.
+
+The mapper covers an AND2/INV subject graph with library cells:
+
+1. **Cut enumeration** — k-feasible cuts per node (k = largest library cell
+   arity, capped), pruned to a per-node budget with dominated cuts removed.
+2. **Matching** — each cut's local function (a small truth table over its
+   leaves) is looked up in a function-indexed view of the library over all
+   leaf permutations.
+3. **Covering** — dynamic programming over both polarities of every node
+   (``best[n][phase]``), with inverter bridging between phases, so purely
+   NAND/NOR libraries map cleanly.  Costs are *area* (cell area) or
+   *power* (switched capacitance: pin loads weighted by leaf activities —
+   the low-power mapping objective of Tsui et al. [10]).
+4. **Construction** — the chosen cover is instantiated as a mapped
+   :class:`~repro.netlist.Netlist`, memoised so shared logic stays shared.
+
+DAG inputs are mapped with the classic tree-DP approximation (fanout cost
+is not de-duplicated during DP), which is how SIS-era mappers behaved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+from typing import Optional
+
+from repro.errors import MappingError
+from repro.library.cell import Cell, Library
+from repro.logic.truthtable import TruthTable
+from repro.netlist.netlist import Netlist
+from repro.netlist.simulate import popcount
+from repro.power.estimate import transition_probability
+from repro.synth.subject import AND2, CONST0, INV, PI, SubjectGraph
+
+AREA = "area"
+POWER = "power"
+DELAY = "delay"
+
+#: Hard ceiling on cut width (cells above this are never matched).
+MAX_CUT_SIZE = 5
+
+
+@dataclass(frozen=True)
+class MapOptions:
+    """Mapper configuration."""
+
+    mode: str = AREA  # "area", "power" or "delay"
+    #: Nominal output load assumed per gate during delay-mode DP (the real
+    #: load is unknown until the cover is chosen).
+    nominal_load: float = 1.0
+    cut_size: int = 4
+    max_cuts_per_node: int = 12
+    #: Patterns used to estimate node activities in power mode.
+    num_patterns: int = 2048
+    seed: int = 411
+    input_probs: Optional[dict] = None
+    po_load: float = 1.0
+    #: Small area weight mixed into power cost to break ties.
+    area_weight: float = 1e-6
+
+
+@dataclass
+class _Match:
+    cell: Cell
+    leaves: tuple[int, ...]  # node ids in cell pin order
+
+
+class _Mapper:
+    def __init__(self, graph: SubjectGraph, library: Library, options: MapOptions):
+        self.graph = graph
+        self.library = library
+        self.options = options
+        self.k = min(
+            MAX_CUT_SIZE,
+            options.cut_size,
+            max((c.num_inputs for c in library.matchable_cells()), default=2),
+        )
+        self.function_index = self._build_function_index()
+        self._match_cache: dict[tuple[int, int], tuple] = {}
+        self.inverter = library.inverter()
+        self.live = graph.reachable_from_outputs()
+        self.activity = self._node_activities() if options.mode == POWER else None
+
+    # ------------------------------------------------------------------
+    def _build_function_index(self) -> dict[tuple[int, int], Cell]:
+        index: dict[tuple[int, int], Cell] = {}
+        for cell in self.library.matchable_cells(max_inputs=self.k):
+            key = (cell.function.nvars, cell.function.bits)
+            existing = index.get(key)
+            if existing is None or cell.area < existing.area:
+                index[key] = cell
+        return index
+
+    def _node_activities(self) -> dict[int, float]:
+        from repro.netlist.simulate import random_patterns
+
+        patterns = random_patterns(
+            self.graph.pi_names,
+            self.options.num_patterns,
+            self.options.seed,
+            self.options.input_probs,
+        )
+        values = self.graph.simulate(patterns)
+        total = self.options.num_patterns
+        return {
+            node: transition_probability(popcount(values[node]) / total)
+            for node in self.live
+        }
+
+    # ------------------------------------------------------------------
+    # Cut enumeration
+    # ------------------------------------------------------------------
+    def _enumerate_cuts(self) -> dict[int, list[tuple[int, ...]]]:
+        cuts: dict[int, list[tuple[int, ...]]] = {}
+        limit = self.options.max_cuts_per_node
+        for node in self.live:
+            kind = self.graph.kind[node]
+            if kind in (PI, CONST0):
+                cuts[node] = [(node,)]
+                continue
+            fanins = self.graph.fanin[node]
+            if kind == INV:
+                merged = [cut for cut in cuts[fanins[0]]]
+            else:
+                merged = []
+                for ca in cuts[fanins[0]]:
+                    for cb in cuts[fanins[1]]:
+                        union = tuple(sorted(set(ca) | set(cb)))
+                        if len(union) <= self.k:
+                            merged.append(union)
+            merged.append((node,))
+            # Deduplicate, drop dominated cuts, keep the smallest.
+            unique = sorted(set(merged), key=lambda c: (len(c), c))
+            kept: list[tuple[int, ...]] = []
+            for cut in unique:
+                cut_set = set(cut)
+                if any(set(other) <= cut_set for other in kept):
+                    continue
+                kept.append(cut)
+                if len(kept) >= limit:
+                    break
+            cuts[node] = kept
+        return cuts
+
+    def _cut_function(self, node: int, cut: tuple[int, ...]) -> TruthTable:
+        """Local function of ``node`` over the cut leaves."""
+        leaf_index = {leaf: i for i, leaf in enumerate(cut)}
+        n = len(cut)
+        memo: dict[int, TruthTable] = {}
+
+        def build(current: int) -> TruthTable:
+            if current in leaf_index:
+                return TruthTable.variable(leaf_index[current], n)
+            cached = memo.get(current)
+            if cached is not None:
+                return cached
+            kind = self.graph.kind[current]
+            if kind == CONST0:
+                result = TruthTable.constant(False, n)
+            elif kind == INV:
+                result = ~build(self.graph.fanin[current][0])
+            elif kind == AND2:
+                a, b = self.graph.fanin[current]
+                result = build(a) & build(b)
+            else:
+                raise MappingError(f"cut leaves exclude PI node {current}")
+            memo[current] = result
+            return result
+
+        return build(node)
+
+    def _function_matches(
+        self, nvars: int, bits: int
+    ) -> tuple[tuple[object, tuple[int, ...], bool], ...]:
+        """(cell, permutation, negated) triples for one cut function.
+
+        Memoised per distinct function — most cuts in a circuit share a
+        handful of functions, so the ``nvars!`` permutation sweep runs once
+        per function instead of once per cut.
+        """
+        cached = self._match_cache.get((nvars, bits))
+        if cached is not None:
+            return cached
+        base = TruthTable(nvars, bits)
+        found = []
+        seen: set[tuple[str, tuple[int, ...], bool]] = set()
+        for perm in permutations(range(nvars)):
+            table = base.permute(perm)
+            for negated, tbits in ((False, table.bits), (True, (~table).bits)):
+                cell = self.function_index.get((nvars, tbits))
+                if cell is None:
+                    continue
+                key = (cell.name, perm, negated)
+                if key in seen:
+                    continue
+                seen.add(key)
+                found.append((cell, perm, negated))
+        result = tuple(found)
+        self._match_cache[(nvars, bits)] = result
+        return result
+
+    def _matches(self, node: int, cut: tuple[int, ...]) -> list[tuple[_Match, bool]]:
+        """(match, negated) pairs: cell computes the cut function or its
+        complement over some leaf permutation."""
+        if len(cut) == 1 and cut[0] == node:
+            return []  # trivial cut: identity, never a cell
+        base = self._cut_function(node, cut)
+        if base.is_constant():
+            return []
+        # Skip cuts with vacuous leaves: a smaller cut covers this case.
+        if len(base.support()) != len(cut):
+            return []
+        found: list[tuple[_Match, bool]] = []
+        for cell, perm, negated in self._function_matches(
+            len(cut), base.bits
+        ):
+            leaves = tuple(cut[perm[i]] for i in range(len(cut)))
+            found.append((_Match(cell, leaves), negated))
+        return found
+
+    # ------------------------------------------------------------------
+    # Cost model
+    # ------------------------------------------------------------------
+    def _cell_delay(self, cell: Cell) -> float:
+        """Linear-model delay under the nominal DP load."""
+        tau = max(p.tau for p in cell.pins)
+        resistance = max(p.resistance for p in cell.pins)
+        return tau + resistance * self.options.nominal_load
+
+    def _cell_cost(self, cell: Cell, leaves: tuple[int, ...]) -> float:
+        if self.options.mode == AREA:
+            return cell.area
+        if self.options.mode == DELAY:
+            return self._cell_delay(cell)
+        cost = self.options.area_weight * cell.area
+        for pin, leaf in zip(cell.pins, leaves):
+            cost += pin.load * self.activity[leaf]
+        return cost
+
+    def _combine_leaf_costs(self, cell_cost: float, leaf_costs) -> float:
+        """Delay composes by max over fanins, area/power by sum."""
+        if self.options.mode == DELAY:
+            return cell_cost + max(leaf_costs, default=0.0)
+        return cell_cost + sum(leaf_costs)
+
+    def _inverter_cost(self, node: int) -> float:
+        if self.options.mode == AREA:
+            return self.inverter.area
+        if self.options.mode == DELAY:
+            return self._cell_delay(self.inverter)
+        return (
+            self.options.area_weight * self.inverter.area
+            + self.inverter.pins[0].load * self.activity[node]
+        )
+
+    # ------------------------------------------------------------------
+    # Covering
+    # ------------------------------------------------------------------
+    def run(self, name: str) -> Netlist:
+        cuts = self._enumerate_cuts()
+        INF = float("inf")
+        best_cost: dict[tuple[int, int], float] = {}
+        best_choice: dict[tuple[int, int], object] = {}
+
+        for node in self.live:
+            kind = self.graph.kind[node]
+            if kind == PI:
+                best_cost[(node, 0)] = 0.0
+                best_choice[(node, 0)] = "pi"
+                best_cost[(node, 1)] = self._inverter_cost(node)
+                best_choice[(node, 1)] = "bridge"
+                continue
+            if kind == CONST0:
+                best_cost[(node, 0)] = 0.0
+                best_choice[(node, 0)] = ("const", 0)
+                best_cost[(node, 1)] = 0.0
+                best_choice[(node, 1)] = ("const", 1)
+                continue
+            if kind == INV and self.graph.kind[self.graph.fanin[node][0]] == CONST0:
+                # Structurally constant 1 (the only constant the graph's
+                # local simplifications cannot fold away).
+                best_cost[(node, 0)] = 0.0
+                best_choice[(node, 0)] = ("const", 1)
+                best_cost[(node, 1)] = 0.0
+                best_choice[(node, 1)] = ("const", 0)
+                continue
+            for phase in (0, 1):
+                best_cost[(node, phase)] = INF
+            for cut in cuts[node]:
+                for match, negated in self._matches(node, cut):
+                    phase = 1 if negated else 0
+                    cost = self._combine_leaf_costs(
+                        self._cell_cost(match.cell, match.leaves),
+                        [best_cost[(leaf, 0)] for leaf in match.leaves],
+                    )
+                    if cost < best_cost[(node, phase)]:
+                        best_cost[(node, phase)] = cost
+                        best_choice[(node, phase)] = match
+            # Inverter bridging between phases (one relaxation suffices).
+            for phase in (0, 1):
+                bridged = best_cost[(node, 1 - phase)] + self._inverter_cost(node)
+                if bridged < best_cost[(node, phase)]:
+                    best_cost[(node, phase)] = bridged
+                    best_choice[(node, phase)] = "bridge"
+            if best_cost[(node, 0)] == INF:
+                raise MappingError(
+                    f"no library cover for subject node {node} "
+                    f"({self.graph.kind[node]}); the library may lack basic gates"
+                )
+        return self._construct(name, best_choice)
+
+    # ------------------------------------------------------------------
+    # Netlist construction
+    # ------------------------------------------------------------------
+    def _construct(self, name: str, choice: dict) -> Netlist:
+        netlist = Netlist(name, self.library)
+        for pi in self.graph.pi_names:
+            netlist.add_input(pi)
+        built: dict[tuple[int, int], object] = {}
+
+        def build(node: int, phase: int):
+            key = (node, phase)
+            cached = built.get(key)
+            if cached is not None:
+                return cached
+            what = choice[key]
+            if what == "pi":
+                gate = netlist.gates[self.graph._pi_name_of[node]]
+            elif isinstance(what, tuple) and what[0] == "const":
+                value = bool(what[1])
+                cell = self.library.constant(value)
+                if cell is None:
+                    raise MappingError(
+                        f"library lacks a constant-{int(value)} cell"
+                    )
+                gate = netlist.add_gate(cell, [], name=netlist.fresh_name("tie"))
+            elif what == "bridge":
+                inner = build(node, 1 - phase)
+                gate = netlist.add_gate(
+                    self.inverter, [inner], name=netlist.fresh_name("m")
+                )
+            else:
+                match: _Match = what  # type: ignore[assignment]
+                fanins = [build(leaf, 0) for leaf in match.leaves]
+                gate = netlist.add_gate(
+                    match.cell, fanins, name=netlist.fresh_name("m")
+                )
+            built[key] = gate
+            return gate
+
+        for po, node in self.graph.outputs.items():
+            driver = build(node, 0)
+            netlist.set_output(po, driver, self.options.po_load)
+        netlist.sweep_dead()
+        return netlist
+
+
+def technology_map(
+    graph: SubjectGraph,
+    library: Library,
+    options: Optional[MapOptions] = None,
+    name: Optional[str] = None,
+) -> Netlist:
+    """Map a subject graph to the library; returns a mapped netlist."""
+    options = options or MapOptions()
+    if options.mode not in (AREA, POWER, DELAY):
+        raise MappingError(f"unknown mapping mode {options.mode!r}")
+    mapper = _Mapper(graph, library, options)
+    return mapper.run(name or graph.name)

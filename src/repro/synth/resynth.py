@@ -1,0 +1,65 @@
+"""Un-mapping and resynthesis of mapped netlists.
+
+``unmap`` decomposes every library gate of a mapped netlist back into the
+technology-independent AND2/INV subject graph (through each cell's genlib
+expression, with structural hashing re-sharing logic across gates);
+``resynthesize`` then runs technology mapping again — possibly against a
+different library or cost mode.
+
+Typical uses:
+
+- re-target a design to another library
+  (``resynthesize(netlist, new_library)``),
+- alternate mapping and POWDER in an improvement loop: POWDER's rewires
+  expose sharing the next mapping pass can exploit, and vice versa.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.library.cell import Library
+from repro.netlist.netlist import Netlist
+from repro.netlist.traverse import topological_order
+from repro.synth.mapper import MapOptions, technology_map
+from repro.synth.subject import SubjectGraph
+
+
+def unmap(netlist: Netlist, name: Optional[str] = None) -> SubjectGraph:
+    """Decompose a mapped netlist into a hashed AND2/INV subject graph."""
+    graph = SubjectGraph(name or netlist.name)
+    env: dict[str, int] = {}
+    for pi in netlist.input_names:
+        env[pi] = graph.add_pi(pi)
+    for gate in topological_order(netlist):
+        if gate.is_input:
+            continue
+        # Bind the cell's expression variables (pin names) to fanin nodes.
+        binding = {
+            pin: env[fanin.name]
+            for pin, fanin in zip(gate.cell.pin_names, gate.fanins)
+        }
+        env[gate.name] = graph.add_expr(gate.cell.expression, binding)
+    for po, driver in netlist.outputs.items():
+        graph.set_output(po, env[driver.name])
+    return graph
+
+
+def resynthesize(
+    netlist: Netlist,
+    library: Optional[Library] = None,
+    options: Optional[MapOptions] = None,
+    name: Optional[str] = None,
+) -> Netlist:
+    """Un-map and re-map (defaults: same library, power-driven cost).
+
+    Returns a new netlist; the input is untouched.
+    """
+    target_library = library or netlist.library
+    graph = unmap(netlist, name or netlist.name)
+    return technology_map(
+        graph,
+        target_library,
+        options or MapOptions(mode="power"),
+        name or netlist.name,
+    )

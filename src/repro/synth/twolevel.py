@@ -1,0 +1,130 @@
+"""Espresso-style heuristic two-level minimization.
+
+Implements the classic expand / irredundant / reduce loop over the cube
+algebra of :mod:`repro.logic.sop`:
+
+- **expand** — grow each cube literal-by-literal as long as it stays
+  disjoint from the OFF-set, then drop cubes contained in others,
+- **irredundant** — remove cubes whose onset is covered by the remaining
+  cover plus the don't-care set,
+- **reduce** — shrink each cube to the smallest cube still covering the
+  part of the ON-set only it covers, giving expand new room.
+
+This is a faithful heuristic minimizer, not a carbon copy of espresso's
+unate-recursive special cases; on the benchmark-sized covers used here it
+reaches the same fixed points espresso typically does.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.logic.sop import Cover, Cube
+
+
+def _off_set(on: Cover, dc: Optional[Cover]) -> Cover:
+    union = Cover(on.nvars, list(on.cubes) + (list(dc.cubes) if dc else []))
+    return union.complement()
+
+
+def _expand_cube(cube: Cube, off: Cover) -> Cube:
+    """Remove literals greedily while staying disjoint from the OFF-set."""
+    current = cube
+    # Try dropping literals in a deterministic order: variables whose removal
+    # frees the largest cube first (here: ascending variable index — the
+    # off-set check dominates quality anyway).
+    for var, _polarity in list(current.literals()):
+        trial = current.with_literal(var, None)
+        if not any(trial.intersect(off_cube) for off_cube in off.cubes):
+            current = trial
+    return current
+
+
+def expand(cover: Cover, off: Cover) -> Cover:
+    """Expand every cube against the OFF-set; drop contained cubes."""
+    expanded = Cover(
+        cover.nvars, [_expand_cube(cube, off) for cube in cover.cubes]
+    )
+    expanded.remove_contained()
+    return expanded
+
+
+def irredundant(cover: Cover, dc: Optional[Cover] = None) -> Cover:
+    """Remove cubes covered by the rest of the cover (plus don't-cares)."""
+    kept = list(cover.cubes)
+    # Try to drop biggest covers first so small essential cubes survive.
+    for cube in sorted(cover.cubes, key=lambda c: c.num_literals()):
+        if cube not in kept:
+            continue
+        others = [c for c in kept if c is not cube]
+        rest = Cover(
+            cover.nvars, others + (list(dc.cubes) if dc else [])
+        )
+        if rest.covers_cube(cube):
+            kept = others
+    return Cover(cover.nvars, kept)
+
+
+def _reduce_cube(cube: Cube, others: Cover, dc: Optional[Cover]) -> Cube:
+    """Shrink a cube to the supercube of what only it covers."""
+    rest = Cover(
+        others.nvars,
+        list(others.cubes) + (list(dc.cubes) if dc else []),
+    )
+    # The part of `cube` not covered by the rest: complement of the rest,
+    # cofactored by the cube.
+    residue = rest.cube_cofactor(cube).complement()
+    if residue.is_empty():
+        return cube  # fully redundant; irredundant() is responsible
+    # Smallest cube containing the residue (within `cube`).
+    final: Optional[Cube] = None
+    for res_cube in residue.cubes:
+        merged = res_cube.intersect(cube)
+        if merged is None:
+            continue
+        final = merged if final is None else final.supercube(merged)
+    return final if final is not None else cube
+
+
+def reduce_cover(cover: Cover, dc: Optional[Cover] = None) -> Cover:
+    """Reduce each cube against the others (reduce step)."""
+    cubes = list(cover.cubes)
+    result: list[Cube] = []
+    for i, cube in enumerate(cubes):
+        others = Cover(cover.nvars, result + cubes[i + 1 :])
+        result.append(_reduce_cube(cube, others, dc))
+    return Cover(cover.nvars, result)
+
+
+def cover_cost(cover: Cover) -> tuple[int, int]:
+    """(cube count, literal count) — the minimization objective."""
+    return (len(cover.cubes), cover.num_literals())
+
+
+def minimize_cover(
+    on: Cover,
+    dc: Optional[Cover] = None,
+    max_iterations: int = 8,
+) -> Cover:
+    """Heuristically minimize an ON-set cover under optional don't-cares.
+
+    The result covers ``on`` and stays inside ``on + dc``; equivalence is
+    checked structurally by the caller's tests, not here, to keep the hot
+    path lean.
+    """
+    if on.is_empty():
+        return Cover(on.nvars, [])
+    off = _off_set(on, dc)
+    if off.is_empty():
+        return Cover.constant(on.nvars, True)
+    best = irredundant(expand(on.copy(), off), dc)
+    best_cost = cover_cost(best)
+    for _ in range(max_iterations):
+        reduced = reduce_cover(best, dc)
+        candidate = irredundant(expand(reduced, off), dc)
+        cost = cover_cost(candidate)
+        if cost < best_cost:
+            best, best_cost = candidate, cost
+        else:
+            break
+    return best

@@ -1,0 +1,120 @@
+"""Arrival/required-time computation.
+
+The model is the paper's: a gate's delay is ``τ + R·C_out`` where ``C_out``
+is the total capacitance its stem drives.  τ and R are taken as the maximum
+over the cell's pins (pins are uniform in genlib ``PIN *`` libraries, so this
+is exact there and conservative otherwise).  Primary inputs arrive at time 0
+and primary outputs impose their required time on the fanin cone.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import TimingError
+from repro.netlist.netlist import Gate, Netlist
+from repro.netlist.traverse import topological_order
+
+_INF = float("inf")
+
+
+def gate_delay(netlist: Netlist, gate: Gate, extra_load: float = 0.0) -> float:
+    """``D(s) = τ(s) + R(s)·C(s)`` for a logic gate (0 for primary inputs)."""
+    if gate.is_input:
+        return 0.0
+    pins = gate.cell.pins
+    if not pins:  # constant driver: no signal transition, no delay
+        return 0.0
+    tau = max(p.tau for p in pins)
+    resistance = max(p.resistance for p in pins)
+    return tau + resistance * (netlist.load_of(gate) + extra_load)
+
+
+class TimingAnalysis:
+    """One full STA pass over a netlist; immutable snapshot semantics.
+
+    Construct a new instance after netlist edits (cheap: one topological
+    sweep).  ``required_limit`` is the delay constraint applied at every
+    primary output; ``None`` means "constrain to the computed circuit delay",
+    which makes all slacks non-negative by construction.
+    """
+
+    def __init__(self, netlist: Netlist, required_limit: Optional[float] = None):
+        self.netlist = netlist
+        self.arrival: dict[str, float] = {}
+        self.required: dict[str, float] = {}
+        self.delay_of: dict[str, float] = {}
+        self._run(required_limit)
+
+    def _run(self, required_limit: Optional[float]) -> None:
+        order = topological_order(self.netlist)
+        for gate in order:
+            d = gate_delay(self.netlist, gate)
+            self.delay_of[gate.name] = d
+            if gate.is_input or not gate.fanins:
+                self.arrival[gate.name] = d if not gate.is_input else 0.0
+            else:
+                self.arrival[gate.name] = d + max(
+                    self.arrival[f.name] for f in gate.fanins
+                )
+        self.circuit_delay = max(
+            (self.arrival[driver.name] for driver in self.netlist.outputs.values()),
+            default=0.0,
+        )
+        limit = required_limit if required_limit is not None else self.circuit_delay
+        self.required_limit = limit
+        for gate in order:
+            self.required[gate.name] = _INF
+        for driver in self.netlist.outputs.values():
+            self.required[driver.name] = min(self.required[driver.name], limit)
+        for gate in reversed(order):
+            req = self.required[gate.name]
+            for fanin in gate.fanins:
+                candidate = req - self.delay_of[gate.name]
+                if candidate < self.required[fanin.name]:
+                    self.required[fanin.name] = candidate
+
+    # ------------------------------------------------------------------
+    def slack(self, gate: Gate) -> float:
+        """Required minus arrival; negative when the constraint is violated."""
+        req = self.required[gate.name]
+        if req == _INF:
+            # Dead logic: no path to any output; never timing-critical.
+            return _INF
+        return req - self.arrival[gate.name]
+
+    def worst_slack(self) -> float:
+        return min(
+            (self.slack(g) for g in self.netlist.gates.values()),
+            default=0.0,
+        )
+
+    def meets(self, limit: float, tolerance: float = 1e-9) -> bool:
+        return self.circuit_delay <= limit + tolerance
+
+    def critical_path(self) -> list[Gate]:
+        """One maximal-arrival path, outputs back to inputs."""
+        if not self.netlist.outputs:
+            return []
+        end = max(
+            self.netlist.outputs.values(), key=lambda g: self.arrival[g.name]
+        )
+        path = [end]
+        gate = end
+        while gate.fanins:
+            gate = max(gate.fanins, key=lambda f: self.arrival[f.name])
+            path.append(gate)
+        path.reverse()
+        return path
+
+    def validate(self) -> None:
+        """Internal consistency checks (used by the test-suite)."""
+        for gate in self.netlist.gates.values():
+            for fanin in gate.fanins:
+                if (
+                    self.arrival[gate.name]
+                    < self.arrival[fanin.name] + self.delay_of[gate.name] - 1e-9
+                ):
+                    raise TimingError(
+                        f"arrival of {gate.name!r} precedes fanin {fanin.name!r}"
+                    )

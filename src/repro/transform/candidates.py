@@ -1,0 +1,395 @@
+"""Candidate-substitution generation (the paper's
+``get_candidate_substitutions``).
+
+Following refs [2, 5], candidates are found with simulation rather than
+explicit don't-care computation: a substitution can only be permissible if
+the substituting function agrees with the substituted signal on every
+pattern where that signal is *observable* at some primary output.  With the
+committed bit-parallel pattern set this is a handful of vector operations
+per (target, source) pair:
+
+    compatible(a <- f)  iff  (word(f) XOR word(a)) AND obs(a) == 0
+
+Survivors are true candidates in the paper's sense — *potentially*
+permissible; the exact ATPG check happens later, per selected move.
+
+To keep rounds bounded the generator ranks sources per target by the
+no-re-estimation gain ``PG_A + PG_B`` and keeps the best few; 3-signal
+substitutions (OS3/IS3) additionally restrict the pair search to a short
+list of low-activity sources and are only attempted where the dying region
+is worth at least one new gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import TransformError
+from repro.netlist.netlist import Gate, Netlist
+from repro.netlist.simulate import evaluate_cell
+from repro.netlist.traverse import topological_order, transitive_fanout
+from repro.power.estimate import PowerEstimator
+from repro.power.probability import SimulationProbability
+from repro.transform.gain import GainBreakdown, quick_gain
+from repro.transform.substitution import IS2, IS3, OS2, OS3, Substitution
+
+
+@dataclass(frozen=True)
+class CandidateOptions:
+    """Knobs for candidate generation."""
+
+    enable_os2: bool = True
+    enable_is2: bool = True
+    enable_os3: bool = True
+    enable_is3: bool = True
+    allow_inversion: bool = True
+    #: Best candidates kept per target signal/branch.
+    max_per_target: int = 6
+    #: Global cap on the returned candidate list.
+    max_total: int = 4000
+    #: Source-list length for the OS3/IS3 pair search.
+    pair_source_limit: int = 14
+    #: Cell names usable as the inserted OS3/IS3 gate (None = all 2-input).
+    os3_cells: Optional[tuple[str, ...]] = None
+    #: Drop candidates whose quick gain is below this (None keeps all).
+    min_quick_gain: Optional[float] = None
+    #: Also propose substitutions by library tie cells (redundancy removal)
+    #: when a signal is constant on every observable pattern.  Off by
+    #: default: the paper's move set is signal substitutions only.
+    constant_substitution: bool = False
+
+
+@dataclass
+class Candidate:
+    """A potentially permissible substitution with its quick gain."""
+
+    substitution: Substitution
+    gain: GainBreakdown
+
+    @property
+    def quick(self) -> float:
+        return self.gain.quick
+
+
+def _require_sim(estimator: PowerEstimator) -> SimulationProbability:
+    engine = estimator.engine
+    if not isinstance(engine, SimulationProbability):
+        raise TransformError(
+            "candidate generation needs a SimulationProbability engine"
+        )
+    return engine
+
+
+class _Workspace:
+    """Shared per-round data: stem value matrix and TFO id sets."""
+
+    def __init__(self, estimator: PowerEstimator):
+        self.estimator = estimator
+        self.netlist = estimator.netlist
+        self.engine = _require_sim(estimator)
+        self.sim = self.engine.sim
+        self.stems: list[Gate] = list(topological_order(self.netlist))
+        self.index = {g.name: i for i, g in enumerate(self.stems)}
+        self.matrix = np.stack(
+            [self.sim.value(g.name) for g in self.stems]
+        )  # (num stems, nwords)
+        self._tfo_cache: dict[str, frozenset[int]] = {}
+
+    def tfo_ids(self, gate: Gate) -> frozenset[int]:
+        cached = self._tfo_cache.get(gate.name)
+        if cached is None:
+            ids = {id(gate)}
+            ids.update(
+                id(g) for g in transitive_fanout(self.netlist, [gate])
+            )
+            cached = frozenset(ids)
+            self._tfo_cache[gate.name] = cached
+        return cached
+
+    def compatible_rows(
+        self, target_word: np.ndarray, obs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(direct, inverted) boolean masks over stems: agree on obs."""
+        diff = (self.matrix ^ target_word) & obs
+        direct = ~diff.any(axis=1)
+        inverted = ~((diff ^ obs).any(axis=1))
+        return direct, inverted
+
+
+def _legal_sources(
+    workspace: _Workspace, forbidden: frozenset[int], target: Gate
+) -> list[int]:
+    """Stem indices usable as sources (no cycles, not the target)."""
+    rows = []
+    for i, gate in enumerate(workspace.stems):
+        if id(gate) in forbidden or gate is target:
+            continue
+        rows.append(i)
+    return rows
+
+
+def _two_input_cells(netlist: Netlist, options: CandidateOptions):
+    library = netlist.library
+    if library is None:
+        return []
+    if options.os3_cells is not None:
+        cells = [library[name] for name in options.os3_cells]
+    else:
+        cells = library.cells_with_inputs(2)
+    # One cell per distinct function (cheapest) keeps the pair search lean.
+    by_function = {}
+    for cell in sorted(cells, key=lambda c: c.area):
+        by_function.setdefault(cell.function.bits, cell)
+    return list(by_function.values())
+
+
+def _keep_best(
+    candidates: list[Candidate], limit: int
+) -> list[Candidate]:
+    candidates.sort(key=lambda c: -c.quick)
+    return candidates[:limit]
+
+
+def _try_candidate(
+    estimator: PowerEstimator,
+    substitution: Substitution,
+    collected: list[Candidate],
+    min_quick: Optional[float],
+) -> None:
+    try:
+        gain = quick_gain(estimator, substitution)
+    except TransformError:
+        return  # e.g. source inside the dying region
+    if min_quick is not None and gain.quick < min_quick:
+        return
+    collected.append(Candidate(substitution, gain))
+
+
+def _stem_candidates(
+    workspace: _Workspace,
+    target: Gate,
+    options: CandidateOptions,
+) -> list[Candidate]:
+    """OS2/OS3 candidates for one stem."""
+    estimator = workspace.estimator
+    netlist = workspace.netlist
+    sim = workspace.sim
+    obs = sim.stem_observability(target)
+    va = sim.value(target.name)
+    forbidden = workspace.tfo_ids(target)
+    sources = _legal_sources(workspace, forbidden, target)
+    direct, inverted = workspace.compatible_rows(va, obs)
+
+    found: list[Candidate] = []
+    if options.constant_substitution:
+        _constant_candidates(
+            workspace, target, None, va, obs, options, found
+        )
+    if options.enable_os2:
+        for i in sources:
+            name = workspace.stems[i].name
+            if direct[i]:
+                _try_candidate(
+                    estimator,
+                    Substitution(OS2, target.name, name),
+                    found,
+                    options.min_quick_gain,
+                )
+            elif options.allow_inversion and inverted[i]:
+                _try_candidate(
+                    estimator,
+                    Substitution(OS2, target.name, name, invert1=True),
+                    found,
+                    options.min_quick_gain,
+                )
+
+    if options.enable_os3:
+        found.extend(
+            _pair_candidates(
+                workspace, target, None, va, obs, sources, options
+            )
+        )
+    return _keep_best(found, options.max_per_target)
+
+
+def _branch_candidates(
+    workspace: _Workspace,
+    target: Gate,
+    sink: Gate,
+    pin: int,
+    options: CandidateOptions,
+) -> list[Candidate]:
+    """IS2/IS3 candidates for one branch of ``target``."""
+    estimator = workspace.estimator
+    sim = workspace.sim
+    obs = sim.branch_observability(sink, pin)
+    va = sim.value(target.name)
+    forbidden = workspace.tfo_ids(sink)
+    sources = _legal_sources(workspace, forbidden, target)
+    direct, inverted = workspace.compatible_rows(va, obs)
+    branch = (sink.name, pin)
+
+    found: list[Candidate] = []
+    if options.constant_substitution:
+        _constant_candidates(
+            workspace, target, branch, va, obs, options, found
+        )
+    if options.enable_is2:
+        for i in sources:
+            name = workspace.stems[i].name
+            if name == target.name:
+                continue
+            if direct[i]:
+                _try_candidate(
+                    estimator,
+                    Substitution(IS2, target.name, name, branch=branch),
+                    found,
+                    options.min_quick_gain,
+                )
+            elif options.allow_inversion and inverted[i]:
+                _try_candidate(
+                    estimator,
+                    Substitution(
+                        IS2, target.name, name, invert1=True, branch=branch
+                    ),
+                    found,
+                    options.min_quick_gain,
+                )
+
+    if options.enable_is3:
+        found.extend(
+            _pair_candidates(
+                workspace, target, branch, va, obs, sources, options
+            )
+        )
+    return _keep_best(found, options.max_per_target)
+
+
+def _two_input_word(bits: int, wa: np.ndarray, wb: np.ndarray):
+    """Fast path for the common 2-input functions (pin order symmetric)."""
+    if bits == 0b1000:
+        return wa & wb
+    if bits == 0b1110:
+        return wa | wb
+    if bits == 0b0110:
+        return wa ^ wb
+    if bits == 0b0111:
+        return ~(wa & wb)
+    if bits == 0b0001:
+        return ~(wa | wb)
+    if bits == 0b1001:
+        return ~(wa ^ wb)
+    return None
+
+
+def _constant_candidates(
+    workspace: _Workspace,
+    target: Gate,
+    branch: Optional[tuple[str, int]],
+    va: np.ndarray,
+    obs: np.ndarray,
+    options: CandidateOptions,
+    found: list[Candidate],
+) -> None:
+    """Tie-cell substitutions where the signal is constant when observed."""
+    library = workspace.netlist.library
+    if library is None:
+        return
+    kind = OS2 if branch is None else IS2
+    for value in (0, 1):
+        if library.constant(bool(value)) is None:
+            continue
+        # Signal must equal `value` on every observable pattern.
+        mismatch = (~va & obs) if value else (va & obs)
+        if mismatch.any():
+            continue
+        _try_candidate(
+            workspace.estimator,
+            Substitution(kind, target.name, "", branch=branch, constant=value),
+            found,
+            options.min_quick_gain,
+        )
+
+
+def _pair_candidates(
+    workspace: _Workspace,
+    target: Gate,
+    branch: Optional[tuple[str, int]],
+    va: np.ndarray,
+    obs: np.ndarray,
+    sources: list[int],
+    options: CandidateOptions,
+) -> list[Candidate]:
+    """OS3/IS3: insert a new 2-input gate over a short source list."""
+    estimator = workspace.estimator
+    netlist = workspace.netlist
+    cells = _two_input_cells(netlist, options)
+    if not cells:
+        return []
+    # Rank sources by activity: low-activity signals make cheap drivers.
+    ranked = sorted(
+        sources,
+        key=lambda i: estimator.activity(workspace.stems[i]),
+    )[: options.pair_source_limit]
+    kind = OS3 if branch is None else IS3
+    found: list[Candidate] = []
+    for ai in range(len(ranked)):
+        wa = workspace.matrix[ranked[ai]]
+        for bi in range(ai + 1, len(ranked)):
+            wb = workspace.matrix[ranked[bi]]
+            name_a = workspace.stems[ranked[ai]].name
+            name_b = workspace.stems[ranked[bi]].name
+            for cell in cells:
+                word = _two_input_word(cell.function.bits, wa, wb)
+                if word is None:
+                    word = evaluate_cell(
+                        cell, [wa, wb], workspace.sim.nwords
+                    )
+                if ((word ^ va) & obs).any():
+                    continue
+                _try_candidate(
+                    estimator,
+                    Substitution(
+                        kind,
+                        target.name,
+                        name_a,
+                        branch=branch,
+                        source2=name_b,
+                        new_cell=cell.name,
+                    ),
+                    found,
+                    options.min_quick_gain,
+                )
+    return found
+
+
+def generate_candidates(
+    estimator: PowerEstimator,
+    options: CandidateOptions | None = None,
+) -> list[Candidate]:
+    """All simulation-compatible substitutions, best quick gain first."""
+    options = options or CandidateOptions()
+    workspace = _Workspace(estimator)
+    netlist = workspace.netlist
+    collected: list[Candidate] = []
+
+    if options.enable_os2 or options.enable_os3:
+        for target in workspace.stems:
+            if target.is_input or not target.fanout_count():
+                continue
+            collected.extend(_stem_candidates(workspace, target, options))
+
+    if options.enable_is2 or options.enable_is3:
+        for target in workspace.stems:
+            if target.fanout_count() < 2:
+                continue  # single-branch stems are covered by OS2
+            for sink, pin in list(target.fanouts):
+                collected.extend(
+                    _branch_candidates(workspace, target, sink, pin, options)
+                )
+
+    collected.sort(key=lambda c: -c.quick)
+    return collected[: options.max_total]

@@ -1,0 +1,235 @@
+"""Valid-clause analysis (the machinery of the paper's reference [5]).
+
+Rohfleisch/Wurth/Antreich relate permissible transformations to *valid
+clauses*: a disjunction of signal literals that evaluates to 1 on every
+input vector.  A valid 2-clause ``(l_a ∨ l_b)`` is an implication
+``!l_a → l_b``; combinations of valid clauses yield permissible signal
+substitutions (e.g. ``(a ∨ !b)`` and ``(!a ∨ b)`` valid together mean
+``a ≡ b`` everywhere, so one can replace the other).
+
+This module finds candidate clauses the way the paper does — cheap
+bit-parallel simulation proposes, ATPG disposes:
+
+- :func:`find_clause_candidates` — all 2-clauses no simulated pattern
+  violates (vectorised over the stem matrix),
+- :func:`prove_clause` — exact validity via PODEM justification of the
+  clause's complement (UNSAT = valid), with the usual abort semantics,
+- :func:`find_equivalent_signals` — proven signal equivalences /
+  antivalences, the strongest substitution candidates.
+
+The main optimizer reaches permissibility through the miter oracle instead
+(one check per move); this module exposes the clause view for analysis and
+for users building their own rewriting on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.atpg.podem import DEFAULT_BACKTRACK_LIMIT, justify
+from repro.errors import AtpgAbort
+from repro.netlist.netlist import Gate, Netlist
+from repro.netlist.simulate import SimState
+from repro.netlist.traverse import topological_order
+
+VALID = "valid"
+INVALID = "invalid"
+UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A signal or its complement."""
+
+    signal: str
+    positive: bool = True
+
+    def __str__(self) -> str:
+        return self.signal if self.positive else f"!{self.signal}"
+
+
+@dataclass(frozen=True)
+class Clause:
+    """A 2-literal disjunction ``(l_a ∨ l_b)``."""
+
+    a: Literal
+    b: Literal
+
+    def __str__(self) -> str:
+        return f"({self.a} + {self.b})"
+
+    def as_implication(self) -> str:
+        """Render as the equivalent implication."""
+        lhs = Literal(self.a.signal, not self.a.positive)
+        return f"{lhs} -> {self.b}"
+
+
+def _literal_word(sim: SimState, literal: Literal) -> np.ndarray:
+    word = sim.value(literal.signal)
+    return word if literal.positive else ~word
+
+
+def clause_holds_in_simulation(sim: SimState, clause: Clause) -> bool:
+    """True when no simulated pattern violates the clause."""
+    violation = ~(
+        _literal_word(sim, clause.a) | _literal_word(sim, clause.b)
+    )
+    return not violation.any()
+
+
+def find_clause_candidates(
+    sim: SimState,
+    signals: Optional[list[str]] = None,
+    max_clauses: int = 10000,
+    include_trivial: bool = False,
+) -> list[Clause]:
+    """All 2-clauses consistent with the simulated sample.
+
+    *Trivial* clauses — those valid because one literal subsumes the other
+    structurally (same signal twice) — are excluded by default.  The result
+    is simulation evidence only; run :func:`prove_clause` on anything that
+    matters.
+    """
+    netlist = sim.netlist
+    names = signals if signals is not None else [
+        g.name for g in topological_order(netlist)
+    ]
+    words = {name: sim.value(name) for name in names}
+    found: list[Clause] = []
+    for i, name_a in enumerate(names):
+        wa = words[name_a]
+        for name_b in names[i:]:
+            if name_a == name_b and not include_trivial:
+                continue
+            wb = words[name_b]
+            for pa in (True, False):
+                la = wa if pa else ~wa
+                for pb in (True, False):
+                    lb = wb if pb else ~wb
+                    if not (~(la | lb)).any():
+                        found.append(
+                            Clause(Literal(name_a, pa), Literal(name_b, pb))
+                        )
+                        if len(found) >= max_clauses:
+                            return found
+    return found
+
+
+def _build_probe(
+    netlist: Netlist, clause: Clause
+) -> tuple[Netlist, Gate]:
+    """Copy the netlist and add a probe = !l_a AND !l_b."""
+    probe_netlist = netlist.copy(netlist.name + "_clause")
+    library = probe_netlist.library
+    inv = library.inverter()
+
+    def literal_gate(literal: Literal) -> Gate:
+        gate = probe_netlist.gate(literal.signal)
+        if literal.positive:
+            # Need the complement for the violation probe.
+            return probe_netlist.add_gate(
+                inv, [gate], name=probe_netlist.fresh_name("probe_inv")
+            )
+        return gate
+
+    # violation = !l_a AND !l_b ; for a negative literal !x the complement
+    # is x itself.
+    not_a = literal_gate(clause.a)
+    not_b = literal_gate(clause.b)
+    and_cell = None
+    for cell in library.cells_with_inputs(2):
+        if cell.function.bits == 0b1000:
+            and_cell = cell
+            break
+    if and_cell is not None:
+        probe = probe_netlist.add_gate(
+            and_cell, [not_a, not_b], name=probe_netlist.fresh_name("probe")
+        )
+    else:
+        nand = next(
+            cell
+            for cell in library.cells_with_inputs(2)
+            if cell.function.bits == 0b0111
+        )
+        inner = probe_netlist.add_gate(
+            nand, [not_a, not_b], name=probe_netlist.fresh_name("probe")
+        )
+        probe = probe_netlist.add_gate(
+            inv, [inner], name=probe_netlist.fresh_name("probe")
+        )
+    probe_netlist.set_output("clause_violation", probe)
+    return probe_netlist, probe
+
+
+def prove_clause(
+    netlist: Netlist,
+    clause: Clause,
+    backtrack_limit: int = DEFAULT_BACKTRACK_LIMIT,
+) -> str:
+    """Exact clause validity: VALID, INVALID, or UNKNOWN (ATPG abort)."""
+    probe_netlist, probe = _build_probe(netlist, clause)
+    try:
+        result = justify(probe_netlist, probe, 1, backtrack_limit)
+    except AtpgAbort:
+        return UNKNOWN
+    return INVALID if result.testable else VALID
+
+
+@dataclass(frozen=True)
+class SignalRelation:
+    """A proven relation between two stems."""
+
+    a: str
+    b: str
+    antivalent: bool  # False: a == b everywhere; True: a == !b
+
+    def __str__(self) -> str:
+        op = "==" if not self.antivalent else "== !"
+        return f"{self.a} {op}{self.b}"
+
+
+def find_equivalent_signals(
+    netlist: Netlist,
+    sim: SimState,
+    backtrack_limit: int = DEFAULT_BACKTRACK_LIMIT,
+    max_pairs: int = 200,
+) -> list[SignalRelation]:
+    """Proven global equivalences/antivalences between stems.
+
+    These are the strongest OS2 candidates: substituting one side for the
+    other is permissible *without* any don't-care argument.
+    """
+    order = [g.name for g in topological_order(netlist)]
+    words = {name: sim.value(name) for name in order}
+    relations: list[SignalRelation] = []
+    checked = 0
+    for i, name_a in enumerate(order):
+        for name_b in order[i + 1 :]:
+            if checked >= max_pairs:
+                return relations
+            equal = np.array_equal(words[name_a], words[name_b])
+            anti = not equal and not (
+                (words[name_a] ^ ~words[name_b])
+            ).any()
+            if not equal and not anti:
+                continue
+            checked += 1
+            # a == b  <=>  (a + !b) and (!a + b) both valid.
+            polarity = not anti
+            c1 = Clause(
+                Literal(name_a, True), Literal(name_b, not polarity)
+            )
+            c2 = Clause(
+                Literal(name_a, False), Literal(name_b, polarity)
+            )
+            if (
+                prove_clause(netlist, c1, backtrack_limit) == VALID
+                and prove_clause(netlist, c2, backtrack_limit) == VALID
+            ):
+                relations.append(
+                    SignalRelation(name_a, name_b, antivalent=anti)
+                )
+    return relations

@@ -1,0 +1,65 @@
+"""Structural deduplication of mapped netlists.
+
+Technology mappers (ours included — the DP instantiates per (node, phase))
+can leave structurally identical gates: same cell, same ordered fanins.
+Merging them is the degenerate, always-permissible OS2 — no ATPG needed,
+because equal structure implies equal function.
+
+POWDER finds these merges through the regular candidate machinery *when
+they reduce power* (they usually do: one stem's load disappears).  This
+pass is the unconditional version: a cheap canonical-form sweep to a fixed
+point, exposed both standalone and as an optimizer pre-pass.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.netlist import Gate, Netlist
+from repro.netlist.traverse import topological_order
+
+
+def _signature(gate: Gate) -> tuple:
+    return (gate.cell.name, tuple(id(f) for f in gate.fanins))
+
+
+def merge_duplicate_gates(netlist: Netlist) -> list[tuple[str, str]]:
+    """Merge structurally identical gates to a fixed point.
+
+    Returns the (kept, removed) name pairs, in merge order.  Downstream
+    signatures change as merges land, so the sweep iterates until no two
+    gates share a signature.
+    """
+    merged: list[tuple[str, str]] = []
+    changed = True
+    while changed:
+        changed = False
+        seen: dict[tuple, Gate] = {}
+        for gate in topological_order(netlist):
+            if gate.is_input:
+                continue
+            signature = _signature(gate)
+            keeper = seen.get(signature)
+            if keeper is None:
+                seen[signature] = gate
+                continue
+            netlist.replace_fanouts(gate, keeper)
+            merged.append((keeper.name, gate.name))
+            changed = True
+        if changed:
+            netlist.sweep_dead()
+    return merged
+
+
+def count_duplicate_gates(netlist: Netlist) -> int:
+    """Number of gates that :func:`merge_duplicate_gates` would remove
+    in its first sweep (diagnostic)."""
+    seen: set[tuple] = set()
+    duplicates = 0
+    for gate in topological_order(netlist):
+        if gate.is_input:
+            continue
+        signature = _signature(gate)
+        if signature in seen:
+            duplicates += 1
+        else:
+            seen.add(signature)
+    return duplicates

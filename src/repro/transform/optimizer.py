@@ -1,0 +1,465 @@
+"""The POWDER optimization loop (Figure 5 of the paper).
+
+``power_optimize(netlist, ...)`` performs a greedy sequence of permissible
+substitutions, each reducing the estimated power, optionally under a delay
+constraint:
+
+1. ``power_estimate`` — build the estimator, storing all transition
+   probabilities (§3.5),
+2. ``get_candidate_substitutions`` — simulation-filtered candidates,
+3. ``select_power_red_subst`` — pre-select by ``PG_A + PG_B`` (no
+   re-estimation), re-estimate ``PG_C`` only for the short-list, pick the
+   best total,
+4. ``check_delay`` — discard moves that would break the constraint (§3.4),
+5. ``check_candidate`` — exact ATPG permissibility; aborts count as
+   rejection,
+6. ``perform_substitution`` + ``power_estimate_update`` — apply and
+   incrementally refresh the probabilities of the substituted signal's TFO.
+
+The inner loop runs up to ``repeat`` substitutions per candidate round; the
+outer loop regenerates candidates until no power-reducing substitution
+remains (or a configured budget runs out).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import NetlistError, TransformError
+from repro.netlist.netlist import Netlist
+from repro.netlist.verify import check_netlist
+from repro.power.estimate import PowerEstimator
+from repro.power.probability import SimulationProbability
+from repro.timing.analysis import TimingAnalysis
+from repro.timing.constraints import DelayConstraint, quick_delay_reject
+from repro.transform.candidates import (
+    Candidate,
+    CandidateOptions,
+    generate_candidates,
+)
+from repro.transform.gain import full_gain
+from repro.transform.permissible import (
+    ABORTED,
+    NOT_PERMISSIBLE,
+    check_candidate,
+)
+from repro.transform.report import MoveRecord, format_class_table
+from repro.transform.substitution import (
+    OS3,
+    IS3,
+    Substitution,
+    apply_substitution,
+    apply_to_copy,
+)
+
+
+@dataclass
+class OptimizeOptions:
+    """Configuration of one POWDER run."""
+
+    #: What each substitution must improve.  "power" is the paper;
+    #: "area" and "delay" reproduce the same ATPG-transformation engine in
+    #: the roles of the paper's companion works (redundancy
+    #: addition/removal for area [2], clause analysis for delay [5]).
+    objective: str = "power"
+    #: Substitutions applied per candidate-generation round (Figure 5).
+    repeat: int = 25
+    #: Absolute delay limit; ``None`` disables the timing check.
+    delay_limit: Optional[float] = None
+    #: Alternative: limit = initial delay × (1 + percent/100).
+    delay_slack_percent: Optional[float] = None
+    #: Candidate-generation knobs.
+    candidates: CandidateOptions = field(default_factory=CandidateOptions)
+    #: Random patterns for the probability engine.
+    num_patterns: int = 2048
+    seed: int = 2024
+    #: Primary-input signal probabilities (name -> P(=1)); default 0.5.
+    input_probs: Optional[dict] = None
+    #: Lag-1 Markov input descriptions (name -> TemporalSpec).  When set,
+    #: the optimizer measures activities with the temporal pair-simulation
+    #: engine instead of assuming temporal independence.
+    input_temporal_specs: Optional[dict] = None
+    #: ATPG decision budget per permissibility check.
+    backtrack_limit: int = 20000
+    #: Short-list size for the PG_C re-estimation during selection.
+    preselect: int = 10
+    #: Minimum accepted power gain (the paper stops at "no reduction").
+    min_gain: float = 1e-9
+    #: Early termination from §4.2: stop once a move's gain falls below
+    #: this fraction of the *initial* power ("one could terminate the
+    #: program when the power reduction by the current substitutions is
+    #: below a threshold").  ``None`` disables it.
+    gain_threshold_fraction: Optional[float] = None
+    #: Hard caps to bound runtime on large circuits.
+    max_moves: Optional[int] = None
+    max_rounds: int = 50
+    #: Structural self-check after every move (slows things; for tests).
+    self_check: bool = False
+    #: Print one line per applied substitution (long-run progress).
+    verbose: bool = False
+    #: Merge structurally identical gates before optimizing (always
+    #: permissible; keeps POWDER's budget for the interesting moves).  Off
+    #: by default: the paper's protocol starts from the mapped netlist
+    #: as-is.
+    dedupe_first: bool = False
+
+
+@dataclass
+class OptimizeResult:
+    """Everything the experiment harness needs about one run."""
+
+    netlist: Netlist
+    initial_power: float
+    final_power: float
+    initial_area: float
+    final_area: float
+    initial_delay: float
+    final_delay: float
+    moves: list[MoveRecord]
+    rounds: int
+    rejected_delay: int
+    rejected_not_permissible: int
+    rejected_aborted: int
+    rejected_stale: int
+    runtime_seconds: float
+    delay_limit: Optional[float]
+
+    @property
+    def power_reduction_percent(self) -> float:
+        if self.initial_power == 0:
+            return 0.0
+        return 100.0 * (1.0 - self.final_power / self.initial_power)
+
+    @property
+    def area_reduction_percent(self) -> float:
+        if self.initial_area == 0:
+            return 0.0
+        return 100.0 * (1.0 - self.final_area / self.initial_area)
+
+    @property
+    def delay_reduction_percent(self) -> float:
+        if self.initial_delay == 0:
+            return 0.0
+        return 100.0 * (1.0 - self.final_delay / self.initial_delay)
+
+    def summary(self) -> str:
+        lines = [
+            f"POWDER result for {self.netlist.name!r}:",
+            f"  power : {self.initial_power:10.4f} -> {self.final_power:10.4f}"
+            f"  ({self.power_reduction_percent:+.1f}% reduction)",
+            f"  area  : {self.initial_area:10.1f} -> {self.final_area:10.1f}"
+            f"  ({self.area_reduction_percent:+.1f}% reduction)",
+            f"  delay : {self.initial_delay:10.3f} -> {self.final_delay:10.3f}",
+            f"  moves : {len(self.moves)} in {self.rounds} rounds, "
+            f"{self.runtime_seconds:.2f}s",
+        ]
+        if self.moves:
+            lines.append(format_class_table(self.moves))
+        return "\n".join(lines)
+
+
+class PowerOptimizer:
+    """Stateful POWDER run over one netlist (modified in place)."""
+
+    def __init__(self, netlist: Netlist, options: Optional[OptimizeOptions] = None):
+        self.netlist = netlist
+        self.options = options or OptimizeOptions()
+        opts = self.options
+        if opts.objective not in ("power", "area", "delay"):
+            raise TransformError(
+                f"unknown optimization objective {opts.objective!r}"
+            )
+        self.deduped: list[tuple[str, str]] = []
+        if opts.dedupe_first:
+            from repro.transform.dedupe import merge_duplicate_gates
+
+            self.deduped = merge_duplicate_gates(netlist)
+        # power_estimate(netlist): committed probabilities for all gates.
+        if opts.input_temporal_specs is not None:
+            from repro.power.temporal import TemporalSimulationProbability
+
+            engine = TemporalSimulationProbability(
+                netlist,
+                num_patterns=opts.num_patterns,
+                seed=opts.seed,
+                input_specs=opts.input_temporal_specs,
+            )
+        else:
+            engine = SimulationProbability(
+                netlist,
+                num_patterns=opts.num_patterns,
+                seed=opts.seed,
+                input_probs=opts.input_probs,
+            )
+        self.estimator = PowerEstimator(netlist, engine)
+        initial_timing = TimingAnalysis(netlist)
+        self.initial_delay = initial_timing.circuit_delay
+        if opts.delay_limit is not None:
+            self.constraint: Optional[DelayConstraint] = DelayConstraint(
+                opts.delay_limit
+            )
+        elif opts.delay_slack_percent is not None:
+            self.constraint = DelayConstraint.from_netlist(
+                netlist, opts.delay_slack_percent
+            )
+        else:
+            self.constraint = None
+        self.timing = TimingAnalysis(
+            netlist,
+            self.constraint.limit if self.constraint else None,
+        )
+        self.moves: list[MoveRecord] = []
+        self._gain_floor = opts.min_gain
+        self.rejected_delay = 0
+        self.rejected_not_permissible = 0
+        self.rejected_aborted = 0
+        self.rejected_stale = 0
+        self._round = 0
+
+    # ------------------------------------------------------------------
+    # Figure-5 primitives
+    # ------------------------------------------------------------------
+    def get_candidate_substitutions(self) -> list[Candidate]:
+        return generate_candidates(self.estimator, self.options.candidates)
+
+    def _objective_score(self, candidate: Candidate) -> float:
+        """How much the configured objective improves (> floor = accept)."""
+        objective = self.options.objective
+        if objective == "power":
+            return candidate.gain.total
+        if objective == "area":
+            return -candidate.gain.area_delta
+        # Delay objective: exact trial STA (quick gains cannot see timing).
+        try:
+            trial, _applied = apply_to_copy(
+                self.netlist, candidate.substitution
+            )
+        except (TransformError, NetlistError):
+            return float("-inf")
+        return (
+            TimingAnalysis(self.netlist).circuit_delay
+            - TimingAnalysis(trial).circuit_delay
+        )
+
+    def _objective_floor(self) -> float:
+        if self.options.objective == "power":
+            return self._gain_floor
+        return 1e-9  # area/delay: any strict improvement
+
+    def select_power_red_subst(
+        self, pool: list[Candidate]
+    ) -> Optional[Candidate]:
+        """Pick the best candidate by the objective from the pool's head.
+
+        Examines candidates in quick-gain order, chunk by chunk: the first
+        chunk whose best score clears the floor wins.  Examined losers are
+        dropped from the pool, guaranteeing progress.
+        """
+        opts = self.options
+        while pool:
+            chunk: list[tuple[int, Candidate]] = []
+            index = 0
+            while index < len(pool) and len(chunk) < opts.preselect:
+                candidate = pool[index]
+                if not candidate.substitution.validate_against(self.netlist):
+                    self.rejected_stale += 1
+                    pool.pop(index)
+                    continue
+                chunk.append((index, candidate))
+                index += 1
+            if not chunk:
+                return None
+            best: Optional[tuple[int, Candidate, float]] = None
+            for position, candidate in chunk:
+                try:
+                    candidate.gain = full_gain(
+                        self.estimator, candidate.substitution
+                    )
+                except TransformError:
+                    self.rejected_stale += 1
+                    continue
+                score = self._objective_score(candidate)
+                if best is None or score > best[2]:
+                    best = (position, candidate, score)
+            if best is not None and best[2] > self._objective_floor():
+                pool.pop(best[0])
+                return best[1]
+            # Nothing improving in this chunk: discard and move on.
+            for position, _candidate in sorted(chunk, reverse=True):
+                pool.pop(position)
+        return None
+
+    def check_delay(self, substitution: Substitution) -> bool:
+        """True when the move respects the delay constraint (§3.4)."""
+        if self.constraint is None:
+            return True
+        netlist = self.netlist
+        target = netlist.gate(substitution.target)
+        if not substitution.is_constant:
+            # Tie cells arrive at t=0 and never slow down; the quick filter
+            # only applies to real signal sources.
+            substituting = netlist.gate(substitution.source1)
+            added_load = _added_load(netlist, substitution)
+            new_tau = new_res = 0.0
+            if substitution.kind in (OS3, IS3):
+                cell = netlist.library[substitution.new_cell]
+                new_tau = max(p.tau for p in cell.pins)
+                new_res = max(p.resistance for p in cell.pins)
+            if quick_delay_reject(
+                self.timing, substituting, target, added_load, new_tau, new_res
+            ):
+                return False
+        # Exact verdict on a trial copy.  A stale candidate can fail to
+        # apply (e.g. earlier moves made it cycle-creating); reject it.
+        try:
+            trial, _applied = apply_to_copy(netlist, substitution)
+        except (TransformError, NetlistError):
+            return False
+        return (
+            TimingAnalysis(trial).circuit_delay
+            <= self.constraint.limit + 1e-9
+        )
+
+    def check_candidate(self, substitution: Substitution) -> str:
+        result = check_candidate(
+            self.netlist,
+            substitution,
+            backtrack_limit=self.options.backtrack_limit,
+        )
+        return result.status
+
+    def perform_substitution(self, candidate: Candidate) -> MoveRecord:
+        power_before = self.estimator.total()
+        area_before = self.netlist.total_area()
+        applied = apply_substitution(self.netlist, candidate.substitution)
+        # power_estimate_update: refresh probabilities in the TFO region.
+        roots = [
+            self.netlist.gate(name)
+            for name in applied.resim_roots
+            if name in self.netlist.gates
+        ]
+        self.estimator.update_after_edit(roots)
+        self.timing = TimingAnalysis(
+            self.netlist,
+            self.constraint.limit if self.constraint else None,
+        )
+        if self.options.self_check:
+            check_netlist(self.netlist)
+        record = MoveRecord(
+            substitution=candidate.substitution,
+            predicted=candidate.gain,
+            measured_power_gain=power_before - self.estimator.total(),
+            measured_area_delta=self.netlist.total_area() - area_before,
+            round_index=self._round,
+            circuit_delay_after=self.timing.circuit_delay,
+        )
+        self.moves.append(record)
+        if self.options.verbose:
+            print(
+                f"  [{len(self.moves):4d}] {record.substitution}  "
+                f"gain {record.measured_power_gain:+.4f}  "
+                f"area {record.measured_area_delta:+.0f}"
+            )
+        return record
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> OptimizeResult:
+        opts = self.options
+        start = time.perf_counter()
+        initial_power = self.estimator.total()
+        initial_area = self.netlist.total_area()
+        # §4.2 early termination: lift the acceptance floor to a fraction
+        # of the initial power when requested.
+        self._gain_floor = opts.min_gain
+        if opts.gain_threshold_fraction is not None:
+            self._gain_floor = max(
+                self._gain_floor,
+                opts.gain_threshold_fraction * initial_power,
+            )
+
+        while True:
+            self._round += 1
+            pool = self.get_candidate_substitutions()
+            performed_this_round = 0
+            budget = opts.repeat
+            while budget > 0 and pool:
+                if opts.max_moves is not None and len(self.moves) >= opts.max_moves:
+                    break
+                good = self.select_power_red_subst(pool)
+                if good is None:
+                    break
+                if not self.check_delay(good.substitution):
+                    self.rejected_delay += 1
+                    continue
+                status = self.check_candidate(good.substitution)
+                if status == ABORTED:
+                    self.rejected_aborted += 1
+                    continue
+                if status == NOT_PERMISSIBLE:
+                    self.rejected_not_permissible += 1
+                    continue
+                self.perform_substitution(good)
+                performed_this_round += 1
+                budget -= 1
+            stop = (
+                performed_this_round == 0
+                or self._round >= opts.max_rounds
+                or (
+                    opts.max_moves is not None
+                    and len(self.moves) >= opts.max_moves
+                )
+            )
+            if stop:
+                break
+
+        final_timing = TimingAnalysis(self.netlist)
+        return OptimizeResult(
+            netlist=self.netlist,
+            initial_power=initial_power,
+            final_power=self.estimator.total(),
+            initial_area=initial_area,
+            final_area=self.netlist.total_area(),
+            initial_delay=self.initial_delay,
+            final_delay=final_timing.circuit_delay,
+            moves=self.moves,
+            rounds=self._round,
+            rejected_delay=self.rejected_delay,
+            rejected_not_permissible=self.rejected_not_permissible,
+            rejected_aborted=self.rejected_aborted,
+            rejected_stale=self.rejected_stale,
+            runtime_seconds=time.perf_counter() - start,
+            delay_limit=self.constraint.limit if self.constraint else None,
+        )
+
+
+def _added_load(netlist: Netlist, substitution: Substitution) -> float:
+    """Capacitance newly presented to the substituting signal."""
+    if substitution.kind in (OS3, IS3):
+        cell = netlist.library[substitution.new_cell]
+        return cell.pins[0].load
+    if substitution.is_output_substitution():
+        return netlist.load_of(netlist.gate(substitution.target))
+    sink_name, pin = substitution.branch
+    return netlist.gate(sink_name).cell.pins[pin].load
+
+
+def power_optimize(
+    netlist: Netlist,
+    options: Optional[OptimizeOptions] = None,
+    **kwargs,
+) -> OptimizeResult:
+    """Run POWDER on ``netlist`` (modified in place).
+
+    Keyword arguments are convenience overrides for
+    :class:`OptimizeOptions` fields, e.g. ``power_optimize(nl, repeat=10,
+    delay_slack_percent=0)``.
+    """
+    if options is None:
+        options = OptimizeOptions(**kwargs)
+    elif kwargs:
+        raise TypeError("pass either an OptimizeOptions or keyword overrides")
+    return PowerOptimizer(netlist, options).run()

@@ -1,0 +1,74 @@
+"""The exact permissibility check (the paper's ``check_candidate``).
+
+A substitution is permissible iff the modified circuit computes the same
+primary-output functions as the original — equivalently, iff the global
+function of the substituting signal lies in the permissible-function set of
+the substituted signal (§3.2).  The check:
+
+1. applies the substitution to a scratch copy,
+2. runs the equivalence oracle (simulation counterexample hunt, then the
+   ATPG justifier on the miter).
+
+Return values follow the paper exactly: ``PERMISSIBLE`` only on a *proof*;
+a counterexample yields ``NOT_PERMISSIBLE``; an ATPG abort also yields
+``ABORTED`` and must be treated as not permissible by callers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.atpg.podem import DEFAULT_BACKTRACK_LIMIT
+from repro.equiv.checker import EQUAL, NOT_EQUAL, check_equivalent
+from repro.errors import NetlistError, TransformError
+from repro.netlist.netlist import Netlist
+from repro.transform.substitution import Substitution, apply_to_copy
+
+PERMISSIBLE = "permissible"
+NOT_PERMISSIBLE = "not-permissible"
+ABORTED = "aborted"
+
+
+@dataclass
+class PermissibilityResult:
+    """Verdict of one check, with evidence."""
+
+    status: str
+    counterexample: Optional[dict[str, int]] = None
+    stage: str = ""
+
+    @property
+    def allowed(self) -> bool:
+        """True only for proven-permissible moves (abort = not allowed)."""
+        return self.status == PERMISSIBLE
+
+
+def check_candidate(
+    netlist: Netlist,
+    substitution: Substitution,
+    backtrack_limit: int = DEFAULT_BACKTRACK_LIMIT,
+    num_patterns: int = 512,
+    seed: int = 7,
+    bdd_node_limit: int = 200_000,
+) -> PermissibilityResult:
+    """Decide whether ``substitution`` preserves the netlist's I/O behaviour."""
+    try:
+        trial, _applied = apply_to_copy(netlist, substitution)
+    except (TransformError, NetlistError):
+        return PermissibilityResult(NOT_PERMISSIBLE, stage="apply")
+    verdict = check_equivalent(
+        netlist,
+        trial,
+        num_patterns=num_patterns,
+        seed=seed,
+        backtrack_limit=backtrack_limit,
+        bdd_node_limit=bdd_node_limit,
+    )
+    if verdict.status == EQUAL:
+        return PermissibilityResult(PERMISSIBLE, stage=verdict.stage)
+    if verdict.status == NOT_EQUAL:
+        return PermissibilityResult(
+            NOT_PERMISSIBLE, verdict.counterexample, stage=verdict.stage
+        )
+    return PermissibilityResult(ABORTED, stage=verdict.stage)

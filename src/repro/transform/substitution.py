@@ -1,0 +1,245 @@
+"""The substitution move model (Definitions 1 and 2 of the paper).
+
+A :class:`Substitution` is a *description* of a move — it names gates, so it
+can be evaluated against a netlist, applied to it, or applied to a copy for
+trial checks.  Classes:
+
+- ``OS2(a, b)`` — all fanout of stem ``a`` moves to signal ``b``,
+- ``IS2(a@sink.pin, b)`` — one branch of ``a`` moves to ``b``,
+- ``OS3(a, cell(b, c))`` — stem ``a`` replaced by a *new* library gate,
+- ``IS3(a@sink.pin, cell(b, c))`` — one branch replaced by a new gate.
+
+Substituting with the inverted signal (``invert1``) inserts the library's
+inverter in front; OS3/IS3 insert the named 2-input ``new_cell``.  Per the
+paper, only cells present in the library may be inserted.
+
+Application performs the rewiring, removes the logic that died (the paper's
+``Dom(a)`` region), and reports everything the caller needs to update power
+and timing state incrementally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import TransformError
+from repro.netlist.netlist import Gate, Netlist
+
+OS2 = "OS2"
+IS2 = "IS2"
+OS3 = "OS3"
+IS3 = "IS3"
+
+_CLASSES = (OS2, IS2, OS3, IS3)
+
+
+@dataclass(frozen=True)
+class Substitution:
+    """A candidate (or applied) signal substitution."""
+
+    kind: str  # one of OS2 / IS2 / OS3 / IS3
+    target: str  # substituted stem gate name ("a")
+    source1: str  # substituting signal ("b"); "" for constant substitution
+    invert1: bool = False
+    # For IS2/IS3: the substituted branch (sink gate name, pin index).
+    branch: Optional[tuple[str, int]] = None
+    # For OS3/IS3: second source and the inserted 2-input cell.
+    source2: Optional[str] = None
+    invert2: bool = False
+    new_cell: Optional[str] = None
+    #: OS2/IS2 substitution by a constant (redundancy removal): the target
+    #: or branch is rewired to a library tie cell driving this value.
+    constant: Optional[int] = None
+
+    def __post_init__(self):
+        if self.kind not in _CLASSES:
+            raise TransformError(f"unknown substitution class {self.kind!r}")
+        if self.kind in (IS2, IS3) and self.branch is None:
+            raise TransformError(f"{self.kind} requires a branch")
+        if self.kind in (OS2, OS3) and self.branch is not None:
+            raise TransformError(f"{self.kind} must not name a branch")
+        if self.kind in (OS3, IS3):
+            if self.source2 is None or self.new_cell is None:
+                raise TransformError(f"{self.kind} requires source2 and new_cell")
+        elif self.source2 is not None or self.new_cell is not None:
+            raise TransformError(f"{self.kind} must not carry source2/new_cell")
+        if self.constant is not None:
+            if self.kind not in (OS2, IS2):
+                raise TransformError("constant substitution is OS2/IS2 only")
+            if self.constant not in (0, 1):
+                raise TransformError("constant must be 0 or 1")
+            if self.source1 or self.invert1:
+                raise TransformError(
+                    "constant substitution must not name a source signal"
+                )
+        elif not self.source1:
+            raise TransformError("substitution requires a source signal")
+
+    # ------------------------------------------------------------------
+    def is_output_substitution(self) -> bool:
+        return self.kind in (OS2, OS3)
+
+    @property
+    def is_constant(self) -> bool:
+        return self.constant is not None
+
+    def source_names(self) -> tuple[str, ...]:
+        if self.constant is not None:
+            return ()
+        if self.source2 is None:
+            return (self.source1,)
+        return (self.source1, self.source2)
+
+    def validate_against(self, netlist: Netlist) -> bool:
+        """True when every named gate/branch still exists unchanged."""
+        if self.target not in netlist.gates:
+            return False
+        if any(s not in netlist.gates for s in self.source_names()):
+            return False
+        if self.constant is not None:
+            if netlist.library is None or netlist.library.constant(
+                bool(self.constant)
+            ) is None:
+                return False
+        if self.branch is not None:
+            sink_name, pin = self.branch
+            sink = netlist.gates.get(sink_name)
+            if sink is None or pin >= len(sink.fanins):
+                return False
+            if sink.fanins[pin].name != self.target:
+                return False
+        if self.new_cell is not None:
+            if netlist.library is None or self.new_cell not in netlist.library:
+                return False
+        return True
+
+    def __str__(self) -> str:
+        inv1 = "!" if self.invert1 else ""
+        src = str(self.constant) if self.constant is not None else (
+            f"{inv1}{self.source1}"
+        )
+        if self.kind == OS2:
+            return f"OS2({self.target} <- {src})"
+        if self.kind == IS2:
+            sink, pin = self.branch
+            return f"IS2({self.target}@{sink}.{pin} <- {src})"
+        inv2 = "!" if self.invert2 else ""
+        core = f"{self.new_cell}({inv1}{self.source1}, {inv2}{self.source2})"
+        if self.kind == OS3:
+            return f"OS3({self.target} <- {core})"
+        sink, pin = self.branch
+        return f"IS3({self.target}@{sink}.{pin} <- {core})"
+
+
+@dataclass
+class AppliedSubstitution:
+    """What actually happened when a substitution was performed."""
+
+    substitution: Substitution
+    #: Gates added (inverters for inverted sources, the OS3/IS3 cell).
+    added: list[str]
+    #: Logic gates removed by the dead sweep (the Dom(a) region).
+    removed: list[str]
+    #: Re-simulation roots: gates whose inputs changed.
+    resim_roots: list[str]
+    #: Net area change (added minus removed).
+    area_delta: float
+
+
+def _tie_gate(netlist: Netlist, value: int, added: list[str]) -> Gate:
+    """Find or create a library tie gate driving the constant ``value``."""
+    cell = netlist.library.constant(bool(value))
+    for gate in netlist.logic_gates():
+        if gate.cell is cell:
+            return gate
+    gate = netlist.add_gate(cell, [], name=netlist.fresh_name(f"powder_tie{value}"))
+    added.append(gate.name)
+    return gate
+
+
+def _effective_source(
+    netlist: Netlist, source: Gate, invert: bool, added: list[str]
+) -> Gate:
+    """The signal to wire in: ``source`` or a fresh inverter on it."""
+    if not invert:
+        return source
+    if netlist.library is None:
+        raise TransformError("inverted substitution requires a library")
+    inv_cell = netlist.library.inverter()
+    gate = netlist.add_gate(
+        inv_cell, [source], name=netlist.fresh_name("powder_inv")
+    )
+    added.append(gate.name)
+    return gate
+
+
+def apply_substitution(
+    netlist: Netlist, substitution: Substitution
+) -> AppliedSubstitution:
+    """Perform the substitution in place.
+
+    Raises :class:`TransformError` when the move no longer matches the
+    netlist (stale candidate) or would create a cycle.
+    """
+    if not substitution.validate_against(netlist):
+        raise TransformError(f"stale substitution {substitution}")
+    target = netlist.gate(substitution.target)
+    area_before = netlist.total_area()
+    added: list[str] = []
+
+    if substitution.is_constant:
+        substituting = _tie_gate(netlist, substitution.constant, added)
+    elif substitution.kind in (OS3, IS3):
+        source = netlist.gate(substitution.source1)
+        source2 = netlist.gate(substitution.source2)
+        eff1 = _effective_source(netlist, source, substitution.invert1, added)
+        eff2 = _effective_source(netlist, source2, substitution.invert2, added)
+        cell = netlist.library[substitution.new_cell]
+        if cell.num_inputs != 2:
+            raise TransformError(
+                f"OS3/IS3 cell {cell.name!r} is not a 2-input gate"
+            )
+        new_gate = netlist.add_gate(
+            cell, [eff1, eff2], name=netlist.fresh_name("powder_g")
+        )
+        added.append(new_gate.name)
+        substituting = new_gate
+    else:
+        source = netlist.gate(substitution.source1)
+        substituting = _effective_source(
+            netlist, source, substitution.invert1, added
+        )
+
+    resim_roots: list[str] = list(added)
+    if substitution.is_output_substitution():
+        netlist.replace_fanouts(target, substituting)
+        resim_roots.extend(
+            sink.name for sink, _pin in substituting.fanouts
+        )
+    else:
+        sink_name, pin = substitution.branch
+        sink = netlist.gate(sink_name)
+        netlist.replace_fanin(sink, pin, substituting)
+        resim_roots.append(sink.name)
+
+    removed = netlist.sweep_dead()
+    # A removed gate cannot be a re-simulation root.
+    live_roots = [n for n in dict.fromkeys(resim_roots) if n in netlist.gates]
+    area_delta = netlist.total_area() - area_before
+    return AppliedSubstitution(
+        substitution=substitution,
+        added=[n for n in added if n in netlist.gates],
+        removed=removed,
+        resim_roots=live_roots,
+        area_delta=area_delta,
+    )
+
+
+def apply_to_copy(
+    netlist: Netlist, substitution: Substitution, name_suffix: str = "_trial"
+) -> tuple[Netlist, AppliedSubstitution]:
+    """Apply to a fresh copy (original untouched); for trial checks."""
+    trial = netlist.copy(netlist.name + name_suffix)
+    applied = apply_substitution(trial, substitution)
+    return trial, applied

@@ -1,0 +1,56 @@
+"""Tests for the stuck-at fault model."""
+
+import pytest
+
+from repro.atpg.fault import StuckAtFault, all_faults, all_stem_faults
+from repro.errors import NetlistError
+
+
+class TestStuckAtFault:
+    def test_bad_value(self):
+        with pytest.raises(NetlistError):
+            StuckAtFault("g", 2)
+
+    def test_stem_str(self):
+        assert str(StuckAtFault("g", 0)) == "g/sa0"
+
+    def test_branch_str(self):
+        f = StuckAtFault("g", 1, branch=("h", 2))
+        assert str(f) == "g->h.2/sa1"
+
+    def test_resolve_stem(self, figure2):
+        stem, branch = StuckAtFault("d", 0).resolve(figure2)
+        assert stem.name == "d"
+        assert branch is None
+
+    def test_resolve_branch(self, figure2):
+        d = figure2.gate("d")
+        pin = [i for i, g in enumerate(d.fanins) if g.name == "a"][0]
+        fault = StuckAtFault("a", 1, branch=("d", pin))
+        stem, branch = fault.resolve(figure2)
+        assert stem.name == "a"
+        assert branch == (d, pin)
+
+    def test_resolve_stale_branch(self, figure2):
+        fault = StuckAtFault("a", 1, branch=("f", 0))  # f pin 0 is d, not a
+        with pytest.raises(NetlistError):
+            fault.resolve(figure2)
+
+
+class TestFaultLists:
+    def test_stem_fault_count(self, figure2):
+        faults = all_stem_faults(figure2)
+        assert len(faults) == 2 * len(figure2.gates)
+
+    def test_all_faults_adds_branches(self, figure2):
+        faults = all_faults(figure2)
+        stem_count = 2 * len(figure2.gates)
+        # Multi-fanout stems: a (2 gate branches), b (2).
+        branch_count = 2 * (2 + 2)
+        assert len(faults) == stem_count + branch_count
+
+    def test_single_fanout_has_no_branch_faults(self, figure2):
+        faults = all_faults(figure2)
+        assert not any(
+            f.branch is not None and f.gate_name == "d" for f in faults
+        )

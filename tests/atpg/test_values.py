@@ -1,0 +1,98 @@
+"""Tests for multi-valued cell evaluation."""
+
+from repro.atpg.values import (
+    ONE,
+    X,
+    ZERO,
+    can_output,
+    eval3,
+    eval5,
+    is_d_or_dbar,
+    pin_settings_allowing,
+    symbol5,
+)
+
+
+class TestEval3:
+    def test_binary_inputs(self, lib):
+        nand = lib["nand2"]
+        assert eval3(nand, [ONE, ONE]) == ZERO
+        assert eval3(nand, [ZERO, ONE]) == ONE
+
+    def test_controlling_x(self, lib):
+        # NAND with a 0 input is 1 regardless of the X.
+        assert eval3(lib["nand2"], [ZERO, X]) == ONE
+        # AND with a 0 input is 0.
+        assert eval3(lib["and2"], [ZERO, X]) == ZERO
+
+    def test_non_controlling_x(self, lib):
+        assert eval3(lib["nand2"], [ONE, X]) == X
+        assert eval3(lib["xor2"], [ONE, X]) == X
+
+    def test_all_x(self, lib):
+        assert eval3(lib["aoi21"], [X, X, X]) == X
+
+    def test_complex_cell_partial(self, lib):
+        # aoi21: O = !(a*b + c); c = 1 forces 0.
+        assert eval3(lib["aoi21"], [X, X, ONE]) == ZERO
+
+    def test_cache_consistency(self, lib):
+        first = eval3(lib["xor2"], [X, ONE])
+        second = eval3(lib["xor2"], [X, ONE])
+        assert first == second == X
+
+
+class TestCanOutput:
+    def test_possible(self, lib):
+        assert can_output(lib["and2"], [X, ONE], ONE)
+        assert can_output(lib["and2"], [X, ONE], ZERO)
+
+    def test_impossible(self, lib):
+        assert not can_output(lib["and2"], [ZERO, X], ONE)
+
+
+class TestPinSettings:
+    def test_and_needs_one(self, lib):
+        settings = pin_settings_allowing(lib["and2"], [X, ONE], 0, ONE)
+        assert settings == [ONE]
+
+    def test_nand_zero_forces(self, lib):
+        settings = pin_settings_allowing(lib["nand2"], [X, X], 0, ONE)
+        # Either value still allows output 1 (other input X).
+        assert set(settings) == {ZERO, ONE}
+
+    def test_no_setting_possible(self, lib):
+        settings = pin_settings_allowing(lib["and2"], [X, ZERO], 0, ONE)
+        assert settings == []
+
+
+class TestEval5:
+    def test_d_propagation_through_inverter(self, lib):
+        inv = lib["inv1"]
+        d = (ONE, ZERO)
+        out = eval5(inv, [d])
+        assert out == (ZERO, ONE)  # D'
+        assert is_d_or_dbar(out)
+
+    def test_d_blocked_by_controlling(self, lib):
+        out = eval5(lib["and2"], [(ONE, ZERO), (ZERO, ZERO)])
+        assert out == (ZERO, ZERO)
+
+    def test_d_through_and_with_one(self, lib):
+        out = eval5(lib["and2"], [(ONE, ZERO), (ONE, ONE)])
+        assert out == (ONE, ZERO)
+
+    def test_x_mixes(self, lib):
+        # Good side: 1 & X = X; faulty side: 0 & X = 0.
+        out = eval5(lib["and2"], [(ONE, ZERO), (X, X)])
+        assert out == (X, ZERO)
+
+
+class TestSymbols:
+    def test_symbols(self):
+        assert symbol5((ZERO, ZERO)) == "0"
+        assert symbol5((ONE, ONE)) == "1"
+        assert symbol5((X, X)) == "X"
+        assert symbol5((ONE, ZERO)) == "D"
+        assert symbol5((ZERO, ONE)) == "D'"
+        assert symbol5((X, ONE)) == "(2,1)"

@@ -1,0 +1,204 @@
+"""Functional correctness of the benchmark generators."""
+
+import pytest
+
+from repro.bench.functions import (
+    adder_exprs,
+    alu_exprs,
+    comparator_exprs,
+    multiplier_exprs,
+    mux_tree_exprs,
+    parity_exprs,
+    sym_exprs,
+    sym_pla,
+    weight_exprs,
+    weight_pla,
+)
+
+
+def eval_bundle(bundle, assignment):
+    return {
+        po: expr.evaluate(assignment) for po, expr in bundle.outputs.items()
+    }
+
+
+def assignment_from_bits(names, value):
+    return {name: (value >> i) & 1 for i, name in enumerate(names)}
+
+
+class TestWeight:
+    def test_weight_pla(self):
+        pla = weight_pla("w", 5)
+        for m in range(32):
+            weight = bin(m).count("1")
+            for j, po in enumerate(pla.output_names):
+                assert pla.on[po].contains_minterm(m) == bool(
+                    (weight >> j) & 1
+                )
+
+    @pytest.mark.parametrize("linear", [False, True])
+    def test_weight_exprs(self, linear):
+        bundle = weight_exprs("w", 6)
+        for m in range(64):
+            env = assignment_from_bits(bundle.input_names, m)
+            outs = eval_bundle(bundle, env)
+            got = sum(outs[f"s{j}"] << j for j in range(len(outs)))
+            assert got == bin(m).count("1"), m
+
+
+class TestSym:
+    def test_sym_pla(self):
+        pla = sym_pla("s", 6, 2, 4)
+        for m in range(64):
+            want = 2 <= bin(m).count("1") <= 4
+            assert pla.on["f"].contains_minterm(m) == want
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{}, {"linear": True}, {"linear": True, "reverse": True}],
+    )
+    def test_sym_exprs_variants(self, kwargs):
+        bundle = sym_exprs("s", 7, 2, 5, **kwargs)
+        for m in range(128):
+            env = assignment_from_bits(bundle.input_names, m)
+            want = 2 <= bin(m).count("1") <= 5
+            assert eval_bundle(bundle, env)["f"] == int(want), m
+
+    def test_9sym_window(self):
+        bundle = sym_exprs("9sym", 9, 3, 6)
+        for m in (0, 0b111, 0b111111, 0b1111111, 0b111111111):
+            env = assignment_from_bits(bundle.input_names, m)
+            want = 3 <= bin(m).count("1") <= 6
+            assert eval_bundle(bundle, env)["f"] == int(want)
+
+
+class TestComparator:
+    def test_exhaustive_small(self):
+        bundle = comparator_exprs("c", 3)
+        for a in range(8):
+            for b in range(8):
+                env = {}
+                for i in range(3):
+                    env[f"a{i}"] = (a >> i) & 1
+                    env[f"b{i}"] = (b >> i) & 1
+                outs = eval_bundle(bundle, env)
+                assert outs["gt"] == int(a > b), (a, b)
+                assert outs["lt"] == int(a < b), (a, b)
+                assert outs["eq"] == int(a == b), (a, b)
+
+
+class TestArithmetic:
+    def test_adder(self):
+        bundle = adder_exprs("add", 4, carry_in=True)
+        for a in range(16):
+            for b in range(0, 16, 3):
+                for cin in (0, 1):
+                    env = {"cin": cin}
+                    for i in range(4):
+                        env[f"a{i}"] = (a >> i) & 1
+                        env[f"b{i}"] = (b >> i) & 1
+                    outs = eval_bundle(bundle, env)
+                    total = sum(outs[f"s{i}"] << i for i in range(4))
+                    total |= outs["cout"] << 4
+                    assert total == a + b + cin, (a, b, cin)
+
+    def test_adder_no_carry_in(self):
+        bundle = adder_exprs("add", 3)
+        env = {f"a{i}": 1 for i in range(3)}
+        env.update({f"b{i}": 1 for i in range(3)})
+        outs = eval_bundle(bundle, env)
+        total = sum(outs[f"s{i}"] << i for i in range(3)) | (outs["cout"] << 3)
+        assert total == 14
+
+    def test_multiplier(self):
+        bundle = multiplier_exprs("mul", 3)
+        for a in range(8):
+            for b in range(8):
+                env = {}
+                for i in range(3):
+                    env[f"a{i}"] = (a >> i) & 1
+                    env[f"b{i}"] = (b >> i) & 1
+                outs = eval_bundle(bundle, env)
+                product = sum(outs[f"p{k}"] << k for k in range(6))
+                assert product == a * b, (a, b)
+
+    def test_alu_ops(self):
+        bundle = alu_exprs("alu", 3)
+        cases = {
+            (0, 0): lambda a, b: (a + b) & 0b1111,
+            (1, 0): lambda a, b: a & b,
+            (0, 1): lambda a, b: a | b,
+            (1, 1): lambda a, b: a ^ b,
+        }
+        for (op0, op1), func in cases.items():
+            for a in range(8):
+                for b in range(0, 8, 2):
+                    env = {"op0": op0, "op1": op1}
+                    for i in range(3):
+                        env[f"a{i}"] = (a >> i) & 1
+                        env[f"b{i}"] = (b >> i) & 1
+                    outs = eval_bundle(bundle, env)
+                    got = sum(outs[f"r{i}"] << i for i in range(3))
+                    want = func(a, b)
+                    if (op0, op1) == (0, 0):
+                        got |= outs["cout"] << 3
+                        want = a + b
+                    assert got == want, (op0, op1, a, b)
+
+
+class TestControl:
+    def test_parity(self):
+        bundle = parity_exprs("p", 5)
+        for m in range(32):
+            env = assignment_from_bits(bundle.input_names, m)
+            assert eval_bundle(bundle, env)["p"] == bin(m).count("1") % 2
+
+    def test_mux_tree(self):
+        bundle = mux_tree_exprs("m", 2)
+        for data in range(16):
+            for sel in range(4):
+                env = {}
+                for i in range(4):
+                    env[f"d{i}"] = (data >> i) & 1
+                for j in range(2):
+                    env[f"s{j}"] = (sel >> j) & 1
+                assert eval_bundle(bundle, env)["y"] == (data >> sel) & 1
+
+
+class TestEncoderDecoder:
+    def test_priority_encoder(self):
+        from repro.bench.functions import priority_encoder_exprs
+
+        bundle = priority_encoder_exprs("pe", 6)
+        for m in range(64):
+            env = assignment_from_bits(bundle.input_names, m)
+            outs = eval_bundle(bundle, env)
+            if m == 0:
+                assert outs["valid"] == 0
+                continue
+            assert outs["valid"] == 1
+            index = sum(outs[f"e{j}"] << j for j in range(3))
+            assert index == m.bit_length() - 1, m
+
+    def test_decoder_with_enable(self):
+        from repro.bench.functions import decoder_exprs
+
+        bundle = decoder_exprs("dec", 3)
+        for sel in range(8):
+            for en in (0, 1):
+                env = {"en": en}
+                for j in range(3):
+                    env[f"s{j}"] = (sel >> j) & 1
+                outs = eval_bundle(bundle, env)
+                for value in range(8):
+                    want = int(en and value == sel)
+                    assert outs[f"d{value}"] == want, (sel, en, value)
+
+    def test_decoder_without_enable(self):
+        from repro.bench.functions import decoder_exprs
+
+        bundle = decoder_exprs("dec", 2, enable=False)
+        env = {"s0": 1, "s1": 0}
+        outs = eval_bundle(bundle, env)
+        assert outs["d1"] == 1
+        assert sum(outs.values()) == 1

@@ -1,0 +1,116 @@
+"""Tests for PLA parsing, writing, and random generation."""
+
+import pytest
+
+from repro.bench.pla import Pla, parse_pla, random_pla, write_pla
+from repro.errors import ParseError
+from repro.logic.sop import Cover, Cube
+
+SAMPLE = """
+# sample
+.i 3
+.o 2
+.ilb x y z
+.ob f g
+.p 3
+1-0 10
+-11 01
+111 11
+.e
+"""
+
+
+class TestParse:
+    def test_basic(self):
+        pla = parse_pla(SAMPLE, "sample")
+        assert pla.num_inputs == 3
+        assert pla.num_outputs == 2
+        assert pla.input_names == ["x", "y", "z"]
+        assert len(pla.on["f"].cubes) == 2
+        assert len(pla.on["g"].cubes) == 2
+
+    def test_default_names(self):
+        pla = parse_pla(".i 2\n.o 1\n11 1\n.e\n")
+        assert pla.input_names == ["x0", "x1"]
+        assert pla.output_names == ["y0"]
+
+    def test_dont_care_outputs(self):
+        pla = parse_pla(".i 2\n.o 1\n.type fd\n11 1\n00 -\n.e\n")
+        assert "y0" in pla.dc
+        assert len(pla.dc["y0"].cubes) == 1
+
+    def test_fr_type_ignores_offset_rows(self):
+        pla = parse_pla(".i 2\n.o 1\n.type fr\n11 1\n00 0\n.e\n")
+        assert len(pla.on["y0"].cubes) == 1
+
+    def test_no_space_rows(self):
+        pla = parse_pla(".i 2\n.o 1\n11 1\n.e\n")
+        assert pla.on["y0"].cubes[0] == Cube.from_string("11")
+
+    def test_missing_io_counts(self):
+        with pytest.raises(ParseError):
+            parse_pla("11 1\n")
+
+    def test_bad_row_width(self):
+        with pytest.raises(ParseError):
+            parse_pla(".i 3\n.o 1\n11 1\n.e\n")
+
+    def test_bad_output_flag(self):
+        with pytest.raises(ParseError):
+            parse_pla(".i 2\n.o 1\n11 x\n.e\n")
+
+    def test_label_count_mismatch(self):
+        with pytest.raises(ParseError):
+            parse_pla(".i 2\n.o 1\n.ilb a\n11 1\n.e\n")
+
+
+class TestWrite:
+    def test_roundtrip(self):
+        pla = parse_pla(SAMPLE, "sample")
+        text = write_pla(pla)
+        again = parse_pla(text, "sample")
+        for po in pla.output_names:
+            assert again.on[po].to_truthtable() == pla.on[po].to_truthtable()
+
+    def test_roundtrip_with_dc(self):
+        pla = parse_pla(".i 2\n.o 1\n11 1\n0- -\n.e\n")
+        again = parse_pla(write_pla(pla))
+        assert again.dc["y0"].to_truthtable() == pla.dc["y0"].to_truthtable()
+
+    def test_shared_cubes_one_row(self):
+        pla = Pla("t", ["a", "b"], ["f", "g"])
+        cube = Cube.from_string("11")
+        pla.on["f"] = Cover(2, [cube])
+        pla.on["g"] = Cover(2, [cube])
+        text = write_pla(pla)
+        rows = [l for l in text.splitlines() if not l.startswith(".")]
+        assert rows == ["11 11"]
+
+
+class TestRandom:
+    def test_deterministic(self):
+        a = random_pla("r", 8, 4, 20, seed=3)
+        b = random_pla("r", 8, 4, 20, seed=3)
+        for po in a.output_names:
+            assert a.on[po].to_truthtable().bits == b.on[po].to_truthtable().bits
+
+    def test_seed_changes_result(self):
+        a = random_pla("r", 8, 4, 20, seed=3)
+        b = random_pla("r", 8, 4, 20, seed=4)
+        assert any(
+            a.on[po].to_truthtable() != b.on[po].to_truthtable()
+            for po in a.output_names
+        )
+
+    def test_shapes(self):
+        pla = random_pla("r", 10, 5, 30, seed=1)
+        assert pla.num_inputs == 10
+        assert pla.num_outputs == 5
+        pla.validate()
+        assert pla.total_cubes() > 0
+
+    def test_literal_bounds(self):
+        pla = random_pla("r", 12, 2, 25, seed=2, literal_low=3, literal_high=5)
+        for cover in pla.on.values():
+            for cube in cover.cubes:
+                assert 1 <= cube.num_literals() <= 5

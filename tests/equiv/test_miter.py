@@ -1,0 +1,72 @@
+"""Tests for miter construction."""
+
+import pytest
+
+from repro.equiv.miter import build_miter
+from repro.errors import NetlistError
+from repro.netlist.simulate import SimState, exhaustive_patterns
+from repro.netlist.verify import check_netlist
+from tests.conftest import make_figure2
+
+
+class TestBuildMiter:
+    def test_equal_circuits_miter_is_zero(self, lib, figure2):
+        other = make_figure2(lib)
+        miter, out = build_miter(figure2, other)
+        check_netlist(miter)
+        sim = SimState(miter, exhaustive_patterns(miter.input_names))
+        assert sim.signal_probability(out.name) == 0.0
+
+    def test_different_circuits_miter_fires(self, lib, figure2, builder):
+        a, bb, c = builder.inputs("a", "b", "c")
+        e = builder.and_(a, bb, name="e")
+        f = builder.or_(a, c, name="f")  # different function for f_out
+        builder.output("f_out", f)
+        builder.output("e_out", e)
+        other = builder.build()
+        miter, out = build_miter(figure2, other)
+        sim = SimState(miter, exhaustive_patterns(miter.input_names))
+        assert sim.signal_probability(out.name) > 0.0
+
+    def test_operands_untouched(self, lib, figure2):
+        other = make_figure2(lib)
+        gates_before = set(figure2.gates)
+        build_miter(figure2, other)
+        assert set(figure2.gates) == gates_before
+        check_netlist(figure2)
+
+    def test_mismatched_inputs_rejected(self, lib, figure2, builder):
+        builder.input("z")
+        g = builder.not_(builder.netlist.gate("z"))
+        builder.output("f_out", g)
+        builder.output("e_out", g)
+        with pytest.raises(NetlistError):
+            build_miter(figure2, builder.build())
+
+    def test_mismatched_outputs_rejected(self, lib, figure2, builder):
+        a, bb, c = builder.inputs("a", "b", "c")
+        g = builder.and_(a, bb)
+        builder.output("only", g)
+        with pytest.raises(NetlistError):
+            build_miter(figure2, builder.build())
+
+    def test_multi_output_or_tree(self, lib, builder):
+        # Four outputs exercise the OR-tree reduction.
+        a, b = builder.inputs("a", "b")
+        for i, g in enumerate(
+            [builder.and_(a, b), builder.or_(a, b), builder.xor_(a, b), builder.nand_(a, b)]
+        ):
+            builder.output(f"o{i}", g)
+        left = builder.build()
+        from repro.netlist.build import NetlistBuilder
+
+        b2 = NetlistBuilder(lib, "right")
+        a2, bb2 = b2.inputs("a", "b")
+        for i, g in enumerate(
+            [b2.and_(a2, bb2), b2.or_(a2, bb2), b2.xor_(a2, bb2), b2.nand_(a2, bb2)]
+        ):
+            b2.output(f"o{i}", g)
+        right = b2.build()
+        miter, out = build_miter(left, right)
+        sim = SimState(miter, exhaustive_patterns(miter.input_names))
+        assert sim.signal_probability(out.name) == 0.0

@@ -1,0 +1,159 @@
+"""Tests for cell and library models."""
+
+import pytest
+
+from repro.errors import LibraryError
+from repro.library.cell import Cell, Library, Pin, build_library
+from repro.logic.truthtable import TruthTable
+
+
+def make_pin(name="a", load=1.0):
+    return Pin(name=name, load=load)
+
+
+def make_inv(name="inv", area=1.0):
+    return Cell(name, area, "O", "!a", [make_pin("a")])
+
+
+def make_nand2(name="nand2", area=2.0):
+    return Cell(name, area, "O", "!(a*b)", [make_pin("a"), make_pin("b")])
+
+
+def make_and2(name="and2", area=3.0):
+    return Cell(name, area, "O", "a*b", [make_pin("a"), make_pin("b")])
+
+
+class TestPin:
+    def test_negative_load(self):
+        with pytest.raises(LibraryError):
+            Pin(name="a", load=-1.0)
+
+    def test_negative_delay(self):
+        with pytest.raises(LibraryError):
+            Pin(name="a", load=1.0, tau=-1.0)
+
+
+class TestCell:
+    def test_function_tabulated(self):
+        cell = make_nand2()
+        assert cell.function.bits == 0b0111
+
+    def test_num_inputs(self):
+        assert make_nand2().num_inputs == 2
+
+    def test_pin_lookup(self):
+        cell = make_nand2()
+        assert cell.pin_index("b") == 1
+        assert cell.pin("b").name == "b"
+        assert cell.pin(0).name == "a"
+
+    def test_pin_lookup_missing(self):
+        with pytest.raises(LibraryError):
+            make_nand2().pin_index("z")
+
+    def test_duplicate_pins(self):
+        with pytest.raises(LibraryError):
+            Cell("bad", 1, "O", "a*b", [make_pin("a"), make_pin("a")])
+
+    def test_undeclared_pin_in_expression(self):
+        with pytest.raises(LibraryError):
+            Cell("bad", 1, "O", "a*b", [make_pin("a")])
+
+    def test_negative_area(self):
+        with pytest.raises(LibraryError):
+            Cell("bad", -1, "O", "a", [make_pin("a")])
+
+    def test_is_inverter(self):
+        assert make_inv().is_inverter()
+        assert not make_nand2().is_inverter()
+
+    def test_is_buffer(self):
+        buf = Cell("buf", 1, "O", "a", [make_pin("a")])
+        assert buf.is_buffer()
+        assert not make_inv().is_buffer()
+
+    def test_is_constant(self):
+        tie = Cell("one", 1, "O", "CONST1", [])
+        assert tie.is_constant()
+
+    def test_evaluate(self):
+        assert make_and2().evaluate([1, 1]) == 1
+        assert make_and2().evaluate([1, 0]) == 0
+
+    def test_total_input_load(self):
+        assert make_nand2().total_input_load() == 2.0
+
+
+class TestLibrary:
+    def test_add_and_lookup(self):
+        lib = Library("t")
+        lib.add(make_inv())
+        assert "inv" in lib
+        assert lib["inv"].name == "inv"
+
+    def test_duplicate_cell(self):
+        lib = Library("t")
+        lib.add(make_inv())
+        with pytest.raises(LibraryError):
+            lib.add(make_inv())
+
+    def test_missing_cell(self):
+        with pytest.raises(LibraryError):
+            Library("t")["nope"]
+
+    def test_inverter_selection_cheapest(self):
+        lib = Library("t")
+        lib.add(make_inv("inv_big", area=5.0))
+        lib.add(make_inv("inv_small", area=1.0))
+        assert lib.inverter().name == "inv_small"
+
+    def test_inverter_missing(self):
+        lib = Library("t")
+        lib.add(make_nand2())
+        with pytest.raises(LibraryError):
+            lib.inverter()
+
+    def test_constant_lookup(self):
+        lib = Library("t")
+        lib.add(Cell("one", 1, "O", "CONST1", []))
+        assert lib.constant(True).name == "one"
+        assert lib.constant(False) is None
+
+    def test_find_two_input(self):
+        lib = Library("t")
+        lib.add(make_and2("and_a", area=3.0))
+        lib.add(make_and2("and_b", area=2.0))
+        found = lib.find_two_input(TruthTable(2, 0b1000))
+        assert found.name == "and_b"
+        assert lib.find_two_input(TruthTable(2, 0b0110)) is None
+
+    def test_find_two_input_arity_check(self):
+        with pytest.raises(LibraryError):
+            Library("t").find_two_input(TruthTable(1, 0b01))
+
+    def test_cells_with_inputs(self):
+        lib = Library("t")
+        lib.add(make_inv())
+        lib.add(make_nand2())
+        assert [c.name for c in lib.cells_with_inputs(2)] == ["nand2"]
+
+    def test_matchable_excludes_constants(self):
+        lib = Library("t")
+        lib.add(make_inv())
+        lib.add(Cell("one", 1, "O", "CONST1", []))
+        names = [c.name for c in lib.matchable_cells()]
+        assert names == ["inv"]
+
+    def test_validate_ok(self):
+        lib = build_library("t", [make_inv(), make_nand2()])
+        assert len(lib) == 2
+
+    def test_validate_needs_two_input(self):
+        lib = Library("t")
+        lib.add(make_inv())
+        with pytest.raises(LibraryError):
+            lib.validate()
+
+    def test_iteration(self):
+        lib = build_library("t", [make_inv(), make_nand2()])
+        assert {c.name for c in lib} == {"inv", "nand2"}

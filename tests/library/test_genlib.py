@@ -1,0 +1,96 @@
+"""Tests for genlib parsing and writing."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.library.genlib import parse_genlib, write_genlib
+
+SIMPLE = """
+# a comment
+GATE inv 1.0 O=!a;  PIN a INV 1.0 999 0.9 0.4 1.1 0.6
+GATE nand2 2.0 O=!(a*b);
+  PIN * INV 1.5 999 1.0 0.5 1.0 0.5
+"""
+
+
+class TestParse:
+    def test_basic(self):
+        lib = parse_genlib(SIMPLE, "test")
+        assert len(lib) == 2
+        inv = lib["inv"]
+        assert inv.area == 1.0
+        assert inv.is_inverter()
+
+    def test_delay_averaging(self):
+        lib = parse_genlib(SIMPLE)
+        pin = lib["inv"].pins[0]
+        assert pin.tau == pytest.approx(1.0)  # (0.9 + 1.1)/2
+        assert pin.resistance == pytest.approx(0.5)
+
+    def test_wildcard_pin(self):
+        lib = parse_genlib(SIMPLE)
+        nand = lib["nand2"]
+        assert [p.name for p in nand.pins] == ["a", "b"]
+        assert all(p.load == 1.5 for p in nand.pins)
+
+    def test_constant_gate(self):
+        lib = parse_genlib("GATE one 0.5 O=CONST1;")
+        assert lib["one"].is_constant()
+
+    def test_named_pins_ordered_by_expression(self):
+        text = (
+            "GATE g 1.0 O=b*a;\n"
+            " PIN a INV 1.0 9 1 1 1 1\n"
+            " PIN b INV 2.0 9 1 1 1 1\n"
+        )
+        lib = parse_genlib(text)
+        # Pin order follows expression appearance order: b first.
+        assert lib["g"].pin_names == ("b", "a")
+        assert lib["g"].pin("b").load == 2.0
+
+    def test_missing_pin_data(self):
+        with pytest.raises(ParseError):
+            parse_genlib("GATE g 1.0 O=a*b; PIN a INV 1 9 1 1 1 1")
+
+    def test_pin_for_unknown_input(self):
+        with pytest.raises(ParseError):
+            parse_genlib(
+                "GATE g 1.0 O=a; PIN a INV 1 9 1 1 1 1\n"
+                "PIN z INV 1 9 1 1 1 1"
+            )
+
+    def test_bad_area(self):
+        with pytest.raises(ParseError):
+            parse_genlib("GATE g x O=a; PIN a INV 1 9 1 1 1 1")
+
+    def test_bad_phase(self):
+        with pytest.raises(ParseError):
+            parse_genlib("GATE g 1.0 O=a; PIN a WEIRD 1 9 1 1 1 1")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_genlib("GATE g 1.0 O=a PIN a INV 1 9 1 1 1 1")
+
+    def test_not_a_gate(self):
+        with pytest.raises(ParseError):
+            parse_genlib("WIRE w 1.0 O=a;")
+
+    def test_empty_expression(self):
+        with pytest.raises(ParseError):
+            parse_genlib("GATE g 1.0 O=; PIN a INV 1 9 1 1 1 1")
+
+
+class TestRoundtrip:
+    def test_write_then_parse(self):
+        lib = parse_genlib(SIMPLE, "orig")
+        text = write_genlib(lib)
+        lib2 = parse_genlib(text, "copy")
+        assert set(lib2.cells) == set(lib.cells)
+        for name in lib.cells:
+            a, b = lib[name], lib2[name]
+            assert a.area == b.area
+            assert a.function == b.function
+            for pa, pb in zip(a.pins, b.pins):
+                assert pa.load == pb.load
+                assert pa.tau == pytest.approx(pb.tau)
+                assert pa.resistance == pytest.approx(pb.resistance)

@@ -1,0 +1,49 @@
+"""Tests for the built-in standard library."""
+
+from repro.library.standard import standard_library
+
+
+class TestStandardLibrary:
+    def test_validates(self):
+        lib = standard_library()
+        lib.validate()
+
+    def test_cached_instance(self):
+        assert standard_library() is standard_library()
+
+    def test_expected_gate_classes(self):
+        lib = standard_library()
+        for name in [
+            "inv1", "buf1", "nand2", "nand3", "nand4", "nor2", "nor3",
+            "nor4", "and2", "or2", "xor2", "xnor2", "aoi21", "oai21",
+            "zero", "one",
+        ]:
+            assert name in lib, name
+
+    def test_figure2_load_convention(self):
+        # The paper's example: AND input load 1, XOR input load 2.
+        lib = standard_library()
+        assert lib["and2"].pins[0].load == 1.0
+        assert lib["xor2"].pins[0].load == 2.0
+
+    def test_functions(self):
+        lib = standard_library()
+        assert lib["nand2"].function.bits == 0b0111
+        assert lib["xor2"].function.bits == 0b0110
+        assert lib["xnor2"].function.bits == 0b1001
+        assert lib["aoi21"].evaluate([1, 1, 0]) == 0
+        assert lib["aoi21"].evaluate([0, 0, 0]) == 1
+        assert lib["oai22"].evaluate([1, 0, 0, 1]) == 0
+
+    def test_constants(self):
+        lib = standard_library()
+        assert lib.constant(False).name == "zero"
+        assert lib.constant(True).name == "one"
+
+    def test_inverter_is_smallest(self):
+        lib = standard_library()
+        assert lib.inverter().name == "inv1"
+
+    def test_areas_monotone_in_fanin(self):
+        lib = standard_library()
+        assert lib["nand2"].area < lib["nand3"].area < lib["nand4"].area

@@ -1,0 +1,140 @@
+"""Tests for the ROBDD package."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LogicError
+from repro.logic.bdd import ONE, ZERO, BddManager, BddSizeError
+from repro.logic.truthtable import TruthTable, all_minterms
+
+
+def build_from_table(manager: BddManager, table: TruthTable) -> int:
+    """Reference construction: OR of minterm cubes."""
+    result = ZERO
+    for m in range(table.nrows):
+        if not table.value(m):
+            continue
+        cube = ONE
+        for v in range(table.nvars):
+            var = manager.variable(v)
+            lit = var if (m >> v) & 1 else manager.apply_not(var)
+            cube = manager.apply_and(cube, lit)
+        result = manager.apply_or(result, cube)
+    return result
+
+
+class TestBasics:
+    def test_terminals(self):
+        m = BddManager(2)
+        assert m.constant(False) == ZERO
+        assert m.constant(True) == ONE
+
+    def test_variable(self):
+        m = BddManager(2)
+        x = m.variable(0)
+        assert m.evaluate(x, [1, 0]) == 1
+        assert m.evaluate(x, [0, 1]) == 0
+
+    def test_variable_out_of_range(self):
+        with pytest.raises(LogicError):
+            BddManager(1).variable(1)
+
+    def test_canonicity(self):
+        m = BddManager(2)
+        a, b = m.variable(0), m.variable(1)
+        f1 = m.apply_and(a, b)
+        f2 = m.apply_and(b, a)
+        assert f1 == f2
+
+    def test_reduction(self):
+        m = BddManager(2)
+        a = m.variable(0)
+        # a OR !a = 1, must reduce to the terminal.
+        assert m.apply_or(a, m.apply_not(a)) == ONE
+
+    def test_ite(self):
+        m = BddManager(3)
+        f = m.apply_ite(m.variable(0), m.variable(1), m.variable(2))
+        assert m.evaluate(f, [1, 1, 0]) == 1
+        assert m.evaluate(f, [0, 1, 0]) == 0
+        assert m.evaluate(f, [0, 0, 1]) == 1
+
+    def test_node_limit(self):
+        m = BddManager(8, node_limit=10)
+        with pytest.raises(BddSizeError):
+            f = ONE
+            for i in range(8):
+                f = m.apply_and(f, m.apply_xor(m.variable(i), m.constant(False)))
+                # XOR chains force node creation quickly.
+                f = m.apply_xor(f, m.variable((i + 1) % 8))
+
+
+@st.composite
+def small_tables(draw, nvars=3):
+    bits = draw(st.integers(0, (1 << (1 << nvars)) - 1))
+    return TruthTable(nvars, bits)
+
+
+class TestAgainstTruthTables:
+    @given(small_tables(), small_tables())
+    @settings(max_examples=40)
+    def test_apply_ops_match(self, ta, tb):
+        m = BddManager(3)
+        fa = build_from_table(m, ta)
+        fb = build_from_table(m, tb)
+        for op, ref in [
+            (m.apply_and, ta & tb),
+            (m.apply_or, ta | tb),
+            (m.apply_xor, ta ^ tb),
+        ]:
+            node = op(fa, fb)
+            for minterm, inputs in enumerate(all_minterms(3)):
+                assert m.evaluate(node, inputs) == ref.value(minterm)
+
+    @given(small_tables())
+    @settings(max_examples=40)
+    def test_not_matches(self, t):
+        m = BddManager(3)
+        f = build_from_table(m, t)
+        g = m.apply_not(f)
+        for minterm, inputs in enumerate(all_minterms(3)):
+            assert m.evaluate(g, inputs) == 1 - t.value(minterm)
+
+    @given(small_tables())
+    @settings(max_examples=40)
+    def test_count_minterms(self, t):
+        m = BddManager(3)
+        f = build_from_table(m, t)
+        assert m.count_minterms(f) == t.count_ones()
+
+    @given(small_tables())
+    @settings(max_examples=40)
+    def test_probability_uniform(self, t):
+        m = BddManager(3)
+        f = build_from_table(m, t)
+        assert m.probability(f, [0.5] * 3) == pytest.approx(
+            t.count_ones() / 8
+        )
+
+    @given(small_tables())
+    @settings(max_examples=30)
+    def test_probability_biased(self, t):
+        probs = [0.1, 0.7, 0.4]
+        m = BddManager(3)
+        f = build_from_table(m, t)
+        assert m.probability(f, probs) == pytest.approx(
+            t.onset_probability(probs)
+        )
+
+    @given(small_tables())
+    @settings(max_examples=40)
+    def test_support(self, t):
+        m = BddManager(3)
+        f = build_from_table(m, t)
+        assert m.support(f) == t.support()
+
+    def test_probability_arity_check(self):
+        m = BddManager(2)
+        with pytest.raises(LogicError):
+            m.probability(ONE, [0.5])

@@ -1,0 +1,164 @@
+"""Tests for the genlib expression parser and AST."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParseError
+from repro.logic.expr import Expr, parse_expression
+from repro.logic.truthtable import all_minterms
+
+
+class TestParsing:
+    def test_single_variable(self):
+        e = parse_expression("a")
+        assert e.kind == "var" and e.name == "a"
+
+    def test_and_star(self):
+        e = parse_expression("a*b")
+        assert e.evaluate({"a": 1, "b": 1}) == 1
+        assert e.evaluate({"a": 1, "b": 0}) == 0
+
+    def test_and_juxtaposition(self):
+        e = parse_expression("a b")
+        assert e.evaluate({"a": 1, "b": 1}) == 1
+        assert e.evaluate({"a": 0, "b": 1}) == 0
+
+    def test_or_precedence(self):
+        e = parse_expression("a+b*c")
+        assert e.evaluate({"a": 1, "b": 0, "c": 0}) == 1
+        assert e.evaluate({"a": 0, "b": 1, "c": 0}) == 0
+
+    def test_prefix_not(self):
+        e = parse_expression("!a")
+        assert e.evaluate({"a": 0}) == 1
+
+    def test_postfix_not(self):
+        e = parse_expression("a'")
+        assert e.evaluate({"a": 0}) == 1
+
+    def test_double_postfix(self):
+        e = parse_expression("a''")
+        assert e.evaluate({"a": 1}) == 1
+
+    def test_not_binds_tighter_than_and(self):
+        e = parse_expression("!a*b")
+        assert e.evaluate({"a": 0, "b": 1}) == 1
+
+    def test_not_of_group(self):
+        e = parse_expression("!(a*b)")
+        assert e.evaluate({"a": 1, "b": 1}) == 0
+        assert e.evaluate({"a": 0, "b": 1}) == 1
+
+    def test_xor_precedence(self):
+        # ^ binds looser than * but tighter than +
+        e = parse_expression("a^b*c")
+        assert e.evaluate({"a": 1, "b": 1, "c": 1}) == 0
+        e2 = parse_expression("a+b^c")
+        assert e2.evaluate({"a": 1, "b": 0, "c": 0}) == 1
+
+    def test_constants(self):
+        assert parse_expression("CONST0").evaluate({}) == 0
+        assert parse_expression("CONST1").evaluate({}) == 1
+
+    def test_nested_parens(self):
+        e = parse_expression("((a+b))*((c))")
+        assert e.evaluate({"a": 0, "b": 1, "c": 1}) == 1
+
+    def test_bracket_identifiers(self):
+        e = parse_expression("a[0]*a[1]")
+        assert set(e.variables()) == {"a[0]", "a[1]"}
+
+    def test_empty_raises(self):
+        with pytest.raises(ParseError):
+            parse_expression("   ")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(ParseError):
+            parse_expression("(a+b")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_expression("a+b)")
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            parse_expression("a%b")
+
+    def test_unbound_variable(self):
+        with pytest.raises(ParseError):
+            parse_expression("a").evaluate({})
+
+
+class TestTruthTables:
+    def test_order_respected(self):
+        e = parse_expression("a*!b")
+        t = e.to_truthtable(["a", "b"])
+        assert t.bits == 0b0010
+        t2 = e.to_truthtable(["b", "a"])
+        assert t2.bits == 0b0100
+
+    def test_order_missing_variable(self):
+        with pytest.raises(ParseError):
+            parse_expression("a*b").to_truthtable(["a"])
+
+    def test_xor_table(self):
+        t = parse_expression("a^b").to_truthtable(["a", "b"])
+        assert t.bits == 0b0110
+
+    def test_const_table(self):
+        t = parse_expression("CONST1").to_truthtable([])
+        assert t.nvars == 0 and t.bits == 1
+
+
+class TestPrinting:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a*b+c",
+            "!(a+b)*c",
+            "a^b^c",
+            "!(a*b+c*d)",
+            "a*(b+c)+!d",
+            "CONST0",
+            "!a*!b",
+        ],
+    )
+    def test_roundtrip_function(self, text):
+        e = parse_expression(text)
+        names = list(e.variables())
+        reparsed = parse_expression(e.to_genlib())
+        for minterm in all_minterms(len(names)):
+            env = dict(zip(names, minterm))
+            assert e.evaluate(env) == reparsed.evaluate(env)
+
+    def test_str_matches_genlib(self):
+        e = parse_expression("a*b+!c")
+        assert str(e) == e.to_genlib()
+
+
+@st.composite
+def expressions(draw, depth=3):
+    names = ["a", "b", "c", "d"]
+    if depth == 0 or draw(st.booleans()):
+        return Expr.var(draw(st.sampled_from(names)))
+    kind = draw(st.sampled_from(["and", "or", "xor", "not"]))
+    if kind == "not":
+        return Expr.not_(draw(expressions(depth=depth - 1)))
+    children = draw(
+        st.lists(expressions(depth=depth - 1), min_size=2, max_size=3)
+    )
+    builder = {"and": Expr.and_, "or": Expr.or_, "xor": Expr.xor}[kind]
+    return builder(*children)
+
+
+class TestProperties:
+    @given(expressions())
+    def test_print_parse_roundtrip(self, expr):
+        names = list(expr.variables())
+        reparsed = parse_expression(expr.to_genlib())
+        assert reparsed.to_truthtable(names) == expr.to_truthtable(names)
+
+    @given(expressions())
+    def test_variables_deterministic(self, expr):
+        assert expr.variables() == expr.variables()

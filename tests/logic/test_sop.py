@@ -1,0 +1,182 @@
+"""Tests for the cube/cover algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LogicError
+from repro.logic.sop import Cover, Cube
+from repro.logic.truthtable import TruthTable
+
+
+def cubes(nvars=4):
+    return st.builds(
+        lambda care, values: Cube(nvars, care, values & care),
+        st.integers(0, (1 << nvars) - 1),
+        st.integers(0, (1 << nvars) - 1),
+    )
+
+
+def covers(nvars=4, max_cubes=5):
+    return st.lists(cubes(nvars), max_size=max_cubes).map(
+        lambda cs: Cover(nvars, cs)
+    )
+
+
+class TestCube:
+    def test_from_string(self):
+        c = Cube.from_string("1-0")
+        assert c.literal(0) == 1
+        assert c.literal(1) is None
+        assert c.literal(2) == 0
+
+    def test_from_string_bad(self):
+        with pytest.raises(LogicError):
+            Cube.from_string("1x0")
+
+    def test_str_roundtrip(self):
+        for text in ["10-", "---", "111", "0-1"]:
+            assert str(Cube.from_string(text)) == text
+
+    def test_values_must_be_subset(self):
+        with pytest.raises(LogicError):
+            Cube(2, 0b01, 0b10)
+
+    def test_contains(self):
+        big = Cube.from_string("1--")
+        small = Cube.from_string("1-0")
+        assert big.contains(small)
+        assert not small.contains(big)
+
+    def test_contains_minterm(self):
+        c = Cube.from_string("1-0")
+        assert c.contains_minterm(0b001)
+        assert not c.contains_minterm(0b101)
+
+    def test_intersect_disjoint(self):
+        assert Cube.from_string("1-").intersect(Cube.from_string("0-")) is None
+
+    def test_intersect(self):
+        inter = Cube.from_string("1-").intersect(Cube.from_string("-0"))
+        assert str(inter) == "10"
+
+    def test_distance(self):
+        assert Cube.from_string("10").distance(Cube.from_string("01")) == 2
+
+    def test_consensus(self):
+        c = Cube.from_string("1-").consensus(Cube.from_string("01"))
+        assert c is not None and str(c) == "-1"
+
+    def test_consensus_distance_two_is_none(self):
+        assert Cube.from_string("10").consensus(Cube.from_string("01")) is None
+
+    def test_supercube(self):
+        sc = Cube.from_string("10").supercube(Cube.from_string("11"))
+        assert str(sc) == "1-"
+
+    def test_cofactor(self):
+        c = Cube.from_string("1-0")
+        assert c.cofactor(0, 0) is None
+        cf = c.cofactor(0, 1)
+        assert str(cf) == "--0"
+
+    def test_with_literal(self):
+        c = Cube.universe(3).with_literal(1, 0)
+        assert str(c) == "-0-"
+        assert str(c.with_literal(1, None)) == "---"
+
+    def test_to_truthtable(self):
+        t = Cube.from_string("1-").to_truthtable()
+        assert t == TruthTable.variable(0, 2)
+
+    @given(cubes(), cubes())
+    def test_intersect_commutes(self, a, b):
+        x = a.intersect(b)
+        y = b.intersect(a)
+        assert (x is None) == (y is None)
+        if x is not None:
+            assert x == y
+
+    @given(cubes(), cubes())
+    def test_supercube_contains_both(self, a, b):
+        sc = a.supercube(b)
+        assert sc.contains(a) and sc.contains(b)
+
+
+class TestCover:
+    def test_from_strings(self):
+        cover = Cover.from_strings(["1-", "01"])
+        assert len(cover) == 2
+
+    def test_evaluate(self):
+        cover = Cover.from_strings(["1-", "-1"])  # a OR b
+        assert cover.evaluate([0, 0]) == 0
+        assert cover.evaluate([1, 0]) == 1
+
+    def test_tautology_true(self):
+        cover = Cover.from_strings(["1-", "0-"])
+        assert cover.is_tautology()
+
+    def test_tautology_false(self):
+        assert not Cover.from_strings(["11"]).is_tautology()
+
+    def test_tautology_empty(self):
+        assert not Cover(2, []).is_tautology()
+
+    def test_tautology_universe(self):
+        assert Cover(2, [Cube.universe(2)]).is_tautology()
+
+    def test_covers_cube(self):
+        cover = Cover.from_strings(["1-", "-1"])
+        assert cover.covers_cube(Cube.from_string("11"))
+        assert not cover.covers_cube(Cube.from_string("0-"))
+
+    def test_remove_contained(self):
+        cover = Cover.from_strings(["1-", "11"])
+        cover.remove_contained()
+        assert [str(c) for c in cover.cubes] == ["1-"]
+
+    def test_merge_distance_one(self):
+        cover = Cover.from_strings(["10", "11"])
+        assert cover.merge_distance_one()
+        assert [str(c) for c in cover.cubes] == ["1-"]
+
+    def test_from_truthtable_roundtrip(self):
+        t = TruthTable(3, 0b01101001)
+        assert Cover.from_truthtable(t).to_truthtable() == t
+
+    @given(covers())
+    @settings(max_examples=60)
+    def test_complement_is_complement(self, cover):
+        comp = cover.complement()
+        assert comp.to_truthtable() == ~cover.to_truthtable()
+
+    @given(covers())
+    @settings(max_examples=60)
+    def test_tautology_matches_truthtable(self, cover):
+        expected = cover.to_truthtable().count_ones() == cover.to_truthtable().nrows
+        assert cover.is_tautology() == expected
+
+    @given(covers(), covers())
+    @settings(max_examples=60)
+    def test_covers_matches_truthtables(self, a, b):
+        assert a.covers(b) == b.to_truthtable().implies(a.to_truthtable())
+
+    @given(covers())
+    @settings(max_examples=60)
+    def test_remove_contained_preserves_function(self, cover):
+        before = cover.to_truthtable()
+        cover.remove_contained()
+        assert cover.to_truthtable() == before
+
+    @given(covers())
+    @settings(max_examples=60)
+    def test_merge_preserves_function(self, cover):
+        before = cover.to_truthtable()
+        while cover.merge_distance_one():
+            pass
+        assert cover.to_truthtable() == before
+
+    def test_cofactor_width_mismatch(self):
+        with pytest.raises(LogicError):
+            Cover(2, [Cube.universe(3)])

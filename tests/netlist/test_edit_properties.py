@@ -1,0 +1,88 @@
+"""Property tests: random legal edit sequences keep every invariant.
+
+Generates sequences of the edits the optimizer performs (branch rewires,
+full fanout moves, dead sweeps) on random netlists and asserts structural
+integrity plus simulation consistency after every step.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.simulate import SimState, random_patterns
+from repro.netlist.verify import check_netlist
+from tests.conftest import make_random_netlist
+
+
+def random_edit_sequence(netlist, rng, steps):
+    """Apply `steps` random legal edits; yields after each edit."""
+    for _ in range(steps):
+        gates = list(netlist.gates.values())
+        choice = rng.random()
+        if choice < 0.45:
+            # Rewire one branch to a random non-cyclic driver.
+            candidates = [
+                g for g in gates if not g.is_input and g.fanins
+            ]
+            if not candidates:
+                continue
+            sink = rng.choice(candidates)
+            pin = rng.randrange(len(sink.fanins))
+            driver = rng.choice(gates)
+            if driver is sink or netlist.would_create_cycle(driver, sink):
+                continue
+            netlist.replace_fanin(sink, pin, driver)
+        elif choice < 0.7:
+            # Move all fanout of one stem to another.
+            old = rng.choice(gates)
+            new = rng.choice(gates)
+            if old is new or not old.fanout_count():
+                continue
+            try:
+                netlist.replace_fanouts(old, new)
+            except NetlistError:
+                continue  # would create a cycle: legal to refuse
+        else:
+            netlist.sweep_dead()
+        yield
+
+
+@pytest.mark.parametrize("seed", [101, 102, 103, 104])
+class TestEditSequences:
+    def test_invariants_hold_throughout(self, lib, seed):
+        netlist = make_random_netlist(lib, 6, 20, 4, seed=seed)
+        rng = random.Random(seed)
+        for _ in random_edit_sequence(netlist, rng, steps=25):
+            check_netlist(netlist)
+
+    def test_simulation_stays_consistent(self, lib, seed):
+        netlist = make_random_netlist(lib, 6, 20, 4, seed=seed)
+        rng = random.Random(seed + 1)
+        patterns = random_patterns(netlist.input_names, 128, seed=seed)
+        sim = SimState(netlist, patterns)
+        for _ in random_edit_sequence(netlist, rng, steps=15):
+            sim.resimulate_all()
+            fresh = SimState(
+                netlist, random_patterns(netlist.input_names, 128, seed=seed)
+            )
+            for name in netlist.gates:
+                assert np.array_equal(sim.value(name), fresh.value(name))
+
+    def test_loads_never_negative(self, lib, seed):
+        netlist = make_random_netlist(lib, 6, 20, 4, seed=seed)
+        rng = random.Random(seed + 2)
+        for _ in random_edit_sequence(netlist, rng, steps=20):
+            for gate in netlist.gates.values():
+                assert netlist.load_of(gate) >= 0.0
+
+    def test_timing_recomputable(self, lib, seed):
+        from repro.timing.analysis import TimingAnalysis
+
+        netlist = make_random_netlist(lib, 6, 20, 4, seed=seed)
+        rng = random.Random(seed + 3)
+        for _ in random_edit_sequence(netlist, rng, steps=15):
+            analysis = TimingAnalysis(netlist)
+            analysis.validate()
+            assert analysis.circuit_delay >= 0.0

@@ -1,0 +1,196 @@
+"""Tests for the core netlist data structure."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.netlist import Netlist
+from repro.netlist.verify import check_netlist
+
+
+class TestConstruction:
+    def test_add_input(self, lib):
+        nl = Netlist("t", lib)
+        a = nl.add_input("a")
+        assert a.is_input
+        assert nl.input_names == ["a"]
+
+    def test_duplicate_input(self, lib):
+        nl = Netlist("t", lib)
+        nl.add_input("a")
+        with pytest.raises(NetlistError):
+            nl.add_input("a")
+
+    def test_add_gate_arity_check(self, lib):
+        nl = Netlist("t", lib)
+        a = nl.add_input("a")
+        with pytest.raises(NetlistError):
+            nl.add_gate(lib["nand2"], [a])
+
+    def test_add_gate_foreign_fanin(self, lib):
+        nl1 = Netlist("a", lib)
+        nl2 = Netlist("b", lib)
+        a = nl1.add_input("a")
+        with pytest.raises(NetlistError):
+            nl2.add_gate(lib["inv1"], [a])
+
+    def test_fresh_name_unique(self, lib):
+        nl = Netlist("t", lib)
+        nl.add_input("n1")
+        name = nl.fresh_name()
+        assert name not in nl.gates
+
+    def test_set_output_reassign(self, lib):
+        nl = Netlist("t", lib)
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        nl.set_output("o", a)
+        nl.set_output("o", b)
+        assert nl.outputs["o"] is b
+        assert "o" not in a.po_names
+        check_netlist(nl)
+
+
+class TestLoads:
+    def test_load_counts_pins_and_po(self, lib, builder):
+        a, b = builder.inputs("a", "b")
+        g = builder.and_(a, b)
+        x = builder.xor_(g, a)
+        builder.output("o", g, load=0.5)
+        nl = builder.build()
+        # g drives one xor pin (2.0) and the PO (0.5).
+        assert nl.load_of(g) == pytest.approx(2.5)
+
+    def test_total_area(self, lib, builder):
+        a, b = builder.inputs("a", "b")
+        g = builder.and_(a, b)
+        builder.output("o", g)
+        assert builder.build().total_area() == lib["and2"].area
+
+
+class TestEdits:
+    def test_replace_fanin(self, lib, builder):
+        a, b, c = builder.inputs("a", "b", "c")
+        g = builder.and_(a, b, name="g")
+        builder.output("o", g)
+        nl = builder.build()
+        old = nl.replace_fanin(g, 0, c)
+        assert old is a
+        assert g.fanins[0] is c
+        check_netlist(nl)
+
+    def test_replace_fanin_same_driver_noop(self, lib, builder):
+        a, b = builder.inputs("a", "b")
+        g = builder.and_(a, b, name="g")
+        builder.output("o", g)
+        nl = builder.build()
+        nl.replace_fanin(g, 0, a)
+        check_netlist(nl)
+
+    def test_replace_fanin_cycle_rejected(self, lib, builder):
+        a, b = builder.inputs("a", "b")
+        g = builder.and_(a, b, name="g")
+        h = builder.not_(g, name="h")
+        builder.output("o", h)
+        nl = builder.build()
+        with pytest.raises(NetlistError):
+            nl.replace_fanin(g, 0, h)
+        check_netlist(nl)
+
+    def test_replace_fanin_self_cycle(self, lib, builder):
+        a, b = builder.inputs("a", "b")
+        g = builder.and_(a, b, name="g")
+        builder.output("o", g)
+        nl = builder.build()
+        with pytest.raises(NetlistError):
+            nl.replace_fanin(g, 0, g)
+
+    def test_replace_fanouts_moves_everything(self, lib, builder):
+        a, b, c = builder.inputs("a", "b", "c")
+        g = builder.and_(a, b, name="g")
+        h = builder.or_(c, b, name="h")
+        sink = builder.not_(g, name="s")
+        builder.output("o", sink)
+        builder.output("og", g)
+        nl = builder.build()
+        nl.replace_fanouts(g, h)
+        assert g.fanout_count() == 0
+        assert sink.fanins[0] is h
+        assert nl.outputs["og"] is h
+        check_netlist(nl)
+
+    def test_replace_fanouts_cycle_rejected(self, lib, builder):
+        a, b = builder.inputs("a", "b")
+        g = builder.and_(a, b, name="g")
+        h = builder.not_(g, name="h")
+        builder.output("o", h)
+        nl = builder.build()
+        with pytest.raises(NetlistError):
+            nl.replace_fanouts(g, h)  # h is downstream of g
+
+    def test_remove_gate(self, lib, builder):
+        a, b = builder.inputs("a", "b")
+        g = builder.and_(a, b, name="g")
+        nl = builder.build()
+        nl.remove_gate(g)
+        assert "g" not in nl.gates
+        assert a.fanouts == []
+        check_netlist(nl)
+
+    def test_remove_gate_with_fanout_rejected(self, lib, builder):
+        a, b = builder.inputs("a", "b")
+        g = builder.and_(a, b, name="g")
+        builder.not_(g, name="h")
+        nl = builder.build()
+        with pytest.raises(NetlistError):
+            nl.remove_gate(g)
+
+    def test_remove_primary_input_rejected(self, lib, builder):
+        a = builder.input("a")
+        nl = builder.build()
+        with pytest.raises(NetlistError):
+            nl.remove_gate(a)
+
+    def test_sweep_dead_cascades(self, lib, builder):
+        a, b = builder.inputs("a", "b")
+        g = builder.and_(a, b, name="g")
+        h = builder.not_(g, name="h")
+        k = builder.or_(a, b, name="k")
+        builder.output("o", k)
+        nl = builder.build()
+        removed = nl.sweep_dead()
+        assert set(removed) == {"g", "h"}
+        assert nl.num_gates() == 1
+        check_netlist(nl)
+
+    def test_sweep_keeps_po_drivers(self, lib, builder):
+        a, b = builder.inputs("a", "b")
+        g = builder.and_(a, b, name="g")
+        builder.output("o", g)
+        nl = builder.build()
+        assert nl.sweep_dead() == []
+
+
+class TestCopy:
+    def test_copy_is_deep(self, figure2):
+        clone = figure2.copy("clone")
+        assert clone.num_gates() == figure2.num_gates()
+        assert set(clone.gates) == set(figure2.gates)
+        # Mutating the clone leaves the original alone.
+        clone.sweep_dead()
+        d = clone.gate("d")
+        clone.replace_fanin(clone.gate("f"), 0, clone.gate("e"))
+        assert figure2.gate("f").fanins[0].name == "d"
+        check_netlist(figure2)
+        check_netlist(clone)
+
+    def test_copy_preserves_loads(self, lib, builder):
+        a = builder.input("a")
+        g = builder.not_(a)
+        builder.output("o", g, load=2.5)
+        nl = builder.build()
+        clone = nl.copy()
+        assert clone.output_loads["o"] == 2.5
+
+    def test_copy_shares_cells(self, figure2):
+        clone = figure2.copy()
+        assert clone.gate("d").cell is figure2.gate("d").cell

@@ -1,0 +1,62 @@
+"""Tests that check_netlist detects structural corruption."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.verify import check_netlist
+
+
+class TestVerify:
+    def test_healthy_passes(self, figure2):
+        check_netlist(figure2)
+
+    def test_detects_stale_fanout(self, figure2):
+        d = figure2.gate("d")
+        f = figure2.gate("f")
+        # Corrupt: remove d's record of feeding f.
+        d.fanouts.remove((f, 0))
+        with pytest.raises(NetlistError):
+            check_netlist(figure2)
+
+    def test_detects_phantom_fanout(self, figure2):
+        d = figure2.gate("d")
+        e = figure2.gate("e")
+        d.fanouts.append((e, 0))  # e pin 0 is not driven by d
+        with pytest.raises(NetlistError):
+            check_netlist(figure2)
+
+    def test_detects_wrong_registration(self, figure2):
+        gate = figure2.gate("d")
+        del figure2.gates["d"]
+        figure2.gates["dd"] = gate
+        with pytest.raises(NetlistError):
+            check_netlist(figure2)
+
+    def test_detects_po_mismatch(self, figure2):
+        e = figure2.gate("e")
+        figure2.outputs["f_out"] = e  # e doesn't list f_out
+        with pytest.raises(NetlistError):
+            check_netlist(figure2)
+
+    def test_detects_missing_po_load(self, figure2):
+        del figure2.output_loads["f_out"]
+        with pytest.raises(NetlistError):
+            check_netlist(figure2)
+
+    def test_detects_input_with_fanin(self, figure2):
+        a = figure2.gate("a")
+        a.fanins.append(figure2.gate("b"))
+        with pytest.raises(NetlistError):
+            check_netlist(figure2)
+
+    def test_detects_cycle(self, figure2):
+        d = figure2.gate("d")
+        f = figure2.gate("f")
+        # Force a cycle bypassing the API guard.
+        a = d.fanins[0]
+        a.fanouts.remove((d, 0))
+        d.fanins[0] = f
+        f.fanouts.append((d, 0))
+        figure2._invalidate()
+        with pytest.raises(NetlistError):
+            check_netlist(figure2)

@@ -1,0 +1,78 @@
+"""Tests for the structural Verilog writer."""
+
+import re
+
+from repro.netlist.verilog import write_verilog
+from repro.bench.suite import build_benchmark
+
+
+class TestWriteVerilog:
+    def test_figure2_structure(self, figure2):
+        text = write_verilog(figure2)
+        assert text.count("endmodule") >= 3  # top + cell models
+        assert "module fig2" in text
+        assert "input a;" in text
+        assert "output f_out;" in text
+        # One instance per logic gate.
+        assert len(re.findall(r"^\s+\w+ u\d+ \(", text, re.M)) == 3
+
+    def test_cell_models_emitted(self, figure2):
+        text = write_verilog(figure2)
+        assert "module and2" in text
+        assert "module xor2" in text
+        assert "assign O =" in text
+
+    def test_no_cell_models_option(self, figure2):
+        text = write_verilog(figure2, include_cell_models=False)
+        assert "module and2" not in text
+
+    def test_identifier_sanitisation(self, builder):
+        a = builder.input("a[0]")  # bracketed names need sanitising
+        g = builder.not_(a, name="weird.name")
+        builder.output("out-1", g)
+        text = write_verilog(builder.build())
+        assert "a[0]" not in text.replace("// a[0]", "")
+        assert re.search(r"input a_0_;", text)
+
+    def test_keyword_collision(self, builder):
+        a = builder.input("wire")
+        g = builder.not_(a, name="assign")
+        builder.output("module", g)
+        text = write_verilog(builder.build())
+        # All three identifiers must have been renamed.
+        assert "input n_wire;" in text
+
+    def test_benchmark_writes(self, lib):
+        netlist = build_benchmark("sqrt8", lib)
+        text = write_verilog(netlist)
+        assert text.count(" u") >= netlist.num_gates()
+
+    def test_every_gate_instantiated(self, random_netlist):
+        text = write_verilog(random_netlist)
+        instances = re.findall(r"^\s+(\w+) u\d+ \(", text, re.M)
+        assert len(instances) == random_netlist.num_gates()
+
+
+class TestWriteDot:
+    def test_dot_structure(self, figure2):
+        from repro.netlist.dot import write_dot
+
+        text = write_dot(figure2)
+        assert text.startswith("digraph")
+        assert '"a" [shape=box' in text
+        assert '"d" -> "f"' in text
+        assert '"PO:f_out"' in text
+
+    def test_highlighting(self, figure2):
+        from repro.netlist.dot import write_dot
+
+        text = write_dot(figure2, highlight=["d"])
+        assert "fillcolor=orange" in text
+
+    def test_quoting(self, builder):
+        from repro.netlist.dot import write_dot
+
+        a = builder.input('weird"name')
+        builder.output("o", builder.not_(a))
+        text = write_dot(builder.build())
+        assert '\\"' in text

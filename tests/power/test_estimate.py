@@ -1,0 +1,103 @@
+"""Tests for the power estimator (eq. 1)."""
+
+import pytest
+
+from repro.power.estimate import PowerEstimator, transition_probability
+from repro.power.probability import SimulationProbability
+
+
+class TestTransitionProbability:
+    def test_extremes(self):
+        assert transition_probability(0.0) == 0.0
+        assert transition_probability(1.0) == 0.0
+
+    def test_maximum_at_half(self):
+        assert transition_probability(0.5) == 0.5
+
+    def test_symmetry(self):
+        assert transition_probability(0.3) == pytest.approx(
+            transition_probability(0.7)
+        )
+
+
+def exhaustive_estimator(netlist):
+    return PowerEstimator(
+        netlist, SimulationProbability(netlist, exhaustive=True)
+    )
+
+
+class TestEstimator:
+    def test_total_matches_hand_computation(self, figure2):
+        est = exhaustive_estimator(figure2)
+        # Loads: a -> and(e) pin 1 + xor(d) pin 2 = 3; b -> 2 and pins = 2;
+        # c -> xor pin = 2; d -> and pin = 1; e -> PO 1; f -> PO 1.
+        # E: inputs 0.5; d 0.5; e,f 2*0.25*0.75 = 0.375.
+        expected = (
+            3 * 0.5 + 2 * 0.5 + 2 * 0.5 + 1 * 0.5 + 1 * 0.375 + 1 * 0.375
+        )
+        assert est.total() == pytest.approx(expected)
+
+    def test_contribution_sums_to_total(self, random_netlist):
+        est = exhaustive_estimator(random_netlist)
+        total = sum(
+            est.contribution(g) for g in random_netlist.gates.values()
+        )
+        assert est.total() == pytest.approx(total)
+
+    def test_report(self, figure2):
+        est = exhaustive_estimator(figure2)
+        report = est.report()
+        assert report.total == pytest.approx(est.total())
+        assert report.num_signals == len(figure2.gates)
+        top = report.top_contributors(2)
+        assert len(top) == 2
+        assert top[0][1] >= top[1][1]
+
+    def test_physical_power_scaling(self, figure2):
+        est = exhaustive_estimator(figure2)
+        est.vdd = 2.0
+        est.frequency = 1.0
+        assert est.physical_power() == pytest.approx(2.0 * est.total())
+
+    def test_incremental_update_consistent(self, figure2):
+        est = exhaustive_estimator(figure2)
+        f = figure2.gate("f")
+        figure2.replace_fanin(f, 0, figure2.gate("e"))
+        figure2.sweep_dead()
+        est.update_after_edit([f])
+        incremental_total = est.total()
+        fresh = exhaustive_estimator(figure2)
+        assert incremental_total == pytest.approx(fresh.total())
+
+    def test_engine_netlist_mismatch(self, figure2, random_netlist):
+        engine = SimulationProbability(random_netlist, exhaustive=True)
+        with pytest.raises(ValueError):
+            PowerEstimator(figure2, engine)
+
+    def test_figure2_improvement_direction(self, figure2):
+        # The paper's rewiring reduces sum C*E.
+        est = exhaustive_estimator(figure2)
+        before = est.total()
+        f = figure2.gate("d")
+        pin = [i for i, g in enumerate(f.fanins) if g.name == "a"][0]
+        figure2.replace_fanin(f, pin, figure2.gate("e"))
+        est.update_after_edit([f])
+        assert est.total() < before
+
+
+class TestReportExtras:
+    def test_by_signal_triplets(self, figure2):
+        est = exhaustive_estimator(figure2)
+        report = est.report()
+        for name, (c, e, ce) in report.by_signal.items():
+            assert ce == pytest.approx(c * e)
+            assert 0.0 <= e <= 0.5 + 1e-12
+
+    def test_probability_accessor(self, figure2):
+        est = exhaustive_estimator(figure2)
+        assert est.probability(figure2.gate("e")) == pytest.approx(0.25)
+
+    def test_load_accessor(self, figure2):
+        est = exhaustive_estimator(figure2)
+        # e drives only its PO (load 1.0).
+        assert est.load(figure2.gate("e")) == pytest.approx(1.0)

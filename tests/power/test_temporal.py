@@ -1,0 +1,131 @@
+"""Tests for the temporal-correlation activity engine."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.power.estimate import PowerEstimator, transition_probability
+from repro.power.temporal import TemporalSimulationProbability, TemporalSpec
+
+
+class TestTemporalSpec:
+    def test_defaults(self):
+        spec = TemporalSpec()
+        assert spec.p_rise == pytest.approx(0.5)
+        assert spec.p_fall == pytest.approx(0.5)
+
+    def test_stationarity_relation(self):
+        spec = TemporalSpec(p1=0.25, activity=0.2)
+        # p1 * P(fall) == (1 - p1) * P(rise) == activity / 2
+        assert spec.p1 * spec.p_fall == pytest.approx(0.1)
+        assert (1 - spec.p1) * spec.p_rise == pytest.approx(0.1)
+
+    def test_infeasible_activity(self):
+        with pytest.raises(NetlistError):
+            TemporalSpec(p1=0.1, activity=0.5)  # max is 0.2
+
+    def test_bad_probability(self):
+        with pytest.raises(NetlistError):
+            TemporalSpec(p1=1.5)
+
+
+class TestEngine:
+    def test_input_statistics(self, figure2):
+        spec = TemporalSpec(p1=0.5, activity=0.1)
+        engine = TemporalSimulationProbability(
+            figure2, num_patterns=64 * 512, seed=4,
+            input_specs={"a": spec},
+        )
+        # Input a: stationary p ~ 0.5, measured activity ~ 0.1.
+        assert engine.probability("a") == pytest.approx(0.5, abs=0.03)
+        assert engine.activity("a") == pytest.approx(0.1, abs=0.02)
+        # Other inputs default to independence: activity ~ 0.5.
+        assert engine.activity("b") == pytest.approx(0.5, abs=0.03)
+
+    def test_independence_limit_matches_formula(self, figure2):
+        # With activity = 2p(1-p) on every input, internal activities must
+        # approach the 2p(1-p) formula on internal signals too.
+        engine = TemporalSimulationProbability(
+            figure2, num_patterns=64 * 512, seed=9
+        )
+        for name in ("d", "e", "f"):
+            p = engine.probability(name)
+            assert engine.activity(name) == pytest.approx(
+                transition_probability(p), abs=0.03
+            )
+
+    def test_low_input_activity_damps_internal(self, figure2):
+        slow = TemporalSpec(p1=0.5, activity=0.05)
+        engine = TemporalSimulationProbability(
+            figure2,
+            num_patterns=64 * 256,
+            seed=5,
+            default_spec=slow,
+        )
+        fast = TemporalSimulationProbability(
+            figure2, num_patterns=64 * 256, seed=5
+        )
+        for name in ("d", "e", "f"):
+            assert engine.activity(name) < fast.activity(name)
+
+    def test_estimator_uses_measured_activity(self, figure2):
+        slow = TemporalSpec(p1=0.5, activity=0.02)
+        engine = TemporalSimulationProbability(
+            figure2, num_patterns=64 * 128, seed=6, default_spec=slow
+        )
+        est = PowerEstimator(figure2, engine)
+        gate = figure2.gate("d")
+        assert est.activity(gate) == pytest.approx(
+            engine.activity("d")
+        )
+        # Total power under slow inputs is far below independence power.
+        fast_est = PowerEstimator(figure2)
+        assert est.total() < 0.5 * fast_est.total()
+
+    def test_update_fanout_consistent(self, figure2):
+        engine = TemporalSimulationProbability(
+            figure2, num_patterns=64 * 64, seed=7
+        )
+        f = figure2.gate("f")
+        figure2.replace_fanin(f, 0, figure2.gate("e"))
+        figure2.sweep_dead()
+        engine.update_fanout([f])
+        incremental = {n: engine.activity(n) for n in figure2.gates}
+        engine.refresh()
+        full = {n: engine.activity(n) for n in figure2.gates}
+        assert incremental == full
+
+
+class TestGainExactnessTemporal:
+    def test_full_gain_matches_measured(self, figure2):
+        from repro.transform.gain import full_gain
+        from repro.transform.substitution import IS2, Substitution, apply_substitution
+
+        engine = TemporalSimulationProbability(
+            figure2, num_patterns=64 * 64, seed=8,
+            default_spec=TemporalSpec(p1=0.5, activity=0.3),
+        )
+        est = PowerEstimator(figure2, engine)
+        d = figure2.gate("d")
+        pin = [i for i, g in enumerate(d.fanins) if g.name == "a"][0]
+        sub = Substitution(IS2, "a", "e", branch=("d", pin))
+        predicted = full_gain(est, sub)
+        before = est.total()
+        applied = apply_substitution(figure2, sub)
+        est.update_after_edit(
+            [figure2.gate(n) for n in applied.resim_roots if n in figure2.gates]
+        )
+        assert predicted.total == pytest.approx(before - est.total(), abs=1e-9)
+
+    def test_optimizer_with_temporal_specs(self, figure2):
+        from repro.equiv import check_equivalent
+        from repro.transform.optimizer import power_optimize
+
+        reference = figure2.copy("ref")
+        result = power_optimize(
+            figure2,
+            num_patterns=1024,
+            max_rounds=2,
+            input_temporal_specs={"b": TemporalSpec(p1=0.5, activity=0.1)},
+        )
+        assert result.final_power <= result.initial_power
+        assert check_equivalent(reference, figure2).equal

@@ -1,0 +1,281 @@
+"""Tests for the CNF encoder and DPLL solver, including cross-validation
+of the SAT oracle against the PODEM/BDD equivalence oracle."""
+
+import pytest
+
+from repro.equiv.checker import check_equivalent
+from repro.sat.cnf import CnfFormula, miter_cnf, tseitin_encode
+from repro.sat.dpll import SAT, UNKNOWN, UNSAT, DpllSolver, solve
+from repro.sat.oracle import sat_check_equivalent
+from tests.conftest import make_figure2, make_random_netlist
+
+
+class TestDpllBasics:
+    def test_empty_formula_sat(self):
+        assert solve(CnfFormula()).status == SAT
+
+    def test_single_unit(self):
+        f = CnfFormula()
+        v = f.new_var("x")
+        f.assume(v)
+        result = solve(f)
+        assert result.status == SAT
+        assert result.model[v] is True
+
+    def test_contradictory_units(self):
+        f = CnfFormula()
+        v = f.new_var()
+        f.assume(v)
+        f.assume(-v)
+        assert solve(f).status == UNSAT
+
+    def test_empty_clause_unsat(self):
+        f = CnfFormula()
+        f.new_var()
+        f.add_clause()
+        assert solve(f).status == UNSAT
+
+    def test_tautological_clause_ignored(self):
+        f = CnfFormula()
+        v = f.new_var()
+        f.add_clause(v, -v)
+        assert solve(f).status == SAT
+
+    def test_simple_implication_chain(self):
+        f = CnfFormula()
+        a, b, c = f.new_var(), f.new_var(), f.new_var()
+        f.assume(a)
+        f.add_clause(-a, b)
+        f.add_clause(-b, c)
+        result = solve(f)
+        assert result.status == SAT
+        assert result.model[c] is True
+
+    def test_pigeonhole_2_into_1(self):
+        # p1 and p2 each in hole 1, not both: UNSAT.
+        f = CnfFormula()
+        p1, p2 = f.new_var(), f.new_var()
+        f.assume(p1)
+        f.assume(p2)
+        f.add_clause(-p1, -p2)
+        assert solve(f).status == UNSAT
+
+    def test_model_satisfies_formula(self):
+        f = CnfFormula()
+        vs = [f.new_var() for _ in range(6)]
+        f.add_clause(vs[0], vs[1])
+        f.add_clause(-vs[0], vs[2])
+        f.add_clause(-vs[2], -vs[3], vs[4])
+        f.add_clause(vs[3], vs[5])
+        f.add_clause(-vs[4], -vs[5])
+        result = solve(f)
+        assert result.status == SAT
+        assert f.evaluate({v: result.model.get(v, False) for v in range(1, 7)})
+
+    def test_unsat_xor_chain(self):
+        # x1 ^ x2 = 1, x2 ^ x3 = 1, x1 ^ x3 = 1 is unsatisfiable.
+        f = CnfFormula()
+        x = [None] + [f.new_var() for _ in range(3)]
+
+        def xor_one(a, b):
+            f.add_clause(x[a], x[b])
+            f.add_clause(-x[a], -x[b])
+
+        xor_one(1, 2)
+        xor_one(2, 3)
+        xor_one(1, 3)
+        assert solve(f).status == UNSAT
+
+    def test_conflict_limit_gives_unknown(self):
+        # A hard-ish random instance with a tiny budget.
+        import random
+
+        rng = random.Random(5)
+        f = CnfFormula()
+        vs = [f.new_var() for _ in range(30)]
+        for _ in range(120):
+            clause = rng.sample(vs, 3)
+            f.add_clause(*[v if rng.random() < 0.5 else -v for v in clause])
+        result = DpllSolver(f, conflict_limit=1).solve()
+        assert result.status in (SAT, UNSAT, UNKNOWN)
+
+
+class TestTseitin:
+    def test_consistency_only_models(self, figure2):
+        formula = tseitin_encode(figure2)
+        # Any model must respect the circuit: check via brute force for all
+        # 8 input vectors by assuming the inputs and solving.
+        for m in range(8):
+            f = tseitin_encode(figure2)
+            values = {}
+            for i, name in enumerate(figure2.input_names):
+                bit = (m >> i) & 1
+                values[name] = bit
+                f.assume(f.var_of[name] if bit else -f.var_of[name])
+            result = solve(f)
+            assert result.status == SAT
+            # Compare against direct evaluation.
+            from repro.netlist.traverse import topological_order
+
+            ref = dict(values)
+            for gate in topological_order(figure2):
+                if gate.is_input:
+                    continue
+                ref[gate.name] = gate.cell.evaluate(
+                    [ref[x.name] for x in gate.fanins]
+                )
+            for name, want in ref.items():
+                got = result.model[f.var_of[name]]
+                assert got == bool(want), (m, name)
+
+    def test_tie_cells_encoded(self, builder, lib):
+        tie = builder.netlist.add_gate(lib.constant(True), [], name="one")
+        a = builder.input("a")
+        g = builder.and_(a, tie, name="g")
+        builder.output("o", g)
+        nl = builder.build()
+        f = tseitin_encode(nl)
+        f.assume(f.var_of["a"])
+        result = solve(f)
+        assert result.status == SAT
+        assert result.model[f.var_of["g"]] is True
+
+
+class TestSatOracle:
+    def test_equal_copies(self, lib, figure2):
+        result = sat_check_equivalent(figure2, make_figure2(lib))
+        assert result.equal
+
+    def test_detects_difference(self, lib, figure2, builder):
+        a, bb, c = builder.inputs("a", "b", "c")
+        e = builder.and_(a, bb, name="e")
+        f = builder.or_(a, c, name="f")
+        builder.output("f_out", f)
+        builder.output("e_out", e)
+        other = builder.build()
+        result = sat_check_equivalent(figure2, other)
+        assert result.status == "not-equal"
+        assert result.counterexample is not None
+
+    @pytest.mark.parametrize("seed", [301, 302, 303, 304, 305])
+    def test_cross_validation_equal(self, lib, seed):
+        nl = make_random_netlist(lib, 6, 16, 3, seed=seed)
+        copy = nl.copy("c")
+        podem_verdict = check_equivalent(nl, copy)
+        sat_verdict = sat_check_equivalent(nl, copy)
+        assert podem_verdict.equal and sat_verdict.equal
+
+    @pytest.mark.parametrize("seed", [311, 312, 313])
+    def test_cross_validation_mutated(self, lib, seed):
+        nl = make_random_netlist(lib, 6, 16, 3, seed=seed)
+        mutated = nl.copy("m")
+        po, driver = next(iter(mutated.outputs.items()))
+        inv = mutated.add_gate(mutated.library.inverter(), [driver], name="mut")
+        mutated.set_output(po, inv)
+        podem_verdict = check_equivalent(nl, mutated)
+        sat_verdict = sat_check_equivalent(nl, mutated)
+        assert podem_verdict.status == "not-equal"
+        assert sat_verdict.status == "not-equal"
+        # Each oracle's counterexample satisfies the CNF-level difference.
+        cex = sat_verdict.counterexample
+        from tests.equiv.test_checker import evaluate_outputs
+
+        assert evaluate_outputs(nl, cex) != evaluate_outputs(mutated, cex)
+
+    def test_cross_validation_after_powder(self, lib):
+        from repro.bench.suite import build_benchmark
+        from repro.transform.optimizer import OptimizeOptions, power_optimize
+
+        nl = build_benchmark("sqrt8", lib)
+        ref = nl.copy("ref")
+        power_optimize(
+            nl, OptimizeOptions(num_patterns=1024, max_rounds=2, max_moves=8)
+        )
+        assert sat_check_equivalent(ref, nl).equal
+
+    def test_mismatched_interfaces(self, figure2, builder):
+        builder.input("z")
+        g = builder.not_(builder.netlist.gate("z"))
+        builder.output("f_out", g)
+        builder.output("e_out", g)
+        import pytest as _pytest
+        from repro.errors import NetlistError
+
+        with _pytest.raises(NetlistError):
+            sat_check_equivalent(figure2, builder.build())
+
+
+class TestTripleOracleAgreement:
+    """PODEM, BDD and SAT must agree on candidate permissibility."""
+
+    @pytest.mark.parametrize("seed", [321, 322])
+    def test_candidates_triple_checked(self, lib, seed):
+        from repro.power.estimate import PowerEstimator
+        from repro.power.probability import SimulationProbability
+        from repro.transform.candidates import (
+            CandidateOptions,
+            generate_candidates,
+        )
+        from repro.transform.substitution import apply_to_copy
+        from repro.equiv.checker import _bdd_verdict
+
+        nl = make_random_netlist(lib, 6, 14, 3, seed=seed)
+        est = PowerEstimator(nl, SimulationProbability(nl, exhaustive=True))
+        candidates = generate_candidates(
+            est, CandidateOptions(max_per_target=2, max_total=12)
+        )
+        for candidate in candidates[:8]:
+            trial, _ = apply_to_copy(nl, candidate.substitution)
+            podem = check_equivalent(nl, trial).equal
+            sat = sat_check_equivalent(nl, trial).equal
+            bdd = _bdd_verdict(nl, trial, 200_000).equal
+            assert podem == sat == bdd, str(candidate.substitution)
+
+
+class TestDpllBruteForce:
+    """Property: DPLL verdicts match brute-force enumeration."""
+
+    @staticmethod
+    def brute_force(formula):
+        n = formula.num_vars
+        for m in range(1 << n):
+            assignment = {v: bool((m >> (v - 1)) & 1) for v in range(1, n + 1)}
+            if formula.evaluate(assignment):
+                return True
+        return False
+
+    def test_random_formulas(self):
+        import random
+
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @st.composite
+        def formulas(draw):
+            num_vars = draw(st.integers(1, 8))
+            f = CnfFormula()
+            vs = [f.new_var() for _ in range(num_vars)]
+            num_clauses = draw(st.integers(0, 20))
+            for _ in range(num_clauses):
+                size = draw(st.integers(1, 3))
+                lits = []
+                for _ in range(size):
+                    v = draw(st.sampled_from(vs))
+                    lits.append(v if draw(st.booleans()) else -v)
+                f.add_clause(*lits)
+            return f
+
+        @settings(max_examples=80, deadline=None)
+        @given(formulas())
+        def check(formula):
+            result = solve(formula)
+            expected = self.brute_force(formula)
+            assert (result.status == SAT) == expected
+            if result.status == SAT:
+                full = {
+                    v: result.model.get(v, False)
+                    for v in range(1, formula.num_vars + 1)
+                }
+                assert formula.evaluate(full)
+
+        check()

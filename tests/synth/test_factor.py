@@ -1,0 +1,68 @@
+"""Tests for algebraic factoring."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.sop import Cover, Cube
+from repro.synth.factor import factor_cover, factored_literal_count
+
+NAMES = ["a", "b", "c", "d", "e", "f"]
+
+
+def covers(nvars=4, max_cubes=6):
+    cube = st.builds(
+        lambda care, values: Cube(nvars, care, values & care),
+        st.integers(0, (1 << nvars) - 1),
+        st.integers(0, (1 << nvars) - 1),
+    )
+    return st.lists(cube, max_size=max_cubes).map(lambda cs: Cover(nvars, cs))
+
+
+class TestFactorCover:
+    def test_empty_cover(self):
+        e = factor_cover(Cover(3, []), NAMES[:3])
+        assert e.evaluate({}) == 0
+
+    def test_tautology(self):
+        e = factor_cover(Cover(3, [Cube.universe(3)]), NAMES[:3])
+        assert e.evaluate({}) == 1
+
+    def test_single_cube(self):
+        cover = Cover.from_strings(["10-"])
+        e = factor_cover(cover, NAMES[:3])
+        assert e.to_truthtable(NAMES[:3]) == cover.to_truthtable()
+
+    def test_common_cube_extracted(self):
+        # ab + ac = a(b + c): 3 literals instead of 4.
+        cover = Cover.from_strings(["11-", "1-1"])
+        e = factor_cover(cover, NAMES[:3])
+        assert e.to_truthtable(NAMES[:3]) == cover.to_truthtable()
+        assert factored_literal_count(e) == 3
+
+    def test_kernel_factoring_shrinks(self):
+        # ac + ad + bc + bd = (a+b)(c+d): 4 literals instead of 8.
+        cover = Cover.from_strings(["1-1-", "1--1", "-11-", "-1-1"])
+        e = factor_cover(cover, NAMES[:4])
+        assert e.to_truthtable(NAMES[:4]) == cover.to_truthtable()
+        assert factored_literal_count(e) <= 5
+
+    def test_majority(self):
+        cover = Cover(
+            3,
+            [Cube.from_minterm(3, m) for m in range(8) if bin(m).count("1") >= 2],
+        )
+        e = factor_cover(cover, NAMES[:3])
+        assert e.to_truthtable(NAMES[:3]) == cover.to_truthtable()
+
+    @given(covers())
+    @settings(max_examples=60, deadline=None)
+    def test_factoring_preserves_function(self, cover):
+        e = factor_cover(cover, NAMES[:4])
+        assert e.to_truthtable(NAMES[:4]) == cover.to_truthtable()
+
+    @given(covers())
+    @settings(max_examples=40, deadline=None)
+    def test_factored_never_more_literals(self, cover):
+        cover.remove_contained()
+        e = factor_cover(cover, NAMES[:4])
+        assert factored_literal_count(e) <= max(cover.num_literals(), 1)

@@ -1,0 +1,115 @@
+"""Tests for kernel extraction and weak division."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.sop import Cover, Cube
+from repro.synth.kernels import (
+    common_cube,
+    cube_free,
+    divide_by_cube,
+    kernels,
+    weak_divide,
+)
+
+
+def algebraic_product(divisor: Cover, quotient: Cover) -> set:
+    cubes = set()
+    for d in divisor.cubes:
+        for q in quotient.cubes:
+            prod = d.intersect(q)
+            if prod is not None:
+                cubes.add(prod)
+    return cubes
+
+
+def covers(nvars=4, max_cubes=5):
+    cube = st.builds(
+        lambda care, values: Cube(nvars, care, values & care),
+        st.integers(0, (1 << nvars) - 1),
+        st.integers(0, (1 << nvars) - 1),
+    )
+    return st.lists(cube, min_size=1, max_size=max_cubes).map(
+        lambda cs: Cover(nvars, cs)
+    )
+
+
+class TestCommonCube:
+    def test_common_cube(self):
+        cover = Cover.from_strings(["110", "11-"])
+        assert str(common_cube(cover)) == "11-"
+
+    def test_no_common(self):
+        cover = Cover.from_strings(["1-", "-1"])
+        assert common_cube(cover).care == 0
+
+    def test_cube_free(self):
+        cover = Cover.from_strings(["110", "101"])
+        free = cube_free(cover)
+        assert common_cube(free).care == 0
+
+
+class TestDivision:
+    def test_divide_by_cube(self):
+        # F = abc + abd + cd; F / ab = c + d
+        f = Cover.from_strings(["111-", "11-1", "--11"])
+        lit = Cube.from_string("11--")
+        q = divide_by_cube(f, lit)
+        assert {str(c) for c in q.cubes} == {"--1-", "---1"}
+
+    def test_weak_divide_identity(self):
+        # F = (a + b)(c) + d = ac + bc + d
+        f = Cover.from_strings(["1-1-", "-11-", "---1"])
+        divisor = Cover.from_strings(["1---", "-1--"])  # a + b
+        quotient, remainder = weak_divide(f, divisor)
+        assert {str(c) for c in quotient.cubes} == {"--1-"}
+        assert {str(c) for c in remainder.cubes} == {"---1"}
+
+    def test_weak_divide_empty_quotient(self):
+        f = Cover.from_strings(["1-", "-1"])
+        divisor = Cover.from_strings(["11"])
+        quotient, remainder = weak_divide(f, divisor)
+        assert quotient.is_empty()
+        assert len(remainder) == 2
+
+    @given(covers(), covers(max_cubes=3))
+    @settings(max_examples=50, deadline=None)
+    def test_weak_divide_reconstructs(self, f, divisor):
+        quotient, remainder = weak_divide(f, divisor)
+        rebuilt = algebraic_product(divisor, quotient) | set(remainder.cubes)
+        assert rebuilt == set(f.cubes) | (
+            rebuilt - set(f.cubes)
+        )  # product cubes must all be in F
+        # Every cube of F is reproduced.
+        assert set(f.cubes) <= rebuilt
+
+
+class TestKernels:
+    def test_textbook_example(self):
+        # F = ace + bce + de + g  (classic example, kernels include a+b etc.)
+        # vars: a b c d e g -> 6
+        f = Cover.from_strings(
+            ["1-1-1-", "-11-1-", "---11-", "-----1"]
+        )
+        found = kernels(f)
+        kernel_sets = [
+            {str(c) for c in kernel.cubes} for _co, kernel in found
+        ]
+        assert {"1-----", "-1----"} in kernel_sets  # a + b
+        assert {"1-1---", "-11---", "---1--"} in kernel_sets  # ac+bc+d
+
+    def test_kernels_are_cube_free(self):
+        f = Cover.from_strings(["111-", "11-1"])
+        for _co, kernel in kernels(f):
+            assert common_cube(kernel).care == 0
+
+    @given(covers())
+    @settings(max_examples=40, deadline=None)
+    def test_all_kernels_cube_free(self, f):
+        for _co, kernel in kernels(f):
+            if len(kernel.cubes) > 1:
+                assert common_cube(kernel).care == 0
+
+    def test_single_cube_has_no_multicube_kernels(self):
+        f = Cover.from_strings(["11-"])
+        assert all(len(k.cubes) <= 1 for _c, k in kernels(f))

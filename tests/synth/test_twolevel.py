@@ -1,0 +1,116 @@
+"""Tests for espresso-style two-level minimization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.sop import Cover, Cube
+from repro.logic.truthtable import TruthTable
+from repro.synth.twolevel import (
+    cover_cost,
+    expand,
+    irredundant,
+    minimize_cover,
+    reduce_cover,
+)
+
+
+def covers(nvars=4, max_cubes=6):
+    cube = st.builds(
+        lambda care, values: Cube(nvars, care, values & care),
+        st.integers(0, (1 << nvars) - 1),
+        st.integers(0, (1 << nvars) - 1),
+    )
+    return st.lists(cube, max_size=max_cubes).map(lambda cs: Cover(nvars, cs))
+
+
+class TestSteps:
+    def test_expand_grows_cubes(self):
+        on = Cover.from_strings(["110", "100"])
+        off = on.complement()
+        grown = expand(on, off)
+        assert grown.to_truthtable() == on.to_truthtable()
+        assert grown.num_literals() <= on.num_literals()
+
+    def test_irredundant_removes_covered(self):
+        # Third cube is covered by the other two.
+        cover = Cover.from_strings(["1-", "-1", "11"])
+        result = irredundant(cover)
+        assert len(result) == 2
+        assert result.to_truthtable() == cover.to_truthtable()
+
+    def test_reduce_preserves_function(self):
+        cover = Cover.from_strings(["1-", "-1"])
+        reduced = reduce_cover(cover)
+        assert reduced.to_truthtable() == cover.to_truthtable()
+
+
+class TestMinimize:
+    def test_classic_example(self):
+        # f = a'b + ab + ab' = a + b
+        on = Cover.from_strings(["01", "11", "10"])
+        result = minimize_cover(on)
+        assert result.to_truthtable() == on.to_truthtable()
+        assert len(result) == 2
+        assert result.num_literals() == 2
+
+    def test_majority(self):
+        on = Cover(
+            3,
+            [
+                Cube.from_minterm(3, m)
+                for m in range(8)
+                if bin(m).count("1") >= 2
+            ],
+        )
+        result = minimize_cover(on)
+        assert result.to_truthtable() == on.to_truthtable()
+        assert len(result) == 3  # ab + ac + bc
+
+    def test_tautology(self):
+        on = Cover.from_strings(["1-", "0-"])
+        result = minimize_cover(on)
+        assert len(result) == 1
+        assert result.cubes[0].care == 0
+
+    def test_empty(self):
+        result = minimize_cover(Cover(3, []))
+        assert result.is_empty()
+
+    def test_dont_cares_exploited(self):
+        # on = {11}, dc = {10}: minimizer may expand to cube "1-".
+        on = Cover.from_strings(["11"])
+        dc = Cover.from_strings(["10"])
+        result = minimize_cover(on, dc)
+        # Result must cover the on-set and stay inside on+dc.
+        on_tt = on.to_truthtable()
+        dc_tt = dc.to_truthtable()
+        result_tt = result.to_truthtable()
+        assert on_tt.implies(result_tt)
+        assert result_tt.implies(on_tt | dc_tt)
+        assert result.num_literals() == 1  # got the expansion
+
+    @given(covers())
+    @settings(max_examples=40, deadline=None)
+    def test_minimize_preserves_function(self, cover):
+        result = minimize_cover(cover)
+        assert result.to_truthtable() == cover.to_truthtable()
+
+    @given(covers())
+    @settings(max_examples=40, deadline=None)
+    def test_minimize_never_worse(self, cover):
+        cover.remove_contained()
+        result = minimize_cover(cover)
+        assert cover_cost(result) <= cover_cost(cover)
+
+    @given(covers(nvars=3), covers(nvars=3))
+    @settings(max_examples=30, deadline=None)
+    def test_minimize_with_dc_bounds(self, on, dc):
+        result = minimize_cover(on, dc)
+        on_tt = on.to_truthtable()
+        dc_tt = dc.to_truthtable()
+        result_tt = result.to_truthtable()
+        # Must cover the care on-set and stay inside on + dc; minterms in
+        # both on and dc are free either way.
+        assert (on_tt & ~dc_tt).implies(result_tt)
+        assert result_tt.implies(on_tt | dc_tt)

@@ -1,0 +1,212 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.library.standard import STANDARD_GENLIB
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_args(self):
+        args = build_parser().parse_args(
+            ["table1", "--patterns", "512", "--circuits", "rd53"]
+        )
+        assert args.patterns == 512
+        assert args.circuits == ["rd53"]
+
+    def test_optimize_args(self):
+        args = build_parser().parse_args(
+            ["optimize", "x.blif", "--delay-slack", "0"]
+        )
+        assert args.netlist == "x.blif"
+        assert args.delay_slack == 0.0
+
+
+class TestCommands:
+    def test_bench_list(self, capsys):
+        assert main(["bench-list"]) == 0
+        out = capsys.readouterr().out
+        assert "comp" in out and "9sym" in out
+
+    def test_synth_and_optimize_pipeline(self, tmp_path, capsys):
+        pla = tmp_path / "maj.pla"
+        pla.write_text(
+            ".i 3\n.o 1\n.ilb a b c\n.ob f\n11- 1\n1-1 1\n-11 1\n.e\n"
+        )
+        mapped = tmp_path / "maj.blif"
+        assert main(["synth", str(pla), "-o", str(mapped)]) == 0
+        assert mapped.exists()
+        optimized = tmp_path / "opt.blif"
+        assert (
+            main(
+                [
+                    "optimize",
+                    str(mapped),
+                    "-o",
+                    str(optimized),
+                    "--patterns",
+                    "512",
+                    "--max-rounds",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "POWDER result" in out
+        assert optimized.exists()
+
+    def test_synth_to_stdout(self, tmp_path, capsys):
+        pla = tmp_path / "f.pla"
+        pla.write_text(".i 2\n.o 1\n11 1\n.e\n")
+        assert main(["synth", str(pla)]) == 0
+        assert ".gate" in capsys.readouterr().out
+
+    def test_optimize_with_custom_library(self, tmp_path, capsys):
+        genlib = tmp_path / "lib.genlib"
+        genlib.write_text(STANDARD_GENLIB)
+        pla = tmp_path / "f.pla"
+        pla.write_text(".i 2\n.o 1\n11 1\n.e\n")
+        mapped = tmp_path / "f.blif"
+        assert (
+            main(["synth", str(pla), "--library", str(genlib), "-o", str(mapped)])
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "optimize",
+                    str(mapped),
+                    "--library",
+                    str(genlib),
+                    "--patterns",
+                    "512",
+                    "--max-rounds",
+                    "1",
+                ]
+            )
+            == 0
+        )
+
+    def test_table1_tiny(self, capsys):
+        assert (
+            main(
+                [
+                    "table1",
+                    "--circuits",
+                    "sqrt8",
+                    "--patterns",
+                    "512",
+                    "--repeat",
+                    "4",
+                    "--max-rounds",
+                    "1",
+                    "--max-moves",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "sqrt8" in out and "reduction%" in out
+
+
+class TestUtilityCommands:
+    @pytest.fixture
+    def mapped_blif(self, tmp_path):
+        pla = tmp_path / "maj.pla"
+        pla.write_text(
+            ".i 3\n.o 1\n.ilb a b c\n.ob f\n11- 1\n1-1 1\n-11 1\n.e\n"
+        )
+        out = tmp_path / "maj.blif"
+        assert main(["synth", str(pla), "-o", str(out)]) == 0
+        return out
+
+    def test_verify_equal(self, mapped_blif, capsys):
+        assert main(["verify", str(mapped_blif), str(mapped_blif)]) == 0
+        assert "equal" in capsys.readouterr().out
+
+    def test_verify_not_equal(self, mapped_blif, tmp_path, capsys):
+        pla = tmp_path / "and3.pla"
+        pla.write_text(".i 3\n.o 1\n.ilb a b c\n.ob f\n111 1\n.e\n")
+        other = tmp_path / "and3.blif"
+        assert main(["synth", str(pla), "-o", str(other)]) == 0
+        assert main(["verify", str(mapped_blif), str(other)]) == 1
+        out = capsys.readouterr().out
+        assert "not-equal" in out and "counterexample" in out
+
+    def test_atpg_report(self, mapped_blif, capsys):
+        assert main(["atpg", str(mapped_blif), "--patterns", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage" in out
+
+    def test_glitch_report(self, mapped_blif, capsys):
+        assert main(["glitch", str(mapped_blif), "--pairs", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "glitch share" in out
+
+    def test_synth_logic_blif_input(self, tmp_path, capsys):
+        logic = tmp_path / "fa.blif"
+        logic.write_text(
+            ".inputs a b\n.outputs y\n.names a b t\n11 1\n"
+            ".names t y\n0 1\n.end\n"
+        )
+        mapped = tmp_path / "fa_mapped.blif"
+        assert main(["synth", str(logic), "-o", str(mapped)]) == 0
+        assert mapped.exists()
+
+    def test_synth_delay_mode(self, tmp_path):
+        pla = tmp_path / "f.pla"
+        pla.write_text(".i 2\n.o 1\n11 1\n.e\n")
+        out = tmp_path / "f.blif"
+        assert main(["synth", str(pla), "--mode", "delay", "-o", str(out)]) == 0
+
+    def test_stats_report(self, mapped_blif, capsys):
+        assert main(["stats", str(mapped_blif), "--patterns", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "cell mix" in out and "power (sum CE)" in out
+
+    def test_optimize_area_objective(self, mapped_blif, capsys):
+        assert (
+            main(
+                [
+                    "optimize", str(mapped_blif), "--objective", "area",
+                    "--patterns", "256", "--max-rounds", "1",
+                ]
+            )
+            == 0
+        )
+        assert "POWDER result" in capsys.readouterr().out
+
+    def test_table2_tiny(self, capsys):
+        assert (
+            main(
+                [
+                    "table2", "--circuits", "sqrt8", "--patterns", "512",
+                    "--repeat", "4", "--max-rounds", "1", "--max-moves", "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "OS2" in out and "paper" in out
+
+    def test_figure6_tiny(self, capsys):
+        # Note: the CLI sweeps DEFAULT_SLACK_PERCENTS; restrict circuits to
+        # the smallest and cap effort to keep this test quick.
+        from repro.experiments.figure6 import run_figure6, format_figure6
+        from repro.experiments.common import ExperimentConfig
+
+        result = run_figure6(
+            circuits=["sqrt8"],
+            slack_percents=(0, 200),
+            config=ExperimentConfig(
+                num_patterns=512, repeat=4, max_rounds=1, max_moves=3
+            ),
+        )
+        text = format_figure6(result)
+        assert "trade-off" in text

@@ -1,0 +1,42 @@
+"""Smoke tests: the fast example scripts must run end to end.
+
+(The slower sweep examples — delay_tradeoff, synthesis_flow,
+glitch_analysis — are exercised implicitly through the APIs they use; their
+full runs live outside the unit-test budget.)
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, argv=None):
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES / name)] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "functional equivalence after optimization: equal" in out
+
+    def test_paper_figure2(self, capsys):
+        run_example("paper_figure2.py")
+        out = capsys.readouterr().out
+        assert "IS2(a@d.0 <- e)" in out
+        assert "permissible" in out
+        assert "UNSAT" in out
+
+    def test_atpg_playground(self, capsys):
+        run_example("atpg_playground.py")
+        out = capsys.readouterr().out
+        assert "REDUNDANT" in out

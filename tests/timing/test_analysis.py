@@ -1,0 +1,130 @@
+"""Tests for static timing analysis."""
+
+import pytest
+
+from repro.netlist.netlist import Netlist
+from repro.timing.analysis import TimingAnalysis, gate_delay
+
+
+class TestGateDelay:
+    def test_linear_model(self, lib, builder):
+        a, b = builder.inputs("a", "b")
+        g = builder.and_(a, b, name="g")
+        builder.output("o", g, load=1.0)
+        nl = builder.build()
+        cell = lib["and2"]
+        tau = max(p.tau for p in cell.pins)
+        res = max(p.resistance for p in cell.pins)
+        assert gate_delay(nl, g) == pytest.approx(tau + res * 1.0)
+
+    def test_load_dependence(self, lib, builder):
+        a, b = builder.inputs("a", "b")
+        g = builder.and_(a, b, name="g")
+        builder.xor_(g, a, name="x")  # adds load 2.0 to g
+        builder.output("o", nl_gate := g, load=1.0)
+        nl = builder.build()
+        base = gate_delay(nl, g)
+        assert gate_delay(nl, g, extra_load=1.0) == pytest.approx(
+            base + max(p.resistance for p in lib["and2"].pins)
+        )
+
+    def test_input_has_zero_delay(self, builder):
+        a = builder.input("a")
+        nl = builder.build()
+        assert gate_delay(nl, a) == 0.0
+
+
+class TestTimingAnalysis:
+    def test_chain_arrival(self, lib, builder):
+        a = builder.input("a")
+        g1 = builder.not_(a, name="g1")
+        g2 = builder.not_(g1, name="g2")
+        builder.output("o", g2, load=1.0)
+        nl = builder.build()
+        ta = TimingAnalysis(nl)
+        d1 = gate_delay(nl, g1)
+        d2 = gate_delay(nl, g2)
+        assert ta.arrival["g1"] == pytest.approx(d1)
+        assert ta.arrival["g2"] == pytest.approx(d1 + d2)
+        assert ta.circuit_delay == pytest.approx(d1 + d2)
+
+    def test_max_over_fanins(self, builder):
+        a, b = builder.inputs("a", "b")
+        g1 = builder.not_(a, name="g1")
+        g2 = builder.and_(g1, b, name="g2")
+        builder.output("o", g2)
+        nl = builder.build()
+        ta = TimingAnalysis(nl)
+        assert ta.arrival["g2"] == pytest.approx(
+            ta.arrival["g1"] + ta.delay_of["g2"]
+        )
+
+    def test_required_times_and_slack(self, builder):
+        a, b = builder.inputs("a", "b")
+        g1 = builder.not_(a, name="g1")
+        g2 = builder.and_(g1, b, name="g2")
+        builder.output("o", g2)
+        nl = builder.build()
+        ta = TimingAnalysis(nl)
+        # Default constraint = circuit delay: critical path slack 0.
+        assert ta.slack(g2) == pytest.approx(0.0)
+        assert ta.slack(g1) == pytest.approx(0.0)
+        # b arrives at 0 but is only needed later.
+        assert ta.slack(b) >= 0
+
+    def test_explicit_constraint(self, builder):
+        a = builder.input("a")
+        g = builder.not_(a, name="g")
+        builder.output("o", g)
+        nl = builder.build()
+        ta = TimingAnalysis(nl, required_limit=100.0)
+        assert ta.slack(g) == pytest.approx(100.0 - ta.arrival["g"])
+        assert ta.meets(100.0)
+
+    def test_violated_constraint(self, builder):
+        a = builder.input("a")
+        g = builder.not_(a, name="g")
+        builder.output("o", g)
+        nl = builder.build()
+        ta = TimingAnalysis(nl, required_limit=0.0)
+        assert ta.slack(g) < 0
+        assert not ta.meets(0.0)
+
+    def test_dead_logic_has_infinite_slack(self, builder):
+        a, b = builder.inputs("a", "b")
+        g = builder.and_(a, b, name="g")
+        dead = builder.not_(g, name="dead")
+        builder.output("o", g)
+        nl = builder.build()
+        ta = TimingAnalysis(nl)
+        assert ta.slack(dead) == float("inf")
+
+    def test_critical_path(self, builder):
+        a, b = builder.inputs("a", "b")
+        g1 = builder.xor_(a, b, name="g1")
+        g2 = builder.not_(g1, name="g2")
+        builder.output("o", g2)
+        nl = builder.build()
+        path = [g.name for g in TimingAnalysis(nl).critical_path()]
+        assert path[-1] == "g2"
+        assert path[-2] == "g1"
+
+    def test_empty_netlist(self, lib):
+        nl = Netlist("empty", lib)
+        ta = TimingAnalysis(nl)
+        assert ta.circuit_delay == 0.0
+        assert ta.critical_path() == []
+
+    def test_validate(self, random_netlist):
+        TimingAnalysis(random_netlist).validate()
+
+    def test_more_load_more_delay(self, builder):
+        a, b = builder.inputs("a", "b")
+        g = builder.and_(a, b, name="g")
+        builder.output("o", g)
+        nl = builder.build()
+        before = TimingAnalysis(nl).circuit_delay
+        # Hang two extra sinks on g.
+        builder.output("o2", builder.xor_(g, a, name="x"))
+        after = TimingAnalysis(nl).circuit_delay
+        assert after > before

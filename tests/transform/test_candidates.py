@@ -1,0 +1,131 @@
+"""Tests for simulation-filtered candidate generation."""
+
+import pytest
+
+from repro.errors import TransformError
+from repro.power.estimate import PowerEstimator
+from repro.power.probability import (
+    PropagationProbability,
+    SimulationProbability,
+)
+from repro.transform.candidates import CandidateOptions, generate_candidates
+from repro.transform.permissible import PERMISSIBLE, check_candidate
+from repro.transform.substitution import IS2, IS3, OS2, OS3
+from tests.conftest import make_random_netlist
+
+
+def exhaustive_estimator(netlist):
+    return PowerEstimator(
+        netlist, SimulationProbability(netlist, exhaustive=True)
+    )
+
+
+class TestGeneration:
+    def test_figure2_contains_paper_move(self, figure2):
+        est = exhaustive_estimator(figure2)
+        candidates = generate_candidates(est)
+        d = figure2.gate("d")
+        pin = [i for i, g in enumerate(d.fanins) if g.name == "a"][0]
+        found = [
+            c
+            for c in candidates
+            if c.substitution.kind == IS2
+            and c.substitution.target == "a"
+            and c.substitution.source1 == "e"
+            and c.substitution.branch == ("d", pin)
+        ]
+        assert found, "the paper's Figure-2 rewiring must be a candidate"
+
+    def test_sorted_by_quick_gain(self, random_netlist):
+        est = exhaustive_estimator(random_netlist)
+        candidates = generate_candidates(est)
+        gains = [c.quick for c in candidates]
+        assert gains == sorted(gains, reverse=True)
+
+    def test_requires_simulation_engine(self, figure2):
+        est = PowerEstimator(figure2, PropagationProbability(figure2))
+        with pytest.raises(TransformError):
+            generate_candidates(est)
+
+    def test_class_enables(self, random_netlist):
+        est = exhaustive_estimator(random_netlist)
+        only_os2 = generate_candidates(
+            est,
+            CandidateOptions(
+                enable_is2=False, enable_os3=False, enable_is3=False
+            ),
+        )
+        assert all(c.substitution.kind == OS2 for c in only_os2)
+        only_is = generate_candidates(
+            est,
+            CandidateOptions(
+                enable_os2=False, enable_os3=False, enable_is3=False
+            ),
+        )
+        assert all(c.substitution.kind == IS2 for c in only_is)
+
+    def test_max_total_cap(self, random_netlist):
+        est = exhaustive_estimator(random_netlist)
+        capped = generate_candidates(est, CandidateOptions(max_total=5))
+        assert len(capped) <= 5
+
+    def test_no_inversion_option(self, random_netlist):
+        est = exhaustive_estimator(random_netlist)
+        candidates = generate_candidates(
+            est, CandidateOptions(allow_inversion=False)
+        )
+        assert all(not c.substitution.invert1 for c in candidates)
+
+    def test_os3_cells_restriction(self, random_netlist):
+        est = exhaustive_estimator(random_netlist)
+        candidates = generate_candidates(
+            est,
+            CandidateOptions(
+                enable_os2=False,
+                enable_is2=False,
+                enable_is3=False,
+                os3_cells=("xor2",),
+            ),
+        )
+        assert all(
+            c.substitution.new_cell == "xor2" for c in candidates
+        )
+
+
+class TestCandidateQuality:
+    @pytest.mark.parametrize("seed", [7, 8])
+    def test_all_candidates_permissible_under_exhaustive_sim(self, lib, seed):
+        # With exhaustive patterns the observability filter is exact, so
+        # every candidate must pass the ATPG permissibility check.
+        nl = make_random_netlist(lib, 5, 12, 3, seed=seed)
+        est = exhaustive_estimator(nl)
+        candidates = generate_candidates(
+            est, CandidateOptions(max_per_target=3, max_total=40)
+        )
+        assert candidates, "expected at least one candidate"
+        for candidate in candidates[:25]:
+            result = check_candidate(nl, candidate.substitution)
+            assert result.status == PERMISSIBLE, str(candidate.substitution)
+
+    def test_no_cycle_candidates(self, random_netlist):
+        est = exhaustive_estimator(random_netlist)
+        for candidate in generate_candidates(est):
+            sub = candidate.substitution
+            target = random_netlist.gate(sub.target)
+            for source_name in sub.source_names():
+                source = random_netlist.gate(source_name)
+                if sub.is_output_substitution():
+                    for sink, _pin in target.fanouts:
+                        assert not random_netlist.would_create_cycle(
+                            source, sink
+                        )
+                else:
+                    sink = random_netlist.gate(sub.branch[0])
+                    assert not random_netlist.would_create_cycle(source, sink)
+
+    def test_branch_targets_only_multi_fanout(self, random_netlist):
+        est = exhaustive_estimator(random_netlist)
+        for candidate in generate_candidates(est):
+            sub = candidate.substitution
+            if sub.kind in (IS2, IS3):
+                assert random_netlist.gate(sub.target).fanout_count() >= 2

@@ -1,0 +1,68 @@
+"""Edge-case behaviour of the optimizer."""
+
+import pytest
+
+from repro.netlist.netlist import Netlist
+from repro.transform.optimizer import OptimizeOptions, power_optimize
+
+
+class TestDegenerateNetlists:
+    def test_wire_only_netlist(self, lib):
+        nl = Netlist("wires", lib)
+        a = nl.add_input("a")
+        nl.set_output("o", a)
+        result = power_optimize(nl, OptimizeOptions(num_patterns=64))
+        assert result.moves == []
+        assert result.final_power == pytest.approx(result.initial_power)
+
+    def test_single_gate(self, builder):
+        a, b = builder.inputs("a", "b")
+        builder.output("o", builder.and_(a, b))
+        result = power_optimize(
+            builder.build(), OptimizeOptions(num_patterns=64)
+        )
+        assert result.final_power <= result.initial_power + 1e-9
+
+    def test_constant_driver_netlist(self, builder, lib):
+        tie = builder.netlist.add_gate(lib.constant(True), [], name="one")
+        a = builder.input("a")
+        g = builder.and_(a, tie, name="g")
+        builder.output("o", g)
+        nl = builder.build()
+        result = power_optimize(nl, OptimizeOptions(num_patterns=64))
+        # g == a on every pattern: the optimizer may collapse it entirely.
+        assert result.final_power <= result.initial_power + 1e-9
+
+    def test_all_outputs_same_driver(self, builder):
+        a, b = builder.inputs("a", "b")
+        g = builder.xor_(a, b, name="g")
+        for i in range(4):
+            builder.output(f"o{i}", g)
+        result = power_optimize(
+            builder.build(), OptimizeOptions(num_patterns=64)
+        )
+        assert result.final_delay >= 0
+
+    def test_dead_logic_in_input(self, builder):
+        # Dead gates at construction: POWDER must not trip over them.
+        a, b = builder.inputs("a", "b")
+        builder.and_(a, b, name="dead")
+        live = builder.or_(a, b, name="live")
+        builder.output("o", live)
+        nl = builder.build()
+        result = power_optimize(nl, OptimizeOptions(num_patterns=64))
+        assert "o" in nl.outputs
+
+    def test_zero_repeat(self, figure2):
+        result = power_optimize(
+            figure2, OptimizeOptions(num_patterns=64, repeat=0)
+        )
+        assert result.moves == []
+
+    def test_result_fields_consistent(self, figure2):
+        result = power_optimize(figure2, OptimizeOptions(num_patterns=256))
+        assert result.rounds >= 1
+        assert result.runtime_seconds >= 0
+        assert result.netlist is figure2
+        text = result.summary()
+        assert "POWDER" in text

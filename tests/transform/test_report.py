@@ -1,0 +1,67 @@
+"""Tests for move records and class statistics (Table-2 machinery)."""
+
+import pytest
+
+from repro.transform.gain import GainBreakdown
+from repro.transform.report import (
+    ALL_CLASSES,
+    MoveRecord,
+    class_statistics,
+    format_class_table,
+)
+from repro.transform.substitution import IS2, OS2, OS3, Substitution
+
+
+def record(kind, power_gain, area_delta, **sub_kwargs):
+    defaults = {"target": "t", "source1": "s"}
+    if kind in ("IS2", "IS3"):
+        defaults["branch"] = ("x", 0)
+    if kind in ("OS3", "IS3"):
+        defaults.update(source2="u", new_cell="and2")
+    defaults.update(sub_kwargs)
+    return MoveRecord(
+        substitution=Substitution(kind, **defaults),
+        predicted=GainBreakdown(pg_a=power_gain, pg_b=0.0),
+        measured_power_gain=power_gain,
+        measured_area_delta=area_delta,
+        round_index=1,
+        circuit_delay_after=1.0,
+    )
+
+
+class TestClassStatistics:
+    def test_aggregation(self):
+        moves = [
+            record(OS2, 2.0, -10.0),
+            record(OS2, 1.0, -5.0),
+            record(IS2, 1.0, 3.0),
+            record(OS3, 0.5, 4.0),
+        ]
+        stats = class_statistics(moves)
+        assert stats[OS2].count == 2
+        assert stats[OS2].power_gain == pytest.approx(3.0)
+        assert stats[OS2].area_delta == pytest.approx(-15.0)
+        assert stats[IS2].area_delta == pytest.approx(3.0)
+        assert stats["IS3"].count == 0
+
+    def test_power_share(self):
+        moves = [record(OS2, 3.0, 0.0), record(IS2, 1.0, 0.0)]
+        stats = class_statistics(moves)
+        total = sum(s.power_gain for s in stats.values())
+        assert stats[OS2].power_share(total) == pytest.approx(0.75)
+
+    def test_share_zero_total(self):
+        stats = class_statistics([])
+        assert stats[OS2].power_share(0.0) == 0.0
+        assert stats[OS2].area_share(0.0) == 0.0
+
+    def test_format_table(self):
+        moves = [record(OS2, 2.0, -8.0), record(IS2, 2.0, 2.0)]
+        text = format_class_table(moves)
+        for kind in ALL_CLASSES:
+            assert kind in text
+        assert "%" in text
+
+    def test_format_empty(self):
+        text = format_class_table([])
+        assert "OS2" in text

@@ -1,0 +1,142 @@
+"""Tests for the substitution move model."""
+
+import pytest
+
+from repro.errors import TransformError
+from repro.netlist.verify import check_netlist
+from repro.transform.substitution import (
+    IS2,
+    IS3,
+    OS2,
+    OS3,
+    Substitution,
+    apply_substitution,
+    apply_to_copy,
+)
+
+
+class TestValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(TransformError):
+            Substitution("XX2", "a", "b")
+
+    def test_is2_needs_branch(self):
+        with pytest.raises(TransformError):
+            Substitution(IS2, "a", "b")
+
+    def test_os2_rejects_branch(self):
+        with pytest.raises(TransformError):
+            Substitution(OS2, "a", "b", branch=("f", 0))
+
+    def test_os3_needs_cell(self):
+        with pytest.raises(TransformError):
+            Substitution(OS3, "a", "b")
+
+    def test_os2_rejects_second_source(self):
+        with pytest.raises(TransformError):
+            Substitution(OS2, "a", "b", source2="c", new_cell="and2")
+
+    def test_validate_against(self, figure2):
+        good = Substitution(OS2, "d", "e")
+        assert good.validate_against(figure2)
+        assert not Substitution(OS2, "zz", "e").validate_against(figure2)
+        assert not Substitution(OS2, "d", "zz").validate_against(figure2)
+
+    def test_validate_branch(self, figure2):
+        d = figure2.gate("d")
+        pin = [i for i, g in enumerate(d.fanins) if g.name == "a"][0]
+        assert Substitution(
+            IS2, "a", "e", branch=("d", pin)
+        ).validate_against(figure2)
+        # Wrong pin driver
+        assert not Substitution(
+            IS2, "b", "e", branch=("d", pin)
+        ).validate_against(figure2)
+
+    def test_validate_new_cell(self, figure2):
+        assert not Substitution(
+            OS3, "d", "a", source2="b", new_cell="nope"
+        ).validate_against(figure2)
+
+    def test_str_forms(self):
+        assert "OS2" in str(Substitution(OS2, "a", "b"))
+        assert "!" in str(Substitution(OS2, "a", "b", invert1=True))
+        s = Substitution(IS3, "a", "b", branch=("f", 1), source2="c", new_cell="and2")
+        assert "IS3" in str(s) and "and2" in str(s)
+
+
+class TestApplication:
+    def test_is2_rewires_branch(self, figure2):
+        d = figure2.gate("d")
+        pin = [i for i, g in enumerate(d.fanins) if g.name == "a"][0]
+        sub = Substitution(IS2, "a", "e", branch=("d", pin))
+        applied = apply_substitution(figure2, sub)
+        check_netlist(figure2)
+        assert d.fanins[pin].name == "e"
+        assert applied.removed == []
+        assert "d" in applied.resim_roots
+
+    def test_os2_removes_dominated_region(self, builder):
+        a, b = builder.inputs("a", "b")
+        g1 = builder.and_(a, b, name="g1")
+        g2 = builder.not_(g1, name="g2")
+        alt = builder.nand_(a, b, name="alt")
+        out = builder.or_(g2, alt, name="out")
+        builder.output("o", out)
+        nl = builder.build()
+        # g2 == alt functionally (nand == not and); substitute stem g2 by alt.
+        applied = apply_substitution(nl, Substitution(OS2, "g2", "alt"))
+        check_netlist(nl)
+        assert set(applied.removed) == {"g1", "g2"}
+        assert applied.area_delta < 0
+
+    def test_os2_moves_po(self, figure2):
+        apply_substitution(figure2, Substitution(OS2, "e", "d"))
+        check_netlist(figure2)
+        assert figure2.outputs["e_out"].name == "d"
+        assert "e" not in figure2.gates
+
+    def test_inverted_source_inserts_inverter(self, figure2, lib):
+        sub = Substitution(OS2, "e", "d", invert1=True)
+        applied = apply_substitution(figure2, sub)
+        check_netlist(figure2)
+        assert len(applied.added) == 1
+        inv = figure2.gate(applied.added[0])
+        assert inv.cell.is_inverter()
+        assert inv.fanins[0].name == "d"
+
+    def test_os3_inserts_gate(self, figure2, lib):
+        sub = Substitution(OS3, "e", "a", source2="b", new_cell="and2")
+        applied = apply_substitution(figure2, sub)
+        check_netlist(figure2)
+        new = figure2.gate(applied.added[0])
+        assert new.cell.name == "and2"
+        assert figure2.outputs["e_out"] is new
+
+    def test_is3_inserts_gate(self, figure2):
+        d = figure2.gate("d")
+        pin = [i for i, g in enumerate(d.fanins) if g.name == "a"][0]
+        sub = Substitution(
+            IS3, "a", "a", branch=("d", pin), source2="b", new_cell="and2"
+        )
+        applied = apply_substitution(figure2, sub)
+        check_netlist(figure2)
+        assert d.fanins[pin].cell.name == "and2"
+
+    def test_stale_substitution_rejected(self, figure2):
+        sub = Substitution(OS2, "d", "e")
+        apply_substitution(figure2, sub)
+        with pytest.raises(TransformError):
+            apply_substitution(figure2, sub)  # d no longer exists
+
+    def test_os3_cell_arity_checked(self, figure2):
+        sub = Substitution(OS3, "d", "a", source2="b", new_cell="inv1")
+        with pytest.raises(TransformError):
+            apply_substitution(figure2, sub)
+
+    def test_apply_to_copy_leaves_original(self, figure2):
+        trial, applied = apply_to_copy(figure2, Substitution(OS2, "d", "e"))
+        assert "d" in figure2.gates
+        assert "d" not in trial.gates
+        check_netlist(figure2)
+        check_netlist(trial)
