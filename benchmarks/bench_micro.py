@@ -99,6 +99,149 @@ def test_candidate_generation(benchmark, circuit):
     assert candidates
 
 
+class TestIncrementalEngine:
+    """Old from-scratch paths vs the incremental engine, per circuit size.
+
+    Pairs of benchmarks sharing a prefix measure the same work: the
+    ``_fresh`` variant pays the full rebuild the legacy loop paid per
+    round/move, the ``_incremental`` variant pays what the persistent
+    engine pays.  ``BENCH_incremental.json`` records the measured ratios.
+    """
+
+    CIRCUITS = ("rd53", "alu2")
+
+    @pytest.fixture(scope="class", params=CIRCUITS)
+    def sized_circuit(self, request, lib):
+        return build_benchmark(request.param, lib)
+
+    @pytest.fixture(scope="class")
+    def sized_estimator(self, sized_circuit):
+        return PowerEstimator(
+            sized_circuit,
+            SimulationProbability(sized_circuit, num_patterns=1024, seed=2),
+        )
+
+    # -- observability ----------------------------------------------------
+    # Both variants produce what one candidate round consumes: a stem mask
+    # per driving stem plus a branch mask per branch of every multi-fanout
+    # stem.  The legacy kernel pays one flip-propagation pass per mask.
+
+    @staticmethod
+    def _consumed_masks(circuit):
+        stems = [
+            g for g in circuit.gates.values()
+            if not g.is_input and g.fanout_count()
+        ]
+        branches = [
+            (sink, pin)
+            for g in circuit.gates.values()
+            if g.fanout_count() >= 2
+            for sink, pin in g.fanouts
+        ]
+        return stems, branches
+
+    def test_observability_per_stem(self, benchmark, sized_circuit, sized_estimator):
+        """Legacy kernel: one flip-propagation pass per stem and branch."""
+        state = sized_estimator.engine.sim
+        stems, branches = self._consumed_masks(sized_circuit)
+
+        def run():
+            for gate in stems:
+                state.stem_observability(gate)
+            for sink, pin in branches:
+                state.branch_observability(sink, pin)
+
+        benchmark(run)
+
+    def test_observability_batched(self, benchmark, sized_circuit, sized_estimator):
+        """Batched kernel: one reverse sweep; branch masks are a by-product."""
+        from repro.netlist.observability import ObservabilityMaps
+
+        state = sized_estimator.engine.sim
+        _stems, branches = self._consumed_masks(sized_circuit)
+
+        def run():
+            maps = ObservabilityMaps(state)
+            for sink, pin in branches:
+                maps.branch(sink, pin)
+            return maps
+
+        benchmark(run)
+
+    # -- candidate generation ---------------------------------------------
+    def test_candidates_fresh(self, benchmark, sized_estimator):
+        """Legacy loop: a from-scratch workspace every round."""
+        benchmark.pedantic(
+            generate_candidates,
+            args=(sized_estimator, CandidateOptions()),
+            rounds=1,
+            iterations=1,
+        )
+
+    def test_candidates_warm_workspace(self, benchmark, sized_estimator):
+        """Incremental loop: a persistent workspace generating again."""
+        from repro.transform.candidates import CandidateWorkspace
+
+        workspace = CandidateWorkspace(sized_estimator)
+        workspace.generate(CandidateOptions())
+        benchmark.pedantic(
+            workspace.generate,
+            args=(CandidateOptions(),),
+            rounds=1,
+            iterations=1,
+        )
+
+    # -- static timing analysis -------------------------------------------
+    def test_sta_rebuild(self, benchmark, sized_circuit):
+        """Legacy loop: full STA reconstruction after a move."""
+        from repro.timing.analysis import TimingAnalysis
+
+        benchmark(lambda: TimingAnalysis(sized_circuit).circuit_delay)
+
+    def test_sta_incremental_update(self, benchmark, sized_circuit):
+        """Incremental loop: in-place update for a one-gate dirty set."""
+        from repro.timing.analysis import TimingAnalysis
+
+        timing = TimingAnalysis(sized_circuit)
+        root = next(iter(sized_circuit.logic_gates()))
+        benchmark(lambda: timing.update_after_edit([root]))
+
+    def test_delay_check_trial_copy(self, benchmark, sized_circuit, sized_estimator):
+        """Legacy check_delay: copy the netlist, apply, rebuild STA."""
+        from repro.timing.analysis import TimingAnalysis
+        from repro.transform.substitution import apply_to_copy
+
+        substitution = self._first_applicable(sized_circuit, sized_estimator)
+
+        def run():
+            trial, _ = apply_to_copy(sized_circuit, substitution)
+            return TimingAnalysis(trial).circuit_delay
+
+        benchmark(run)
+
+    def test_delay_check_what_if(self, benchmark, sized_circuit, sized_estimator):
+        """Incremental check_delay: in-place what-if evaluation."""
+        from repro.timing.analysis import TimingAnalysis
+
+        substitution = self._first_applicable(sized_circuit, sized_estimator)
+        timing = TimingAnalysis(sized_circuit)
+        verdict = benchmark(lambda: timing.what_if(substitution))
+        assert verdict is not None
+
+    @staticmethod
+    def _first_applicable(circuit, estimator):
+        from repro.errors import NetlistError, TransformError
+        from repro.transform.substitution import apply_to_copy
+
+        for candidate in generate_candidates(estimator, CandidateOptions()):
+            try:
+                apply_to_copy(circuit, candidate.substitution)
+            except (TransformError, NetlistError):
+                continue
+            return candidate.substitution
+        raise RuntimeError("no applicable candidate")
+
+
 def test_technology_mapping(benchmark, lib):
     """Synthesis front-end + mapper on a 40-cube PLA."""
     pla = random_pla("bench", 12, 8, 40, seed=77)

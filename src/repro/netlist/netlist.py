@@ -270,9 +270,16 @@ class Netlist:
         del self.gates[gate.name]
         self._invalidate()
 
-    def sweep_dead(self) -> list[str]:
-        """Remove all fanout-free logic gates transitively; returns names."""
+    def sweep_dead(self, boundary: Optional[list["Gate"]] = None) -> list[str]:
+        """Remove all fanout-free logic gates transitively; returns names.
+
+        When ``boundary`` is given, surviving drivers of removed gates are
+        appended to it (deduplicated) — these are the gates whose fanout
+        lists the sweep shrank, which incremental caches must treat as
+        dirty.
+        """
         removed: list[str] = []
+        touched: dict[int, Gate] = {}
         worklist = [g for g in self.logic_gates() if not g.fanout_count()]
         while worklist:
             gate = worklist.pop()
@@ -282,8 +289,14 @@ class Netlist:
             self.remove_gate(gate)
             removed.append(gate.name)
             for driver in drivers:
+                touched[id(driver)] = driver
                 if not driver.is_input and not driver.fanout_count():
                     worklist.append(driver)
+        if boundary is not None:
+            seen = {id(g) for g in boundary}
+            for driver in touched.values():
+                if driver.name in self.gates and id(driver) not in seen:
+                    boundary.append(driver)
         return removed
 
     # ------------------------------------------------------------------

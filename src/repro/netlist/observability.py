@@ -1,0 +1,191 @@
+"""Batched observability masks for every stem and branch.
+
+``SimState.stem_observability`` answers "on which patterns does flipping
+this stem flip some primary output?" by propagating a forced flip through
+the stem's entire transitive fanout — one full vector pass *per stem*.
+Candidate generation asks that question for every stem and every branch of
+every round, so the per-round cost is O(stems × TFO-size) vector passes.
+
+:class:`ObservabilityMaps` computes the same masks for *all* stems in one
+reverse-topological sweep.  The recurrence is exact because gate evaluation
+is bitwise: under a single pattern bit, every downstream signal is a pure
+boolean function of a stem's bit, so for a stem ``g`` with exactly one
+fanout branch ``(s, p)``
+
+    obs(g) = bd(s, p) & obs(s)
+
+where ``bd(s, p) = eval(s with pin p flipped) XOR value(s)`` is the boolean
+difference of the sink's cell function.  Primary-output stems are
+observable everywhere, fanout-free stems nowhere.  Multi-fanout stems
+reconverge — the OR over branch masks is only an upper bound there — so
+they fall back to an exact diff-driven flip propagation that skips every
+fanout gate whose fanin words are untouched.  Branch masks come for free:
+
+    obs(g -> s.pin p) = bd(s, p) & obs(s)
+
+which matches ``SimState.branch_observability`` bit for bit (including its
+early-return-zeros case, where ``bd`` is identically zero).
+
+Masks stay valid across netlist edits through
+:meth:`ObservabilityMaps.update_after_edit`: a mask can only change if the
+edit touched the stem's transitive fanout, so the recompute set is the
+dirty gates, their direct sinks (whose boolean differences depend on the
+dirtied fanin words), and the transitive fanin of both.  Everything else
+keeps its existing array object, which lets callers invalidate downstream
+caches by identity.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.errors import NetlistError
+from repro.netlist.netlist import Gate
+from repro.netlist.simulate import _ALL_ONES, SimState, evaluate_cell
+from repro.netlist.traverse import (
+    topological_order,
+    transitive_fanin,
+    transitive_fanout,
+)
+
+
+class ObservabilityMaps:
+    """Stem and branch observability masks for one committed ``SimState``."""
+
+    def __init__(self, sim: SimState):
+        self.sim = sim
+        self.netlist = sim.netlist
+        #: name -> mask of patterns where flipping the stem flips some PO.
+        self.stem: dict[str, np.ndarray] = {}
+        # Boolean differences, keyed (sink name, pin).
+        self._bd: dict[tuple[str, int], np.ndarray] = {}
+        self.recompute()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def branch(self, sink: Gate, pin: int) -> np.ndarray:
+        """Mask of patterns where flipping one input branch flips some PO."""
+        if sink.is_input:
+            raise NetlistError("primary inputs have no input branches")
+        return self._bd_mask(sink, pin) & self.stem[sink.name]
+
+    # ------------------------------------------------------------------
+    # Full sweep
+    # ------------------------------------------------------------------
+    def recompute(self) -> None:
+        """Rebuild every stem mask in one reverse-topological sweep."""
+        self.stem.clear()
+        self._bd.clear()
+        for gate in reversed(topological_order(self.netlist)):
+            self.stem[gate.name] = self._stem_mask(gate)
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def update_after_edit(self, dirty: Iterable[Gate]) -> set[str]:
+        """Refresh masks after a netlist edit; returns names whose mask changed.
+
+        ``dirty`` must contain every live gate whose committed value, fanin
+        list, fanout list, or primary-output binding changed (newly added
+        gates included).  Removed gates are detected by absence from the
+        netlist.  Unchanged masks keep their existing array objects.
+        """
+        live = self.netlist.gates
+        for name in [n for n in self.stem if n not in live]:
+            del self.stem[name]
+        for key in [k for k in self._bd if k[0] not in live]:
+            del self._bd[key]
+
+        frontier: set[str] = set()
+        for gate in dirty:
+            if gate.name not in live:
+                continue
+            frontier.add(gate.name)
+            for sink, _pin in gate.fanouts:
+                frontier.add(sink.name)
+        if not frontier:
+            return set()
+        # Boolean differences of dirtied sinks are stale.
+        for key in [k for k in self._bd if k[0] in frontier]:
+            del self._bd[key]
+        # A stem mask depends only on the stem's transitive fanout, so the
+        # recompute set is the frontier plus everything upstream of it.
+        seeds = [live[name] for name in frontier]
+        recompute_ids = {id(g) for g in seeds}
+        recompute_ids.update(
+            id(g) for g in transitive_fanin(self.netlist, seeds)
+        )
+        changed: set[str] = set()
+        for gate in reversed(topological_order(self.netlist)):
+            if id(gate) not in recompute_ids:
+                continue
+            new = self._stem_mask(gate)
+            old = self.stem.get(gate.name)
+            if old is not None and np.array_equal(new, old):
+                continue  # keep the old array object
+            self.stem[gate.name] = new
+            changed.add(gate.name)
+        return changed
+
+    # ------------------------------------------------------------------
+    # Mask computation
+    # ------------------------------------------------------------------
+    def _stem_mask(self, gate: Gate) -> np.ndarray:
+        if gate.po_names:
+            return np.full(self.sim.nwords, _ALL_ONES, dtype=np.uint64)
+        branches = gate.fanouts
+        if not branches:
+            return np.zeros(self.sim.nwords, dtype=np.uint64)
+        if len(branches) == 1:
+            sink, pin = branches[0]
+            return self._bd_mask(sink, pin) & self.stem[sink.name]
+        return self._flip_mask(gate)
+
+    def _bd_mask(self, sink: Gate, pin: int) -> np.ndarray:
+        key = (sink.name, pin)
+        cached = self._bd.get(key)
+        if cached is None:
+            values = self.sim.values
+            fanin_words = [
+                ~values[f.name] if i == pin else values[f.name]
+                for i, f in enumerate(sink.fanins)
+            ]
+            flipped = evaluate_cell(sink.cell, fanin_words, self.sim.nwords)
+            cached = flipped ^ values[sink.name]
+            self._bd[key] = cached
+        return cached
+
+    def _flip_mask(self, gate: Gate) -> np.ndarray:
+        """Exact flip propagation for reconvergent multi-fanout stems.
+
+        Same semantics as ``SimState.stem_observability`` but restricted to
+        the stem's TFO and skipping gates none of whose fanin words were
+        touched by the flip so far.
+        """
+        sim = self.sim
+        values = sim.values
+        overlay: dict[str, np.ndarray] = {gate.name: ~values[gate.name]}
+        for node in transitive_fanout(self.netlist, [gate]):
+            touched = False
+            for fanin in node.fanins:
+                if fanin.name in overlay:
+                    touched = True
+                    break
+            if not touched:
+                continue
+            fanin_words = [
+                overlay.get(f.name, values[f.name]) for f in node.fanins
+            ]
+            new = evaluate_cell(node.cell, fanin_words, sim.nwords)
+            if not np.array_equal(new, values[node.name]):
+                overlay[node.name] = new
+        mask = np.zeros(sim.nwords, dtype=np.uint64)
+        gates = self.netlist.gates
+        for name, new in overlay.items():
+            node = gates.get(name)
+            if node is not None and node.po_names:
+                mask |= new ^ values[name]
+        return mask

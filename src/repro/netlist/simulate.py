@@ -26,7 +26,11 @@ from repro.errors import NetlistError
 from repro.library.cell import Cell
 from repro.logic.sop import Cover
 from repro.netlist.netlist import Gate, Netlist
-from repro.netlist.traverse import topological_order, transitive_fanout
+from repro.netlist.traverse import (
+    topological_index,
+    topological_order,
+    transitive_fanout,
+)
 
 #: Default number of random patterns for probability estimation.
 DEFAULT_NUM_PATTERNS = 16384
@@ -157,20 +161,24 @@ class SimState:
             del self.values[name]
 
     def resimulate_fanout(self, roots: Iterable[Gate]) -> list[Gate]:
-        """Re-evaluate roots and their TFO; returns gates whose value changed."""
+        """Re-evaluate roots and their TFO; returns gates whose value changed.
+
+        Each gate is evaluated exactly once, in topological order: a root
+        lying inside another root's transitive fanout is *not* visited twice
+        (and consequently appears at most once in the returned list).
+        """
         changed: list[Gate] = []
         root_list = list(roots)
-        for gate in root_list:
-            if gate.is_input:
+        pending: list[Gate] = []
+        seen: set[int] = set()
+        for gate in root_list + transitive_fanout(self.netlist, root_list):
+            if gate.is_input or id(gate) in seen:
                 continue
-            new = self._eval(gate, self.values)
-            old = self.values.get(gate.name)
-            if old is None or not np.array_equal(new, old):
-                self.values[gate.name] = new
-                changed.append(gate)
-        for gate in transitive_fanout(self.netlist, root_list):
-            if gate.is_input:
-                continue
+            seen.add(id(gate))
+            pending.append(gate)
+        index = topological_index(self.netlist)
+        pending.sort(key=lambda g: index[id(g)])
+        for gate in pending:
             new = self._eval(gate, self.values)
             old = self.values.get(gate.name)
             if old is None or not np.array_equal(new, old):
@@ -253,6 +261,21 @@ class SimState:
         return mask
 
 
+_POPCOUNT_TABLE: Optional[np.ndarray] = None
+
+
+def _popcount_lut(words: np.ndarray) -> int:
+    """Total set bits via a 16-bit lookup table (no 64x temporary)."""
+    global _POPCOUNT_TABLE
+    if _POPCOUNT_TABLE is None:
+        _POPCOUNT_TABLE = np.fromiter(
+            (bin(i).count("1") for i in range(1 << 16)),
+            dtype=np.uint16,
+            count=1 << 16,
+        )
+    return int(_POPCOUNT_TABLE[words.view(np.uint16)].sum(dtype=np.uint64))
+
+
 if hasattr(np, "bitwise_count"):
 
     def popcount(words: np.ndarray) -> int:
@@ -261,6 +284,4 @@ if hasattr(np, "bitwise_count"):
 
 else:  # numpy < 2.0
 
-    def popcount(words: np.ndarray) -> int:
-        """Total number of set bits across a word array."""
-        return int(np.unpackbits(words.view(np.uint8)).sum())
+    popcount = _popcount_lut

@@ -5,15 +5,38 @@ is the total capacitance its stem drives.  τ and R are taken as the maximum
 over the cell's pins (pins are uniform in genlib ``PIN *`` libraries, so this
 is exact there and conservative otherwise).  Primary inputs arrive at time 0
 and primary outputs impose their required time on the fanin cone.
+
+:class:`TimingAnalysis` is incremental: after an in-place netlist edit,
+:meth:`update_after_edit` re-propagates gate delays and arrival times
+through the dirtied fanout cone only, producing floats identical to a
+from-scratch rebuild on the same netlist (untouched gates keep delays
+computed from identical fanout lists, so every recomputed value sees
+bit-equal inputs).  Required times are derived lazily — one backward pass
+on first access, invalidated by updates — because the optimizer only reads
+them for the quick delay filter, not after every edit.
+
+:meth:`what_if` answers "what would the circuit delay be after this
+substitution?" without building a trial netlist copy: it emulates the
+rewiring, the dead-logic sweep, and the load changes on a virtual overlay
+graph, re-deriving arrival times only inside the dirtied region and
+falling back to committed arrivals elsewhere.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from collections.abc import Iterable
+from typing import TYPE_CHECKING, Optional
 
 from repro.errors import TimingError
 from repro.netlist.netlist import Gate, Netlist
-from repro.netlist.traverse import topological_order
+from repro.netlist.traverse import (
+    topological_index,
+    topological_order,
+    transitive_fanout,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.transform.substitution import Substitution
 
 _INF = float("inf")
 
@@ -30,25 +53,41 @@ def gate_delay(netlist: Netlist, gate: Gate, extra_load: float = 0.0) -> float:
     return tau + resistance * (netlist.load_of(gate) + extra_load)
 
 
-class TimingAnalysis:
-    """One full STA pass over a netlist; immutable snapshot semantics.
+def _delay_for_load(gate: Gate, load: float) -> float:
+    """:func:`gate_delay` with an explicit load (trial/what-if paths)."""
+    if gate.is_input:
+        return 0.0
+    pins = gate.cell.pins
+    if not pins:
+        return 0.0
+    tau = max(p.tau for p in pins)
+    resistance = max(p.resistance for p in pins)
+    return tau + resistance * load
 
-    Construct a new instance after netlist edits (cheap: one topological
-    sweep).  ``required_limit`` is the delay constraint applied at every
-    primary output; ``None`` means "constrain to the computed circuit delay",
-    which makes all slacks non-negative by construction.
+
+class TimingAnalysis:
+    """Incremental STA bound to one netlist.
+
+    ``required_limit`` is the delay constraint applied at every primary
+    output; ``None`` means "constrain to the computed circuit delay", which
+    makes all slacks non-negative by construction.  After in-place netlist
+    edits call :meth:`update_after_edit` with the dirtied gates instead of
+    constructing a new instance.
     """
 
     def __init__(self, netlist: Netlist, required_limit: Optional[float] = None):
         self.netlist = netlist
         self.arrival: dict[str, float] = {}
-        self.required: dict[str, float] = {}
         self.delay_of: dict[str, float] = {}
-        self._run(required_limit)
+        self._limit = required_limit
+        self._required: Optional[dict[str, float]] = None
+        self._forward_full()
 
-    def _run(self, required_limit: Optional[float]) -> None:
-        order = topological_order(self.netlist)
-        for gate in order:
+    # ------------------------------------------------------------------
+    # Forward pass (arrival times)
+    # ------------------------------------------------------------------
+    def _forward_full(self) -> None:
+        for gate in topological_order(self.netlist):
             d = gate_delay(self.netlist, gate)
             self.delay_of[gate.name] = d
             if gate.is_input or not gate.fanins:
@@ -61,18 +100,69 @@ class TimingAnalysis:
             (self.arrival[driver.name] for driver in self.netlist.outputs.values()),
             default=0.0,
         )
-        limit = required_limit if required_limit is not None else self.circuit_delay
-        self.required_limit = limit
-        for gate in order:
-            self.required[gate.name] = _INF
-        for driver in self.netlist.outputs.values():
-            self.required[driver.name] = min(self.required[driver.name], limit)
-        for gate in reversed(order):
-            req = self.required[gate.name]
-            for fanin in gate.fanins:
-                candidate = req - self.delay_of[gate.name]
-                if candidate < self.required[fanin.name]:
-                    self.required[fanin.name] = candidate
+        self._required = None
+
+    def update_after_edit(self, roots: Iterable[Gate]) -> None:
+        """Re-propagate delays and arrivals after an in-place netlist edit.
+
+        ``roots`` must contain every live gate whose fanin list, fanout
+        list (i.e. load), or primary-output binding changed — newly added
+        gates included.  Gates removed from the netlist are detected by
+        absence.  The result is float-identical to rebuilding from scratch.
+        """
+        live = self.netlist.gates
+        for name in [n for n in self.arrival if n not in live]:
+            del self.arrival[name]
+            del self.delay_of[name]
+        order = topological_order(self.netlist)
+        index = topological_index(self.netlist)
+        dirty = {id(g) for g in roots if g.name in live}
+        if dirty:
+            changed: set[int] = set()
+            for pos in range(min(index[i] for i in dirty), len(order)):
+                gate = order[pos]
+                known = gate.name in self.arrival
+                if id(gate) in dirty or not known:
+                    self.delay_of[gate.name] = gate_delay(self.netlist, gate)
+                elif not any(id(f) in changed for f in gate.fanins):
+                    continue
+                d = self.delay_of[gate.name]
+                if gate.is_input or not gate.fanins:
+                    arrival = 0.0 if gate.is_input else d
+                else:
+                    arrival = d + max(self.arrival[f.name] for f in gate.fanins)
+                if not known or arrival != self.arrival[gate.name]:
+                    self.arrival[gate.name] = arrival
+                    changed.add(id(gate))
+        self.circuit_delay = max(
+            (self.arrival[driver.name] for driver in self.netlist.outputs.values()),
+            default=0.0,
+        )
+        self._required = None
+
+    # ------------------------------------------------------------------
+    # Backward pass (required times) — lazy
+    # ------------------------------------------------------------------
+    @property
+    def required_limit(self) -> float:
+        return self._limit if self._limit is not None else self.circuit_delay
+
+    @property
+    def required(self) -> dict[str, float]:
+        if self._required is None:
+            order = topological_order(self.netlist)
+            limit = self.required_limit
+            required = {gate.name: _INF for gate in order}
+            for driver in self.netlist.outputs.values():
+                required[driver.name] = min(required[driver.name], limit)
+            for gate in reversed(order):
+                req = required[gate.name]
+                for fanin in gate.fanins:
+                    candidate = req - self.delay_of[gate.name]
+                    if candidate < required[fanin.name]:
+                        required[fanin.name] = candidate
+            self._required = required
+        return self._required
 
     # ------------------------------------------------------------------
     def slack(self, gate: Gate) -> float:
@@ -118,3 +208,339 @@ class TimingAnalysis:
                     raise TimingError(
                         f"arrival of {gate.name!r} precedes fanin {fanin.name!r}"
                     )
+
+    # ------------------------------------------------------------------
+    # What-if analysis (trial delay without a netlist copy)
+    # ------------------------------------------------------------------
+    def what_if(self, substitution: "Substitution") -> Optional[float]:
+        """Circuit delay if ``substitution`` were applied; ``None`` when the
+        move no longer applies (stale description or cycle creation).
+
+        Matches ``TimingAnalysis(apply_to_copy(netlist, sub)[0])
+        .circuit_delay`` without copying the netlist: the rewiring, the
+        dead-logic sweep, and the resulting load changes are emulated on a
+        virtual overlay, and arrivals are recomputed only inside the
+        dirtied fanout closure.
+        """
+        from repro.transform.substitution import IS3, OS3
+
+        netlist = self.netlist
+        if not substitution.validate_against(netlist):
+            return None
+        library = netlist.library
+        target = netlist.gate(substitution.target)
+        is_os = substitution.is_output_substitution()
+        is_pair = substitution.kind in (OS3, IS3)
+
+        # --- the substituting chain (virtual nodes are \x00-tokens) ----
+        INV1, INV2, NEW = "\x00inv1", "\x00inv2", "\x00new"
+        chain_fanins: dict[str, list[str]] = {}
+        head_gate: Optional[Gate] = None  # existing gate receiving the load
+        if substitution.is_constant:
+            tie_cell = library.constant(bool(substitution.constant))
+            head_gate = next(
+                (g for g in netlist.logic_gates() if g.cell is tie_cell), None
+            )
+            if head_gate is not None:
+                head = head_gate.name
+            else:
+                head = NEW
+                chain_fanins[NEW] = []
+        elif is_pair:
+            eff1 = INV1 if substitution.invert1 else substitution.source1
+            eff2 = INV2 if substitution.invert2 else substitution.source2
+            if substitution.invert1:
+                chain_fanins[INV1] = [substitution.source1]
+            if substitution.invert2:
+                chain_fanins[INV2] = [substitution.source2]
+            chain_fanins[NEW] = [eff1, eff2]
+            head = NEW
+        elif substitution.invert1:
+            chain_fanins[INV1] = [substitution.source1]
+            head = INV1
+        else:
+            head = substitution.source1
+            head_gate = netlist.gate(substitution.source1)
+
+        # --- moved branches --------------------------------------------
+        if is_os:
+            moved = list(target.fanouts)
+            moved_pos = list(target.po_names)
+        else:
+            sink_name, pin = substitution.branch
+            moved = [(netlist.gate(sink_name), pin)]
+            moved_pos = []
+        moved_pins: dict[int, set[int]] = {}
+        for sink, sink_pin in moved:
+            moved_pins.setdefault(id(sink), set()).add(sink_pin)
+
+        # --- cycle check (same predicate as replace_fanin/replace_fanouts):
+        # the move is rejected iff a rewired sink is, or reaches, a gate the
+        # substituting chain hangs off.
+        if substitution.is_constant:
+            chain_roots = {id(head_gate)} if head_gate is not None else set()
+        else:
+            chain_roots = {
+                id(netlist.gate(s)) for s in substitution.source_names()
+            }
+        if chain_roots:
+            stack = [s for s, _pin in moved if s is not target]
+            seen = {id(s) for s in stack}
+            if seen & chain_roots:
+                return None
+            while stack:
+                gate = stack.pop()
+                for out, _pin in gate.fanouts:
+                    if id(out) in chain_roots:
+                        return None
+                    if id(out) not in seen:
+                        seen.add(id(out))
+                        stack.append(out)
+
+        # --- trial-sweep emulation: which nodes die --------------------
+        # Mirrors sweep_dead on the rewired netlist: a node dies iff it is
+        # a logic node, drives no primary output, and every branch leads to
+        # a dead node.  Virtual chain nodes participate (an inserted gate
+        # whose only sinks die is itself swept).
+        children: dict[object, list[object]] = {}
+        keepalive: set[object] = set()
+        for key, fanins in chain_fanins.items():
+            children.setdefault(key, [])
+        head_children = [s.name for s, _pin in moved]
+        if head in chain_fanins:
+            children[head] = list(head_children)
+            if moved_pos:
+                keepalive.add(head)
+            if is_pair:
+                for token, eff in ((INV1, substitution.invert1),
+                                   (INV2, substitution.invert2)):
+                    if eff:
+                        children[token] = [NEW]
+        for gate in netlist.gates.values():
+            if is_os and gate is target:
+                # All branches and POs moved away; not kept alive by them.
+                children[gate.name] = []
+                if gate.is_input:
+                    keepalive.add(gate.name)
+                continue
+            kids = []
+            for s, p in gate.fanouts:
+                if gate is target and not is_os and (s, p) == moved[0]:
+                    continue  # the rewired branch leaves the target
+                kids.append(s.name)
+            children[gate.name] = kids
+            if gate.is_input or gate.po_names:
+                keepalive.add(gate.name)
+        # Chain attachment: sources (or the reused tie gate) drive the chain.
+        if substitution.is_constant:
+            if head_gate is not None:
+                children[head_gate.name] = children[head_gate.name] + head_children
+                if moved_pos:
+                    keepalive.add(head_gate.name)
+        elif is_pair:
+            eff1 = INV1 if substitution.invert1 else NEW
+            eff2 = INV2 if substitution.invert2 else NEW
+            s1, s2 = substitution.source1, substitution.source2
+            children[s1] = children[s1] + [eff1]
+            children[s2] = children[s2] + [eff2]
+        elif substitution.invert1:
+            s1 = substitution.source1
+            children[s1] = children[s1] + [INV1]
+        else:
+            s1 = substitution.source1
+            children[s1] = children[s1] + head_children
+            if moved_pos:
+                keepalive.add(s1)
+
+        parents: dict[object, list[object]] = {}
+        remaining: dict[object, int] = {}
+        for key, kids in children.items():
+            remaining[key] = len(kids)
+            for kid in kids:
+                parents.setdefault(kid, []).append(key)
+        dead: set[object] = set()
+        worklist = [
+            key
+            for key, count in remaining.items()
+            if count == 0 and key not in keepalive
+        ]
+        while worklist:
+            key = worklist.pop()
+            if key in dead:
+                continue
+            dead.add(key)
+            for parent in parents.get(key, ()):
+                remaining[parent] -= 1
+                if remaining[parent] == 0 and parent not in keepalive:
+                    worklist.append(parent)
+
+        # --- trial loads and delay overrides ---------------------------
+        def pin_load(sink: Gate, sink_pin: int) -> float:
+            return sink.cell.pins[sink_pin].load
+
+        moved_pin_load = 0.0
+        for sink, sink_pin in moved:
+            if sink.name not in dead:
+                moved_pin_load += pin_load(sink, sink_pin)
+        moved_po_load = 0.0
+        for po in moved_pos:
+            moved_po_load += netlist.output_loads[po]
+
+        # Loads newly hung on each source by the chain (0 when the chain
+        # node died in the sweep).
+        chain_pin: dict[str, float] = {}
+        if not substitution.is_constant:
+            inv_cell = library.inverter() if (
+                substitution.invert1 or substitution.invert2
+            ) else None
+            if is_pair:
+                cell = library[substitution.new_cell]
+                pairs = (
+                    (substitution.source1, substitution.invert1, INV1, 0),
+                    (substitution.source2, substitution.invert2, INV2, 1),
+                )
+                for source, inverted, token, cell_pin in pairs:
+                    if inverted:
+                        if token not in dead:
+                            chain_pin[source] = (
+                                chain_pin.get(source, 0.0)
+                                + inv_cell.pins[0].load
+                            )
+                    elif NEW not in dead:
+                        chain_pin[source] = (
+                            chain_pin.get(source, 0.0)
+                            + cell.pins[cell_pin].load
+                        )
+            elif substitution.invert1:
+                if INV1 not in dead:
+                    chain_pin[substitution.source1] = inv_cell.pins[0].load
+
+        affected: set[str] = set()
+        for key in dead:
+            gate = netlist.gates.get(key) if isinstance(key, str) else None
+            if gate is None:
+                continue
+            for fanin in gate.fanins:
+                if fanin.name not in dead:
+                    affected.add(fanin.name)
+        if head_gate is not None:
+            affected.add(head_gate.name)
+        affected.update(chain_pin)
+        if not is_os and target.name not in dead:
+            affected.add(target.name)
+
+        delay_override: dict[object, float] = {}
+        for name in affected:
+            gate = netlist.gates[name]
+            load = 0.0
+            for s, p in gate.fanouts:
+                if s.name in dead:
+                    continue
+                if gate is target and not is_os and (s, p) == moved[0]:
+                    continue
+                load += pin_load(s, p)
+            load += chain_pin.get(name, 0.0)
+            if head_gate is not None and name == head_gate.name:
+                load += moved_pin_load
+            for po in gate.po_names:
+                load += netlist.output_loads[po]
+            if head_gate is not None and name == head_gate.name:
+                load += moved_po_load
+            delay_override[name] = _delay_for_load(gate, load)
+
+        if NEW in chain_fanins:
+            if substitution.is_constant:
+                delay_override[NEW] = 0.0  # tie cell: no pins, no transition
+            else:
+                cell = library[substitution.new_cell]
+                delay_override[NEW] = _delay_for_cell(
+                    cell, moved_pin_load + moved_po_load
+                )
+        if INV1 in chain_fanins:
+            inv_cell = library.inverter()
+            inv_load = (
+                library[substitution.new_cell].pins[0].load
+                if is_pair
+                else moved_pin_load + moved_po_load
+            )
+            delay_override[INV1] = _delay_for_cell(inv_cell, inv_load)
+        if INV2 in chain_fanins:
+            delay_override[INV2] = _delay_for_cell(
+                library.inverter(), library[substitution.new_cell].pins[1].load
+            )
+
+        # --- arrival recomputation over the dirtied closure ------------
+        dirty_names = set(affected)
+        dirty_names.update(s.name for s, _pin in moved)
+        dirty_gates = [
+            netlist.gates[n] for n in dirty_names if n in netlist.gates
+        ]
+        closure = set(dirty_names)
+        closure.update(
+            g.name for g in transitive_fanout(netlist, dirty_gates)
+        )
+
+        arrivals: dict[object, float] = {}
+
+        def trial_fanins(key: object) -> list[object]:
+            if key in chain_fanins:
+                return list(chain_fanins[key])
+            gate = netlist.gates[key]
+            moved_here = moved_pins.get(id(gate), set())
+            if not moved_here:
+                return [f.name for f in gate.fanins]
+            return [
+                head if i in moved_here else f.name
+                for i, f in enumerate(gate.fanins)
+            ]
+
+        def compute(root: object) -> None:
+            stack: list[object] = [root]
+            while stack:
+                key = stack[-1]
+                if key in arrivals:
+                    stack.pop()
+                    continue
+                if key not in chain_fanins and key not in closure:
+                    arrivals[key] = self.arrival[key]
+                    stack.pop()
+                    continue
+                gate = None if key in chain_fanins else netlist.gates[key]
+                if gate is not None and gate.is_input:
+                    arrivals[key] = 0.0
+                    stack.pop()
+                    continue
+                deps = trial_fanins(key)
+                pending = [d for d in deps if d not in arrivals]
+                if pending:
+                    stack.extend(pending)
+                    continue
+                if key in delay_override:
+                    d = delay_override[key]
+                else:
+                    d = self.delay_of[key]
+                if not deps:
+                    arrivals[key] = d
+                else:
+                    arrivals[key] = d + max(arrivals[dep] for dep in deps)
+                stack.pop()
+
+        best = 0.0
+        seen_output = False
+        for _po, driver in netlist.outputs.items():
+            key: object = head if (is_os and driver is target) else driver.name
+            compute(key)
+            value = arrivals[key]
+            if not seen_output or value > best:
+                best = value
+                seen_output = True
+        return best if seen_output else 0.0
+
+
+def _delay_for_cell(cell, load: float) -> float:
+    pins = cell.pins
+    if not pins:
+        return 0.0
+    tau = max(p.tau for p in pins)
+    resistance = max(p.resistance for p in pins)
+    return tau + resistance * load

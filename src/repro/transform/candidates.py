@@ -18,6 +18,16 @@ no-re-estimation gain ``PG_A + PG_B`` and keeps the best few; 3-signal
 substitutions (OS3/IS3) additionally restrict the pair search to a short
 list of low-activity sources and are only attempted where the dying region
 is worth at least one new gate.
+
+:class:`CandidateWorkspace` holds the expensive per-netlist state — the
+batched observability maps, the stem-value matrix, the stem-reachability
+matrix, and a content-validated cache of OS3/IS3 pair-compatibility tables
+— and keeps it alive across optimizer rounds.  After a committed edit the
+caller reports the dirty gates via :meth:`CandidateWorkspace.invalidate`
+and only the affected observability masks are recomputed; everything
+derived from unchanged signals is reused.  Candidates themselves are
+re-enumerated every round in a fixed order so the emitted list is
+bit-identical to a from-scratch generation.
 """
 
 from __future__ import annotations
@@ -29,8 +39,9 @@ import numpy as np
 
 from repro.errors import TransformError
 from repro.netlist.netlist import Gate, Netlist
+from repro.netlist.observability import ObservabilityMaps
 from repro.netlist.simulate import evaluate_cell
-from repro.netlist.traverse import topological_order, transitive_fanout
+from repro.netlist.traverse import topological_order
 from repro.power.estimate import PowerEstimator
 from repro.power.probability import SimulationProbability
 from repro.transform.gain import GainBreakdown, quick_gain
@@ -83,31 +94,96 @@ def _require_sim(estimator: PowerEstimator) -> SimulationProbability:
     return engine
 
 
-class _Workspace:
-    """Shared per-round data: stem value matrix and TFO id sets."""
+class CandidateWorkspace:
+    """Persistent candidate-generation state shared across rounds.
+
+    Owns an :class:`ObservabilityMaps` over the estimator's committed
+    simulation.  Construction pays one full reverse sweep; afterwards the
+    optimizer calls :meth:`invalidate` with the dirty gates of each applied
+    move and the masks update incrementally.  :meth:`generate` enumerates
+    candidates against the current netlist in the same deterministic order
+    as a fresh workspace would.
+    """
 
     def __init__(self, estimator: PowerEstimator):
         self.estimator = estimator
-        self.netlist = estimator.netlist
+        self.netlist: Netlist = estimator.netlist
         self.engine = _require_sim(estimator)
         self.sim = self.engine.sim
-        self.stems: list[Gate] = list(topological_order(self.netlist))
+        self.maps = ObservabilityMaps(self.sim)
+        #: (target name, branch) -> content-validated pair-compat table.
+        self._pair_cache: dict[
+            tuple[str, Optional[tuple[str, int]]], tuple
+        ] = {}
+        #: Dirty gates accumulated since the last mask flush (by id: names
+        #: can be freed by one edit and reused by a later one).
+        self._pending: dict[int, Gate] = {}
+        # Per-round state, rebuilt by _refresh_round().
+        self.stems: list[Gate] = []
+        self.index: dict[str, int] = {}
+        self.matrix: Optional[np.ndarray] = None
+        self.reach: Optional[np.ndarray] = None
+        self.act_order: list[int] = []
+
+    # ------------------------------------------------------------------
+    def invalidate(self, dirty: list[Gate]) -> None:
+        """Report committed-netlist edits (values, fanins, fanouts, POs).
+
+        ``dirty`` must contain every live gate whose committed value,
+        fanin list, fanout list, or PO binding changed since the last
+        call — :meth:`AppliedSubstitution.dirty_gate_names` plus the
+        resimulation-changed gates.  Dead gates are detected by absence.
+
+        The masks are not recomputed here: edits accumulate and flush in
+        one batch at the next :meth:`generate`, so a round of applied
+        moves pays for one incremental sweep, not one per move.
+        """
+        for gate in dirty:
+            self._pending[id(gate)] = gate
+
+    def _flush_pending(self) -> None:
+        if not self._pending:
+            return
+        self.maps.update_after_edit(
+            [g for g in self._pending.values() if g.name in self.netlist.gates]
+        )
+        self._pending.clear()
+        live = self.netlist.gates
+        for key in [k for k in self._pair_cache if k[0] not in live]:
+            del self._pair_cache[key]
+
+    # ------------------------------------------------------------------
+    def _refresh_round(self) -> None:
+        self._flush_pending()
+        self.stems = list(topological_order(self.netlist))
         self.index = {g.name: i for i, g in enumerate(self.stems)}
         self.matrix = np.stack(
             [self.sim.value(g.name) for g in self.stems]
         )  # (num stems, nwords)
-        self._tfo_cache: dict[str, frozenset[int]] = {}
+        self.reach = self._reachability()
+        # Stable activity order over all stems: restricting it to any
+        # source subset gives the same list as sorting that subset, so the
+        # per-target OS3/IS3 rankings come from one sort per round.
+        activity = [self.estimator.activity(g) for g in self.stems]
+        self.act_order = sorted(range(len(self.stems)), key=activity.__getitem__)
 
-    def tfo_ids(self, gate: Gate) -> frozenset[int]:
-        cached = self._tfo_cache.get(gate.name)
-        if cached is None:
-            ids = {id(gate)}
-            ids.update(
-                id(g) for g in transitive_fanout(self.netlist, [gate])
-            )
-            cached = frozenset(ids)
-            self._tfo_cache[gate.name] = cached
-        return cached
+    def _reachability(self) -> np.ndarray:
+        """Boolean matrix: ``reach[i, j]`` iff stem j is i or in TFO(i)."""
+        n = len(self.stems)
+        reach = np.zeros((n, n), dtype=bool)
+        # Reverse topological order: every sink row is final when OR-ed in.
+        for i in range(n - 1, -1, -1):
+            row = reach[i]
+            row[i] = True
+            for sink, _pin in self.stems[i].fanouts:
+                row |= reach[self.index[sink.name]]
+        return reach
+
+    def legal_sources(self, avoid: Gate, target: Gate) -> np.ndarray:
+        """Stem mask of usable sources: outside TFO(avoid), not target."""
+        mask = ~self.reach[self.index[avoid.name]]
+        mask[self.index[target.name]] = False
+        return mask
 
     def compatible_rows(
         self, target_word: np.ndarray, obs: np.ndarray
@@ -118,17 +194,95 @@ class _Workspace:
         inverted = ~((diff ^ obs).any(axis=1))
         return direct, inverted
 
+    # ------------------------------------------------------------------
+    def pair_compat(
+        self,
+        key: tuple[str, Optional[tuple[str, int]]],
+        ranked: list[int],
+        va: np.ndarray,
+        obs: np.ndarray,
+        cells: list,
+    ) -> np.ndarray:
+        """Upper-triangular compat table over ``ranked`` sources × cells.
 
-def _legal_sources(
-    workspace: _Workspace, forbidden: frozenset[int], target: Gate
-) -> list[int]:
-    """Stem indices usable as sources (no cycles, not the target)."""
-    rows = []
-    for i, gate in enumerate(workspace.stems):
-        if id(gate) in forbidden or gate is target:
-            continue
-        rows.append(i)
-    return rows
+        ``compat[ai, bi, ci]`` (ai < bi) is True when the cell over the
+        ranked sources agrees with the target on every observable pattern.
+        Cached per target/branch; entries self-validate against the array
+        content they were computed from, so no eager invalidation needed.
+        """
+        names = tuple(self.stems[i].name for i in ranked)
+        cell_sig = tuple(c.name for c in cells)
+        rows = self.matrix[ranked] if ranked else np.zeros(
+            (0, self.sim.nwords), dtype=np.uint64
+        )
+        cached = self._pair_cache.get(key)
+        if cached is not None:
+            c_names, c_cells, c_va, c_obs, c_rows, c_table = cached
+            if (
+                c_names == names
+                and c_cells == cell_sig
+                and np.array_equal(c_va, va)
+                and np.array_equal(c_obs, obs)
+                and np.array_equal(c_rows, rows)
+            ):
+                return c_table
+        table = self._compute_pair_compat(rows, va, obs, cells)
+        self._pair_cache[key] = (names, cell_sig, va, obs, rows, table)
+        return table
+
+    def _compute_pair_compat(
+        self,
+        rows: np.ndarray,
+        va: np.ndarray,
+        obs: np.ndarray,
+        cells: list,
+    ) -> np.ndarray:
+        k = len(rows)
+        table = np.zeros((k, k, len(cells)), dtype=bool)
+        if k < 2:
+            return table
+        wa = rows[:, None, :]  # (k, 1, w)
+        wb = rows[None, :, :]  # (1, k, w)
+        for ci, cell in enumerate(cells):
+            word = _two_input_word(cell.function.bits, wa, wb)
+            if word is not None:
+                table[:, :, ci] = ~(((word ^ va) & obs).any(axis=2))
+                continue
+            # Odd cell without a broadcast fast path: per-pair fallback.
+            for ai in range(k):
+                for bi in range(ai + 1, k):
+                    w = evaluate_cell(
+                        cell, [rows[ai], rows[bi]], self.sim.nwords
+                    )
+                    table[ai, bi, ci] = not ((w ^ va) & obs).any()
+        return table
+
+    # ------------------------------------------------------------------
+    def generate(
+        self, options: CandidateOptions | None = None
+    ) -> list[Candidate]:
+        """All simulation-compatible substitutions, best quick gain first."""
+        options = options or CandidateOptions()
+        self._refresh_round()
+        collected: list[Candidate] = []
+
+        if options.enable_os2 or options.enable_os3:
+            for target in self.stems:
+                if target.is_input or not target.fanout_count():
+                    continue
+                collected.extend(_stem_candidates(self, target, options))
+
+        if options.enable_is2 or options.enable_is3:
+            for target in self.stems:
+                if target.fanout_count() < 2:
+                    continue  # single-branch stems are covered by OS2
+                for sink, pin in list(target.fanouts):
+                    collected.extend(
+                        _branch_candidates(self, target, sink, pin, options)
+                    )
+
+        collected.sort(key=lambda c: -c.quick)
+        return collected[: options.max_total]
 
 
 def _two_input_cells(netlist: Netlist, options: CandidateOptions):
@@ -169,18 +323,16 @@ def _try_candidate(
 
 
 def _stem_candidates(
-    workspace: _Workspace,
+    workspace: CandidateWorkspace,
     target: Gate,
     options: CandidateOptions,
 ) -> list[Candidate]:
     """OS2/OS3 candidates for one stem."""
     estimator = workspace.estimator
-    netlist = workspace.netlist
-    sim = workspace.sim
-    obs = sim.stem_observability(target)
-    va = sim.value(target.name)
-    forbidden = workspace.tfo_ids(target)
-    sources = _legal_sources(workspace, forbidden, target)
+    obs = workspace.maps.stem[target.name]
+    va = workspace.sim.value(target.name)
+    source_mask = workspace.legal_sources(target, target)
+    sources = np.nonzero(source_mask)[0]
     direct, inverted = workspace.compatible_rows(va, obs)
 
     found: list[Candidate] = []
@@ -209,14 +361,14 @@ def _stem_candidates(
     if options.enable_os3:
         found.extend(
             _pair_candidates(
-                workspace, target, None, va, obs, sources, options
+                workspace, target, None, va, obs, source_mask, options
             )
         )
     return _keep_best(found, options.max_per_target)
 
 
 def _branch_candidates(
-    workspace: _Workspace,
+    workspace: CandidateWorkspace,
     target: Gate,
     sink: Gate,
     pin: int,
@@ -224,11 +376,10 @@ def _branch_candidates(
 ) -> list[Candidate]:
     """IS2/IS3 candidates for one branch of ``target``."""
     estimator = workspace.estimator
-    sim = workspace.sim
-    obs = sim.branch_observability(sink, pin)
-    va = sim.value(target.name)
-    forbidden = workspace.tfo_ids(sink)
-    sources = _legal_sources(workspace, forbidden, target)
+    obs = workspace.maps.branch(sink, pin)
+    va = workspace.sim.value(target.name)
+    source_mask = workspace.legal_sources(sink, target)
+    sources = np.nonzero(source_mask)[0]
     direct, inverted = workspace.compatible_rows(va, obs)
     branch = (sink.name, pin)
 
@@ -240,8 +391,6 @@ def _branch_candidates(
     if options.enable_is2:
         for i in sources:
             name = workspace.stems[i].name
-            if name == target.name:
-                continue
             if direct[i]:
                 _try_candidate(
                     estimator,
@@ -262,7 +411,7 @@ def _branch_candidates(
     if options.enable_is3:
         found.extend(
             _pair_candidates(
-                workspace, target, branch, va, obs, sources, options
+                workspace, target, branch, va, obs, source_mask, options
             )
         )
     return _keep_best(found, options.max_per_target)
@@ -286,7 +435,7 @@ def _two_input_word(bits: int, wa: np.ndarray, wb: np.ndarray):
 
 
 def _constant_candidates(
-    workspace: _Workspace,
+    workspace: CandidateWorkspace,
     target: Gate,
     branch: Optional[tuple[str, int]],
     va: np.ndarray,
@@ -315,12 +464,12 @@ def _constant_candidates(
 
 
 def _pair_candidates(
-    workspace: _Workspace,
+    workspace: CandidateWorkspace,
     target: Gate,
     branch: Optional[tuple[str, int]],
     va: np.ndarray,
     obs: np.ndarray,
-    sources: list[int],
+    source_mask: np.ndarray,
     options: CandidateOptions,
 ) -> list[Candidate]:
     """OS3/IS3: insert a new 2-input gate over a short source list."""
@@ -330,39 +479,37 @@ def _pair_candidates(
     if not cells:
         return []
     # Rank sources by activity: low-activity signals make cheap drivers.
-    ranked = sorted(
-        sources,
-        key=lambda i: estimator.activity(workspace.stems[i]),
-    )[: options.pair_source_limit]
+    # The round's stable activity order restricted to the legal sources is
+    # exactly what sorting them per target would give.
+    ranked: list[int] = []
+    for i in workspace.act_order:
+        if source_mask[i]:
+            ranked.append(i)
+            if len(ranked) == options.pair_source_limit:
+                break
     kind = OS3 if branch is None else IS3
+    table = workspace.pair_compat((target.name, branch), ranked, va, obs, cells)
     found: list[Candidate] = []
-    for ai in range(len(ranked)):
-        wa = workspace.matrix[ranked[ai]]
-        for bi in range(ai + 1, len(ranked)):
-            wb = workspace.matrix[ranked[bi]]
-            name_a = workspace.stems[ranked[ai]].name
-            name_b = workspace.stems[ranked[bi]].name
-            for cell in cells:
-                word = _two_input_word(cell.function.bits, wa, wb)
-                if word is None:
-                    word = evaluate_cell(
-                        cell, [wa, wb], workspace.sim.nwords
-                    )
-                if ((word ^ va) & obs).any():
-                    continue
-                _try_candidate(
-                    estimator,
-                    Substitution(
-                        kind,
-                        target.name,
-                        name_a,
-                        branch=branch,
-                        source2=name_b,
-                        new_cell=cell.name,
-                    ),
-                    found,
-                    options.min_quick_gain,
-                )
+    # argwhere yields (ai, bi, cell) in lexicographic order — identical to
+    # the nested  for ai / for bi > ai / for cell  enumeration.
+    k = len(ranked)
+    upper = np.zeros((k, k), dtype=bool)
+    if k >= 2:
+        upper[np.triu_indices(k, 1)] = True
+    for ai, bi, ci in np.argwhere(table & upper[:, :, None]):
+        _try_candidate(
+            estimator,
+            Substitution(
+                kind,
+                target.name,
+                workspace.stems[ranked[ai]].name,
+                branch=branch,
+                source2=workspace.stems[ranked[bi]].name,
+                new_cell=cells[ci].name,
+            ),
+            found,
+            options.min_quick_gain,
+        )
     return found
 
 
@@ -370,26 +517,5 @@ def generate_candidates(
     estimator: PowerEstimator,
     options: CandidateOptions | None = None,
 ) -> list[Candidate]:
-    """All simulation-compatible substitutions, best quick gain first."""
-    options = options or CandidateOptions()
-    workspace = _Workspace(estimator)
-    netlist = workspace.netlist
-    collected: list[Candidate] = []
-
-    if options.enable_os2 or options.enable_os3:
-        for target in workspace.stems:
-            if target.is_input or not target.fanout_count():
-                continue
-            collected.extend(_stem_candidates(workspace, target, options))
-
-    if options.enable_is2 or options.enable_is3:
-        for target in workspace.stems:
-            if target.fanout_count() < 2:
-                continue  # single-branch stems are covered by OS2
-            for sink, pin in list(target.fanouts):
-                collected.extend(
-                    _branch_candidates(workspace, target, sink, pin, options)
-                )
-
-    collected.sort(key=lambda c: -c.quick)
-    return collected[: options.max_total]
+    """One-shot candidate generation (fresh workspace, then discarded)."""
+    return CandidateWorkspace(estimator).generate(options)

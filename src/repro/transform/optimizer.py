@@ -37,6 +37,7 @@ from repro.timing.constraints import DelayConstraint, quick_delay_reject
 from repro.transform.candidates import (
     Candidate,
     CandidateOptions,
+    CandidateWorkspace,
     generate_candidates,
 )
 from repro.transform.gain import full_gain
@@ -95,7 +96,15 @@ class OptimizeOptions:
     #: Hard caps to bound runtime on large circuits.
     max_moves: Optional[int] = None
     max_rounds: int = 50
+    #: Use the incremental engine: persistent candidate workspace with the
+    #: batched observability kernel, in-place STA updates after each move,
+    #: and trial-delay checks without copying the netlist.  Produces the
+    #: same move sequence as the legacy from-scratch paths; ``False``
+    #: selects those paths (for A/B benchmarks and identity tests).
+    incremental: bool = True
     #: Structural self-check after every move (slows things; for tests).
+    #: With the incremental engine this also verifies the in-place STA
+    #: against a from-scratch rebuild after every move.
     self_check: bool = False
     #: Print one line per applied substitution (long-run progress).
     verbose: bool = False
@@ -125,6 +134,9 @@ class OptimizeResult:
     rejected_stale: int
     runtime_seconds: float
     delay_limit: Optional[float]
+    #: Wall-clock seconds per loop phase (candidates / select / timing /
+    #: atpg / apply).
+    phase_seconds: dict = field(default_factory=dict)
 
     @property
     def power_reduction_percent(self) -> float:
@@ -155,6 +167,12 @@ class OptimizeResult:
             f"  moves : {len(self.moves)} in {self.rounds} rounds, "
             f"{self.runtime_seconds:.2f}s",
         ]
+        if self.phase_seconds:
+            parts = ", ".join(
+                f"{name} {seconds:.2f}s"
+                for name, seconds in self.phase_seconds.items()
+            )
+            lines.append(f"  phases: {parts}")
         if self.moves:
             lines.append(format_class_table(self.moves))
         return "\n".join(lines)
@@ -217,12 +235,24 @@ class PowerOptimizer:
         self.rejected_aborted = 0
         self.rejected_stale = 0
         self._round = 0
+        self._workspace: Optional[CandidateWorkspace] = None
+        self.phase_seconds = {
+            "candidates": 0.0,
+            "select": 0.0,
+            "timing": 0.0,
+            "atpg": 0.0,
+            "apply": 0.0,
+        }
 
     # ------------------------------------------------------------------
     # Figure-5 primitives
     # ------------------------------------------------------------------
     def get_candidate_substitutions(self) -> list[Candidate]:
-        return generate_candidates(self.estimator, self.options.candidates)
+        if not self.options.incremental:
+            return generate_candidates(self.estimator, self.options.candidates)
+        if self._workspace is None:
+            self._workspace = CandidateWorkspace(self.estimator)
+        return self._workspace.generate(self.options.candidates)
 
     def _objective_score(self, candidate: Candidate) -> float:
         """How much the configured objective improves (> floor = accept)."""
@@ -232,6 +262,11 @@ class PowerOptimizer:
         if objective == "area":
             return -candidate.gain.area_delta
         # Delay objective: exact trial STA (quick gains cannot see timing).
+        if self.options.incremental:
+            after = self.timing.what_if(candidate.substitution)
+            if after is None:
+                return float("-inf")
+            return self.timing.circuit_delay - after
         try:
             trial, _applied = apply_to_copy(
                 self.netlist, candidate.substitution
@@ -311,8 +346,15 @@ class PowerOptimizer:
                 self.timing, substituting, target, added_load, new_tau, new_res
             ):
                 return False
-        # Exact verdict on a trial copy.  A stale candidate can fail to
-        # apply (e.g. earlier moves made it cycle-creating); reject it.
+        # Exact verdict.  A stale candidate can fail to apply (e.g. earlier
+        # moves made it cycle-creating); reject it.
+        if self.options.incremental:
+            # what_if evaluates the rewired netlist in place; None means
+            # the move is stale or cycle-creating (what apply would raise).
+            verdict = self.timing.what_if(substitution)
+            if verdict is None:
+                return False
+            return verdict <= self.constraint.limit + 1e-9
         try:
             trial, _applied = apply_to_copy(netlist, substitution)
         except (TransformError, NetlistError):
@@ -340,13 +382,25 @@ class PowerOptimizer:
             for name in applied.resim_roots
             if name in self.netlist.gates
         ]
-        self.estimator.update_after_edit(roots)
-        self.timing = TimingAnalysis(
-            self.netlist,
-            self.constraint.limit if self.constraint else None,
-        )
+        changed = self.estimator.update_after_edit(roots)
+        if self.options.incremental:
+            dirty = dict.fromkeys(applied.dirty_gate_names(self.netlist))
+            for name in changed:
+                if name in self.netlist.gates:
+                    dirty.setdefault(name)
+            dirty_gates = [self.netlist.gate(n) for n in dirty]
+            self.timing.update_after_edit(dirty_gates)
+            if self._workspace is not None:
+                self._workspace.invalidate(dirty_gates)
+        else:
+            self.timing = TimingAnalysis(
+                self.netlist,
+                self.constraint.limit if self.constraint else None,
+            )
         if self.options.self_check:
             check_netlist(self.netlist)
+            if self.options.incremental:
+                self._verify_incremental_timing()
         record = MoveRecord(
             substitution=candidate.substitution,
             predicted=candidate.gain,
@@ -363,6 +417,21 @@ class PowerOptimizer:
                 f"area {record.measured_area_delta:+.0f}"
             )
         return record
+
+    def _verify_incremental_timing(self) -> None:
+        """Assert the in-place STA equals a from-scratch rebuild exactly."""
+        fresh = TimingAnalysis(
+            self.netlist,
+            self.constraint.limit if self.constraint else None,
+        )
+        if (
+            self.timing.arrival != fresh.arrival
+            or self.timing.delay_of != fresh.delay_of
+            or self.timing.circuit_delay != fresh.circuit_delay
+        ):
+            raise TransformError(
+                "incremental STA diverged from a from-scratch rebuild"
+            )
 
     # ------------------------------------------------------------------
     # Main loop
@@ -381,28 +450,40 @@ class PowerOptimizer:
                 opts.gain_threshold_fraction * initial_power,
             )
 
+        phases = self.phase_seconds
         while True:
             self._round += 1
+            tick = time.perf_counter()
             pool = self.get_candidate_substitutions()
+            phases["candidates"] += time.perf_counter() - tick
             performed_this_round = 0
             budget = opts.repeat
             while budget > 0 and pool:
                 if opts.max_moves is not None and len(self.moves) >= opts.max_moves:
                     break
+                tick = time.perf_counter()
                 good = self.select_power_red_subst(pool)
+                phases["select"] += time.perf_counter() - tick
                 if good is None:
                     break
-                if not self.check_delay(good.substitution):
+                tick = time.perf_counter()
+                delay_ok = self.check_delay(good.substitution)
+                phases["timing"] += time.perf_counter() - tick
+                if not delay_ok:
                     self.rejected_delay += 1
                     continue
+                tick = time.perf_counter()
                 status = self.check_candidate(good.substitution)
+                phases["atpg"] += time.perf_counter() - tick
                 if status == ABORTED:
                     self.rejected_aborted += 1
                     continue
                 if status == NOT_PERMISSIBLE:
                     self.rejected_not_permissible += 1
                     continue
+                tick = time.perf_counter()
                 self.perform_substitution(good)
+                phases["apply"] += time.perf_counter() - tick
                 performed_this_round += 1
                 budget -= 1
             stop = (
@@ -433,6 +514,7 @@ class PowerOptimizer:
             rejected_stale=self.rejected_stale,
             runtime_seconds=time.perf_counter() - start,
             delay_limit=self.constraint.limit if self.constraint else None,
+            phase_seconds=dict(self.phase_seconds),
         )
 
 

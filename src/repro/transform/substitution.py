@@ -20,7 +20,7 @@ and timing state incrementally.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.errors import TransformError
@@ -145,6 +145,25 @@ class AppliedSubstitution:
     resim_roots: list[str]
     #: Net area change (added minus removed).
     area_delta: float
+    #: Surviving gates that lost fanout branches into the removed region —
+    #: together with ``resim_roots``, the sources, and the target these form
+    #: the dirty set incremental caches must invalidate.
+    boundary: list[str] = field(default_factory=list)
+    #: The gate now driving the substituted load (source, inverter, new
+    #: OS3/IS3 gate, or tie cell); "" when it died in the sweep.
+    substituting: str = ""
+
+    def dirty_gate_names(self, netlist: Netlist) -> list[str]:
+        """Live gates whose value, fanins, fanouts, or PO binding changed."""
+        names = dict.fromkeys(self.resim_roots)
+        for name in self.boundary:
+            names.setdefault(name)
+        for name in self.substitution.source_names():
+            names.setdefault(name)
+        if self.substituting:
+            names.setdefault(self.substituting)
+        names.setdefault(self.substitution.target)
+        return [n for n in names if n in netlist.gates]
 
 
 def _tie_gate(netlist: Netlist, value: int, added: list[str]) -> Gate:
@@ -223,7 +242,8 @@ def apply_substitution(
         netlist.replace_fanin(sink, pin, substituting)
         resim_roots.append(sink.name)
 
-    removed = netlist.sweep_dead()
+    boundary: list[Gate] = []
+    removed = netlist.sweep_dead(boundary=boundary)
     # A removed gate cannot be a re-simulation root.
     live_roots = [n for n in dict.fromkeys(resim_roots) if n in netlist.gates]
     area_delta = netlist.total_area() - area_before
@@ -233,6 +253,10 @@ def apply_substitution(
         removed=removed,
         resim_roots=live_roots,
         area_delta=area_delta,
+        boundary=[g.name for g in boundary],
+        substituting=(
+            substituting.name if substituting.name in netlist.gates else ""
+        ),
     )
 
 

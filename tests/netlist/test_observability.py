@@ -1,0 +1,165 @@
+"""Property tests: the batched observability kernel equals the per-stem
+reference (``SimState.stem_observability`` / ``branch_observability``)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NetlistError
+from repro.library.standard import standard_library
+from repro.netlist.observability import ObservabilityMaps
+from repro.netlist.simulate import SimState, exhaustive_patterns, random_patterns
+
+from tests.conftest import make_figure2, make_random_netlist
+
+LIB = standard_library()
+
+
+def assert_maps_match_reference(netlist, sim, maps):
+    for gate in netlist.gates.values():
+        expected = sim.stem_observability(gate)
+        assert np.array_equal(maps.stem[gate.name], expected), gate.name
+    for gate in netlist.gates.values():
+        for sink, pin in gate.fanouts:
+            expected = sim.branch_observability(sink, pin)
+            got = maps.branch(sink, pin)
+            assert np.array_equal(got, expected), (sink.name, pin)
+
+
+class TestAgainstReference:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        num_inputs=st.integers(3, 6),
+        num_gates=st.integers(4, 24),
+        num_outputs=st.integers(1, 3),
+        seed=st.integers(0, 10_000),
+    )
+    def test_random_netlists(self, num_inputs, num_gates, num_outputs, seed):
+        netlist = make_random_netlist(LIB, num_inputs, num_gates, num_outputs, seed)
+        if not netlist.input_names:
+            return
+        sim = SimState(netlist, random_patterns(netlist.input_names, 128, seed=seed))
+        maps = ObservabilityMaps(sim)
+        assert_maps_match_reference(netlist, sim, maps)
+
+    def test_figure2_exhaustive(self):
+        netlist = make_figure2(LIB)
+        sim = SimState(netlist, exhaustive_patterns(netlist.input_names))
+        maps = ObservabilityMaps(sim)
+        assert_maps_match_reference(netlist, sim, maps)
+
+    def test_reconvergent_stem(self):
+        # s fans out to two XOR branches that reconverge: the OR over branch
+        # masks would overestimate, the exact kernel must not.
+        from repro.netlist.build import NetlistBuilder
+
+        b = NetlistBuilder(LIB, "reconv")
+        a, c = b.inputs("a", "c")
+        s = b.and_(a, c, name="s")
+        left = b.xor_(s, a, name="left")
+        right = b.xor_(s, c, name="right")
+        out = b.xnor_(left, right, name="out")
+        b.output("o", out)
+        netlist = b.build()
+        sim = SimState(netlist, exhaustive_patterns(netlist.input_names))
+        maps = ObservabilityMaps(sim)
+        assert_maps_match_reference(netlist, sim, maps)
+
+    def test_non_observable_stem(self):
+        # A gate with no path to any output has an all-zero mask.
+        from repro.netlist.build import NetlistBuilder
+
+        b = NetlistBuilder(LIB, "dead")
+        a, c = b.inputs("a", "c")
+        b.and_(a, c, name="dangling")
+        keep = b.or_(a, c, name="keep")
+        b.output("o", keep)
+        netlist = b.build()
+        sim = SimState(netlist, exhaustive_patterns(netlist.input_names))
+        maps = ObservabilityMaps(sim)
+        assert not maps.stem["dangling"].any()
+        assert_maps_match_reference(netlist, sim, maps)
+
+    def test_branch_of_input_rejected(self):
+        netlist = make_figure2(LIB)
+        sim = SimState(netlist, exhaustive_patterns(netlist.input_names))
+        maps = ObservabilityMaps(sim)
+        with pytest.raises(NetlistError):
+            maps.branch(netlist.gate("a"), 0)
+
+
+class TestIncrementalUpdate:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_update_matches_recompute_after_rewire(self, seed):
+        netlist = make_random_netlist(LIB, 5, 16, 3, seed)
+        sim = SimState(netlist, random_patterns(netlist.input_names, 128, seed=1))
+        maps = ObservabilityMaps(sim)
+
+        # Rewire one random sink pin to a random legal source.
+        import random
+
+        rng = random.Random(seed)
+        rewirable = [g for g in netlist.logic_gates() if g.fanins]
+        sink = rng.choice(rewirable)
+        pin = rng.randrange(len(sink.fanins))
+        old_fanin = sink.fanins[pin]
+        sources = [
+            g
+            for g in netlist.gates.values()
+            if g is not sink and not netlist.would_create_cycle(g, sink)
+        ]
+        source = rng.choice(sources)
+        netlist.replace_fanin(sink, pin, source)
+        changed = sim.resimulate_fanout([sink])
+
+        dirty = {id(g): g for g in changed}
+        for g in (sink, old_fanin, source):
+            dirty[id(g)] = g
+        survived = maps.update_after_edit(dirty.values())
+
+        fresh = ObservabilityMaps(
+            SimState(netlist, random_patterns(netlist.input_names, 128, seed=1))
+        )
+        assert set(maps.stem) == set(fresh.stem)
+        for name, mask in fresh.stem.items():
+            assert np.array_equal(maps.stem[name], mask), name
+        assert_maps_match_reference(netlist, sim, maps)
+        # Masks reported unchanged kept their identity.
+        for name in set(maps.stem) - survived:
+            assert np.array_equal(maps.stem[name], fresh.stem[name])
+
+    def test_update_after_gate_removal(self):
+        netlist = make_random_netlist(LIB, 5, 14, 2, seed=3)
+        sim = SimState(netlist, random_patterns(netlist.input_names, 128, seed=2))
+        maps = ObservabilityMaps(sim)
+
+        # Retarget every fanout of one multi-fanout stem, then sweep.
+        stems = [g for g in netlist.logic_gates() if g.fanout_count()]
+        target = stems[0]
+        replacement = next(
+            g
+            for g in netlist.gates.values()
+            if g is not target
+            and not any(s is g for s, _ in target.fanouts)
+            and not any(
+                netlist.would_create_cycle(g, sink) for sink, _ in target.fanouts
+            )
+        )
+        sinks = [sink for sink, _pin in target.fanouts]
+        netlist.replace_fanouts(target, replacement)
+        boundary: list = []
+        removed = netlist.sweep_dead(boundary=boundary)
+        changed = sim.resimulate_fanout(sinks)
+
+        dirty = {id(g): g for g in changed}
+        for g in sinks + [replacement] + boundary:
+            dirty[id(g)] = g
+        if target.name in netlist.gates:
+            dirty[id(target)] = target
+        maps.update_after_edit(dirty.values())
+
+        assert removed  # the stem (at least) died
+        assert all(name not in maps.stem for name in removed)
+        assert_maps_match_reference(netlist, sim, maps)

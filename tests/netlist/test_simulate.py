@@ -110,6 +110,31 @@ class TestSimState:
         changed = sim.resimulate_fanout([figure2.gate("d")])
         assert changed == []  # nothing actually changed
 
+    def test_resim_overlapping_roots_single_eval(self, figure2, monkeypatch):
+        # A root inside another root's TFO must be evaluated exactly once
+        # and appear at most once in the changed list.
+        sim = SimState(figure2, exhaustive_patterns(figure2.input_names))
+        d = figure2.gate("d")
+        f = figure2.gate("f")  # f is in TFO(d)
+        sim.values["d"] = ~sim.values["d"]  # force a stale committed value
+
+        eval_counts: dict[str, int] = {}
+        original = SimState._eval
+
+        def counting_eval(self, gate, values):
+            eval_counts[gate.name] = eval_counts.get(gate.name, 0) + 1
+            return original(self, gate, values)
+
+        monkeypatch.setattr(SimState, "_eval", counting_eval)
+        changed = sim.resimulate_fanout([f, d])
+        assert all(count == 1 for count in eval_counts.values()), eval_counts
+        names = [g.name for g in changed]
+        assert len(names) == len(set(names))
+        # Committed state is consistent with a full re-simulation.
+        reference = SimState(figure2, exhaustive_patterns(figure2.input_names))
+        for name in figure2.gates:
+            assert np.array_equal(sim.value(name), reference.value(name)), name
+
     def test_output_words(self, figure2):
         sim = SimState(figure2, exhaustive_patterns(figure2.input_names))
         outs = sim.output_words()
@@ -163,3 +188,19 @@ class TestPopcount:
     def test_popcount(self):
         words = np.array([0b1011, 0xFFFFFFFFFFFFFFFF], dtype=np.uint64)
         assert popcount(words) == 3 + 64
+
+    def test_lut_fallback_matches(self):
+        from repro.netlist.simulate import _popcount_lut
+
+        rng = np.random.default_rng(11)
+        words = rng.integers(0, 2**64, size=257, dtype=np.uint64)
+        expected = sum(int(w).bit_count() for w in words)
+        assert _popcount_lut(words) == expected
+        assert popcount(words) == expected
+
+    def test_lut_fallback_edge_words(self):
+        from repro.netlist.simulate import _popcount_lut
+
+        words = np.array([0, 0xFFFFFFFFFFFFFFFF, 1 << 63, 0xF0F0], dtype=np.uint64)
+        assert _popcount_lut(words) == 0 + 64 + 1 + 8
+        assert _popcount_lut(np.zeros(0, dtype=np.uint64)) == 0

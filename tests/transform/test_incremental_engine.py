@@ -1,0 +1,127 @@
+"""A/B tests: the incremental engine (persistent workspace, in-place STA,
+copy-free delay checks) must replay the legacy engine's move sequence
+exactly, and its self-check must hold after every move."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.library.standard import standard_library
+from repro.transform.optimizer import OptimizeOptions, power_optimize
+from tests.conftest import make_random_netlist
+
+LIB = standard_library()
+
+
+def _options(incremental, **overrides):
+    base = dict(
+        num_patterns=512,
+        repeat=8,
+        max_rounds=3,
+        backtrack_limit=5000,
+        incremental=incremental,
+    )
+    base.update(overrides)
+    return OptimizeOptions(**base)
+
+
+def _move_signature(result):
+    return [
+        (
+            str(m.substitution),
+            m.measured_power_gain,
+            m.measured_area_delta,
+            m.round_index,
+            m.circuit_delay_after,
+        )
+        for m in result.moves
+    ]
+
+
+class TestMoveIdentity:
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_same_moves_as_legacy(self, seed):
+        base = make_random_netlist(LIB, 6, 26, 3, seed)
+        legacy = power_optimize(base.copy("legacy"), _options(False))
+        incremental = power_optimize(
+            base.copy("incremental"), _options(True, self_check=True)
+        )
+        assert _move_signature(incremental) == _move_signature(legacy)
+        assert incremental.final_power == legacy.final_power
+        assert incremental.rounds == legacy.rounds
+        assert incremental.rejected_delay == legacy.rejected_delay
+        assert (
+            incremental.rejected_not_permissible
+            == legacy.rejected_not_permissible
+        )
+        assert incremental.rejected_stale == legacy.rejected_stale
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_same_moves_under_delay_constraint(self, seed):
+        base = make_random_netlist(LIB, 6, 26, 3, seed)
+        legacy = power_optimize(
+            base.copy("legacy"), _options(False, delay_slack_percent=0.0)
+        )
+        incremental = power_optimize(
+            base.copy("incremental"),
+            _options(True, delay_slack_percent=0.0, self_check=True),
+        )
+        assert _move_signature(incremental) == _move_signature(legacy)
+        assert incremental.rejected_delay == legacy.rejected_delay
+        assert incremental.final_delay == legacy.final_delay
+
+    def test_delay_objective(self):
+        base = make_random_netlist(LIB, 6, 24, 2, seed=13)
+        legacy = power_optimize(
+            base.copy("legacy"), _options(False, objective="delay")
+        )
+        incremental = power_optimize(
+            base.copy("incremental"),
+            _options(True, objective="delay", self_check=True),
+        )
+        assert _move_signature(incremental) == _move_signature(legacy)
+
+
+class TestPhaseCounters:
+    def test_phase_seconds_populated(self):
+        netlist = make_random_netlist(LIB, 6, 22, 3, seed=3)
+        result = power_optimize(netlist, _options(True))
+        assert set(result.phase_seconds) == {
+            "candidates",
+            "select",
+            "timing",
+            "atpg",
+            "apply",
+        }
+        assert all(v >= 0.0 for v in result.phase_seconds.values())
+        assert result.phase_seconds["candidates"] > 0.0
+
+    def test_summary_prints_phases(self):
+        netlist = make_random_netlist(LIB, 6, 22, 3, seed=3)
+        result = power_optimize(netlist, _options(True))
+        assert "phases:" in result.summary()
+        assert "candidates" in result.summary()
+
+
+class TestSelfCheck:
+    def test_self_check_verifies_sta(self, monkeypatch):
+        from repro.errors import TransformError
+        from repro.transform import optimizer as opt_module
+
+        netlist = make_random_netlist(LIB, 6, 24, 3, seed=5)
+        # Sabotage the incremental update: self_check must catch it.
+        from repro.timing.analysis import TimingAnalysis
+
+        original = TimingAnalysis.update_after_edit
+
+        def broken(self, roots):
+            original(self, roots)
+            if self.arrival:
+                name = next(iter(self.arrival))
+                self.arrival[name] += 1.0
+
+        monkeypatch.setattr(TimingAnalysis, "update_after_edit", broken)
+        with pytest.raises(TransformError, match="diverged"):
+            power_optimize(netlist, _options(True, self_check=True))
