@@ -11,6 +11,8 @@ Commands:
 - ``atpg`` — fault coverage and redundancy report,
 - ``glitch`` — glitch-aware power analysis,
 - ``stats`` — netlist metrics and cell mix,
+- ``lint`` — static analysis of a mapped BLIF (``--format text|json``,
+  ``--fail-on <severity>``, rule selection/suppression by stable ID),
 - ``bench-list`` — list the benchmark registry.
 """
 
@@ -32,6 +34,19 @@ from repro.netlist.blif import parse_blif_file, write_blif
 from repro.synth.flow import SynthesisOptions, synthesize
 from repro.synth.mapper import MapOptions
 from repro.transform.optimizer import OptimizeOptions, power_optimize
+
+
+def _load_library(args):
+    """The genlib library named by ``--library``, or the built-in one."""
+    if getattr(args, "library", None):
+        return parse_genlib_file(args.library)
+    return standard_library()
+
+
+def _load_mapped_netlist(args, attribute: str = "netlist"):
+    """Shared BLIF-loading + library-binding path for every subcommand."""
+    library = _load_library(args)
+    return parse_blif_file(getattr(args, attribute), library), library
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -107,12 +122,7 @@ def _cmd_figure6(args) -> int:
 
 
 def _cmd_optimize(args) -> int:
-    library = (
-        parse_genlib_file(args.library)
-        if args.library
-        else standard_library()
-    )
-    netlist = parse_blif_file(args.netlist, library)
+    netlist, _library = _load_mapped_netlist(args)
     options = OptimizeOptions(
         objective=args.objective,
         repeat=args.repeat,
@@ -120,6 +130,7 @@ def _cmd_optimize(args) -> int:
         max_rounds=args.max_rounds,
         max_moves=args.max_moves,
         delay_slack_percent=args.delay_slack,
+        sanitize=args.sanitize,
     )
     result = power_optimize(netlist, options)
     print(result.summary())
@@ -135,11 +146,7 @@ def _cmd_optimize(args) -> int:
 
 
 def _cmd_synth(args) -> int:
-    library = (
-        parse_genlib_file(args.library)
-        if args.library
-        else standard_library()
-    )
+    library = _load_library(args)
     source = Path(args.pla)
     options = SynthesisOptions(map_options=MapOptions(mode=args.mode))
     if source.suffix == ".blif":
@@ -173,11 +180,7 @@ def _cmd_synth(args) -> int:
 def _cmd_verify(args) -> int:
     from repro.equiv.checker import check_equivalent
 
-    library = (
-        parse_genlib_file(args.library)
-        if args.library
-        else standard_library()
-    )
+    library = _load_library(args)
     left = parse_blif_file(args.left, library)
     right = parse_blif_file(args.right, library)
     result = check_equivalent(left, right)
@@ -193,12 +196,7 @@ def _cmd_atpg(args) -> int:
     from repro.atpg.redundancy import classify_fault
     from repro.netlist.simulate import SimState, random_patterns
 
-    library = (
-        parse_genlib_file(args.library)
-        if args.library
-        else standard_library()
-    )
-    netlist = parse_blif_file(args.netlist, library)
+    netlist, _library = _load_mapped_netlist(args)
     faults = all_faults(netlist)
     sim = SimState(
         netlist, random_patterns(netlist.input_names, args.patterns, seed=11)
@@ -218,12 +216,7 @@ def _cmd_atpg(args) -> int:
 def _cmd_glitch(args) -> int:
     from repro.power.glitch import analyze_glitches
 
-    library = (
-        parse_genlib_file(args.library)
-        if args.library
-        else standard_library()
-    )
-    netlist = parse_blif_file(args.netlist, library)
+    netlist, _library = _load_mapped_netlist(args)
     result = analyze_glitches(netlist, num_pairs=args.pairs)
     print(
         f"zero-delay power : {result.zero_delay_power:10.4f}\n"
@@ -243,12 +236,7 @@ def _cmd_stats(args) -> int:
     from repro.timing.analysis import TimingAnalysis
     from repro.transform.dedupe import count_duplicate_gates
 
-    library = (
-        parse_genlib_file(args.library)
-        if args.library
-        else standard_library()
-    )
-    netlist = parse_blif_file(args.netlist, library)
+    netlist, _library = _load_mapped_netlist(args)
     estimator = PowerEstimator(
         netlist,
         SimulationProbability(netlist, num_patterns=args.patterns, seed=3),
@@ -271,6 +259,49 @@ def _cmd_stats(args) -> int:
     for name, ce in estimator.report().top_contributors(8):
         print(f"    {name:16s} C*E = {ce:.4f}")
     return 0
+
+
+def _split_rule_ids(values):
+    """Flatten repeatable, comma-separated ``--select``/``--ignore`` args."""
+    if not values:
+        return None
+    ids = [part.strip() for v in values for part in v.split(",")]
+    return [rule_id for rule_id in ids if rule_id] or None
+
+
+def _cmd_lint(args) -> int:
+    from repro.lint import Severity, lint_netlist, rule_catalog
+    from repro.power.probability import SimulationProbability
+
+    if args.list_rules:
+        print(f"{'id':5s} {'severity':8s} {'category':9s}  description")
+        for rule_id, severity, category, title in rule_catalog():
+            print(f"{rule_id:5s} {severity:8s} {category:9s}  {title}")
+        return 0
+    if args.netlist is None:
+        print("error: a mapped BLIF input is required (or --list-rules)")
+        return 2
+    netlist, _library = _load_mapped_netlist(args)
+    probabilities = None
+    if not args.no_probabilities:
+        engine = SimulationProbability(
+            netlist, num_patterns=args.patterns, seed=3
+        )
+        probabilities = {
+            name: engine.probability(name) for name in netlist.gates
+        }
+    report = lint_netlist(
+        netlist,
+        select=_split_rule_ids(args.select),
+        ignore=_split_rule_ids(args.ignore),
+        probabilities=probabilities,
+    )
+    if args.format == "json":
+        print(report.format_json())
+    else:
+        print(report.format_text())
+    threshold = Severity.from_name(args.fail_on)
+    return 1 if report.at_least(threshold) else 0
 
 
 def _cmd_bench_list(_args) -> int:
@@ -316,6 +347,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repeat", type=int, default=25)
     p.add_argument("--max-rounds", type=int, default=20)
     p.add_argument("--max-moves", type=int, default=None)
+    p.add_argument(
+        "--sanitize", action="store_true",
+        help="validate every incremental structure after each move "
+        "(slow; raises on the first diverging move)",
+    )
     p.set_defaults(func=_cmd_optimize)
 
     p = sub.add_parser(
@@ -350,6 +386,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--library", help="genlib file (default: built-in)")
     p.add_argument("--patterns", type=int, default=2048)
     p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser(
+        "lint", help="static analysis: collect all rule findings on a BLIF"
+    )
+    p.add_argument(
+        "netlist", nargs="?", default=None, help="mapped BLIF input"
+    )
+    p.add_argument("--library", help="genlib file (default: built-in)")
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default text)",
+    )
+    p.add_argument(
+        "--fail-on", choices=("error", "warning", "info"), default="error",
+        help="exit nonzero when a finding at or above this severity "
+        "exists (default error)",
+    )
+    p.add_argument(
+        "--select", action="append", default=None, metavar="IDS",
+        help="run only these rule IDs (comma-separated, repeatable)",
+    )
+    p.add_argument(
+        "--ignore", action="append", default=None, metavar="IDS",
+        help="suppress these rule IDs (comma-separated, repeatable)",
+    )
+    p.add_argument(
+        "--patterns", type=int, default=2048,
+        help="random patterns for the probability rules (default 2048)",
+    )
+    p.add_argument(
+        "--no-probabilities", action="store_true",
+        help="skip probability estimation (disables the P0xx rules)",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("bench-list", help="list the benchmark registry")
     p.set_defaults(func=_cmd_bench_list)

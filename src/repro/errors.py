@@ -62,3 +62,25 @@ class TransformError(ReproError):
 
 class TimingError(ReproError):
     """Timing analysis failure (unconstrained graph, negative load...)."""
+
+
+class LintError(ReproError):
+    """A static-analysis failure surfaced as an exception.
+
+    Raised for invalid lint configuration (unknown rule ID, bad severity)
+    and by the transformation sanitizer when a finding of error severity
+    survives.  Diagnostics always carry a stable rule ID so suppressions
+    keep working across rule renames.
+
+    Attributes
+    ----------
+    rule_id:
+        Stable ID of the rule behind the finding, when one applies.
+    report:
+        The full :class:`repro.lint.LintReport`, when one was produced.
+    """
+
+    def __init__(self, message: str, rule_id: str | None = None, report=None):
+        super().__init__(message)
+        self.rule_id = rule_id
+        self.report = report

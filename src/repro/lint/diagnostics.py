@@ -1,0 +1,142 @@
+"""Diagnostic records and reports for the lint subsystem.
+
+A :class:`Diagnostic` pins one finding to a rule (stable ID), a severity,
+and a location (gate name, optionally a pin index), with an optional
+suggested fix.  A :class:`LintReport` aggregates the diagnostics of one
+lint pass and renders them as text or JSON.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.errors import LintError
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; comparable (``ERROR > WARNING > INFO``)."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def from_name(cls, name: str) -> "Severity":
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            choices = ", ".join(s.name.lower() for s in cls)
+            raise LintError(
+                f"unknown severity {name!r} (choices: {choices})"
+            ) from None
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding, pinned to a rule and a netlist location."""
+
+    rule_id: str
+    severity: Severity
+    message: str
+    #: Gate (stem) the finding is anchored to, when locatable.
+    gate: Optional[str] = None
+    #: Input-pin index on ``gate``, for branch-level findings.
+    pin: Optional[int] = None
+    #: Human-readable suggested fix.
+    suggestion: Optional[str] = None
+
+    def location(self) -> str:
+        if self.gate is None:
+            return "<netlist>"
+        if self.pin is None:
+            return self.gate
+        return f"{self.gate}.{self.pin}"
+
+    def to_dict(self) -> dict[str, Any]:
+        record: dict[str, Any] = {
+            "rule": self.rule_id,
+            "severity": str(self.severity),
+            "location": self.location(),
+            "message": self.message,
+        }
+        if self.gate is not None:
+            record["gate"] = self.gate
+        if self.pin is not None:
+            record["pin"] = self.pin
+        if self.suggestion is not None:
+            record["suggestion"] = self.suggestion
+        return record
+
+    def __str__(self) -> str:
+        text = f"{self.location()}: {self.severity}: {self.rule_id}: {self.message}"
+        if self.suggestion:
+            text += f" (fix: {self.suggestion})"
+        return text
+
+
+@dataclass
+class LintReport:
+    """All diagnostics of one lint pass over one netlist."""
+
+    netlist_name: str
+    diagnostics: list[Diagnostic]
+
+    def at_least(self, severity: Severity) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity >= severity]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return self.at_least(Severity.ERROR)
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [
+            d for d in self.diagnostics if d.severity == Severity.WARNING
+        ]
+
+    def worst(self) -> Optional[Severity]:
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    def counts(self) -> dict[str, int]:
+        tally: dict[str, int] = {}
+        for diag in self.diagnostics:
+            key = str(diag.severity)
+            tally[key] = tally.get(key, 0) + 1
+        return tally
+
+    def format_text(self) -> str:
+        lines = [f"lint report for {self.netlist_name!r}:"]
+        for diag in self.diagnostics:
+            lines.append(f"  {diag}")
+        if not self.diagnostics:
+            lines.append("  clean: no findings")
+        else:
+            parts = ", ".join(
+                f"{count} {name}" for name, count in sorted(self.counts().items())
+            )
+            lines.append(f"  {len(self.diagnostics)} finding(s): {parts}")
+        return "\n".join(lines)
+
+    def format_json(self) -> str:
+        return json.dumps(
+            {
+                "netlist": self.netlist_name,
+                "counts": self.counts(),
+                "diagnostics": [d.to_dict() for d in self.diagnostics],
+            },
+            indent=2,
+        )
+
+    def raise_on_error(self) -> None:
+        """Raise :class:`LintError` carrying the first error diagnostic."""
+        for diag in self.diagnostics:
+            if diag.severity >= Severity.ERROR:
+                raise LintError(str(diag), rule_id=diag.rule_id, report=self)

@@ -1,0 +1,179 @@
+"""The lint rule framework: rule base class, registry, and the driver.
+
+A :class:`Rule` inspects a :class:`LintContext` (netlist plus optional
+probability data) and yields :class:`Diagnostic` records — it never raises
+on findings and never stops at the first one.  Rules self-register under a
+stable ID (``N0xx`` structural invariants, ``Q0xx`` structural quality,
+``L0xx`` library contracts, ``P0xx`` power data); IDs are the unit of
+selection and suppression, so they survive rule renames.
+
+:func:`lint_netlist` is the entry point: it resolves the rule set, runs
+every rule defensively (a rule crashing on an already-corrupt netlist is
+itself reported, not propagated), and returns a :class:`LintReport`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+from typing import Optional
+
+from repro.errors import LintError
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity
+from repro.netlist.netlist import Netlist
+
+#: Rule categories, in report order.
+CATEGORY_STRUCTURE = "structure"
+CATEGORY_QUALITY = "quality"
+CATEGORY_LIBRARY = "library"
+CATEGORY_POWER = "power"
+
+
+class LintContext:
+    """Everything a rule may look at during one lint pass."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        probabilities: Optional[Mapping[str, float]] = None,
+    ):
+        self.netlist = netlist
+        #: Signal name -> P(signal = 1), when the caller measured them.
+        self.probabilities = probabilities
+
+
+class Rule:
+    """One lint rule.  Subclasses set the class attributes and ``check``."""
+
+    #: Stable identifier (e.g. ``"N001"``); the unit of selection.
+    id: str = ""
+    #: One-line description for catalogs and ``--help`` output.
+    title: str = ""
+    #: Severity of this rule's diagnostics.
+    severity: Severity = Severity.ERROR
+    #: Rule family (structure / quality / library / power).
+    category: str = CATEGORY_STRUCTURE
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def diag(
+        self,
+        message: str,
+        gate: Optional[str] = None,
+        pin: Optional[int] = None,
+        suggestion: Optional[str] = None,
+    ) -> Diagnostic:
+        """Build a diagnostic attributed to this rule."""
+        return Diagnostic(
+            rule_id=self.id,
+            severity=self.severity,
+            message=message,
+            gate=gate,
+            pin=pin,
+            suggestion=suggestion,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and register a rule under its ID."""
+    rule = cls()
+    if not rule.id:
+        raise LintError(f"rule {cls.__name__} has no ID")
+    if rule.id in _REGISTRY:
+        raise LintError(f"duplicate rule ID {rule.id!r}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, in stable ID order."""
+    _ensure_builtin()
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    _ensure_builtin()
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise LintError(f"unknown rule ID {rule_id!r}") from None
+
+
+def structural_rules() -> list[Rule]:
+    """The invariant pack ``check_netlist`` enforces (category N)."""
+    return [r for r in all_rules() if r.category == CATEGORY_STRUCTURE]
+
+
+def resolve_rules(
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> list[Rule]:
+    """Rule set from selection/suppression ID lists.
+
+    ``select=None`` starts from every registered rule; unknown IDs in
+    either list raise :class:`LintError` so typos fail loudly.
+    """
+    if select is None:
+        rules = all_rules()
+    else:
+        rules = [get_rule(rule_id) for rule_id in select]
+    if ignore:
+        ignored = {get_rule(rule_id).id for rule_id in ignore}
+        rules = [r for r in rules if r.id not in ignored]
+    return rules
+
+
+def _ensure_builtin() -> None:
+    # The builtin pack registers on import; import lazily to avoid a cycle
+    # (builtin rules use netlist helpers that may import this module).
+    from repro.lint import builtin  # noqa: F401
+
+
+def run_rules(ctx: LintContext, rules: Iterable[Rule]) -> list[Diagnostic]:
+    """Run rules defensively; a crashing rule becomes its own diagnostic."""
+    diagnostics: list[Diagnostic] = []
+    for rule in rules:
+        try:
+            diagnostics.extend(rule.check(ctx))
+        except LintError:
+            raise
+        except Exception as exc:  # corrupt input broke the rule itself
+            diagnostics.append(
+                Diagnostic(
+                    rule_id=rule.id,
+                    severity=Severity.ERROR,
+                    message=f"rule crashed on this netlist: {exc}",
+                )
+            )
+    return diagnostics
+
+
+def lint_netlist(
+    netlist: Netlist,
+    rules: Optional[Iterable[Rule]] = None,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    probabilities: Optional[Mapping[str, float]] = None,
+) -> LintReport:
+    """Run the configured rule set over ``netlist``; collect all findings.
+
+    ``rules`` overrides the registry entirely; otherwise ``select`` /
+    ``ignore`` narrow the registered set by ID.  ``probabilities`` feeds
+    the power rules (``P0xx``); without it they are skipped silently.
+    """
+    if rules is None:
+        rule_list = resolve_rules(select, ignore)
+    else:
+        rule_list = list(rules)
+    ctx = LintContext(netlist, probabilities=probabilities)
+    return LintReport(netlist.name, run_rules(ctx, rule_list))
+
+
+def rule_catalog() -> list[tuple[str, str, str, str]]:
+    """(id, severity, category, title) rows for docs and ``--list-rules``."""
+    return [
+        (r.id, str(r.severity), r.category, r.title) for r in all_rules()
+    ]

@@ -1,0 +1,282 @@
+"""The transformation sanitizer: per-move validation of the optimizer.
+
+:class:`TransformSanitizer` is the diagnostics-grade superset of
+``OptimizeOptions.self_check``.  After every applied substitution it
+
+1. runs the configured lint rule set over the edited netlist (``X001``
+   wraps any error-severity finding),
+2. rebuilds the simulation state from the committed input patterns and
+   compares every stem word and probability against the incremental
+   engine (``X002``),
+3. rebuilds the static timing analysis from scratch and compares arrival
+   times, gate delays, and the circuit delay exactly (``X003``),
+4. recomputes the batched observability masks and compares them against
+   the persistent candidate workspace (``X004``),
+5. revalidates every cached OS3/IS3 pair-compatibility table against a
+   recomputation from its own stored inputs (``X005``).
+
+The sanitizer only *reads* optimizer state (the workspace's pending-edit
+queue is flushed, which is a pure reordering of work the next candidate
+round would do anyway), so a sanitized run applies a bit-identical move
+sequence to an unsanitized one.  On any finding it raises
+:class:`~repro.errors.LintError` naming the offending move, the rule ID,
+and the minimal repro context.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.errors import LintError
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity
+from repro.lint.rules import Rule, lint_netlist, resolve_rules
+from repro.netlist.observability import ObservabilityMaps
+from repro.netlist.simulate import SimState
+from repro.power.probability import SimulationProbability
+from repro.timing.analysis import TimingAnalysis
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.transform.optimizer import PowerOptimizer
+    from repro.transform.substitution import AppliedSubstitution
+
+#: Sanitizer check IDs (documented alongside the lint rule catalog).
+X_LINT = "X001"
+X_PROBABILITY = "X002"
+X_TIMING = "X003"
+X_OBSERVABILITY = "X004"
+X_PAIR_TABLE = "X005"
+
+
+class TransformSanitizer:
+    """Validates the optimizer's incremental state after every move."""
+
+    def __init__(
+        self,
+        optimizer: "PowerOptimizer",
+        rules: Optional[list[Rule]] = None,
+    ):
+        self.optimizer = optimizer
+        #: Lint rules run after each move (default: every registered rule
+        #: at error severity — warnings would fire on legitimate
+        #: intermediate states like freshly inserted inverter chains).
+        self.rules = rules if rules is not None else resolve_rules()
+        #: Reports of every checked move (all clean unless a raise aborted).
+        self.reports: list[LintReport] = []
+
+    # ------------------------------------------------------------------
+    def after_move(self, applied: "AppliedSubstitution", move_index: int) -> None:
+        """Run every check; raise :class:`LintError` on any finding."""
+        findings: list[Diagnostic] = []
+        findings.extend(self._check_lint())
+        if not findings:
+            # The rebuild cross-checks assume a structurally sound netlist;
+            # on lint failures they could crash (e.g. a stale fanout pin
+            # index breaks load computation), so report the lint finding
+            # alone rather than masking it with a secondary exception.
+            findings.extend(self._check_probabilities())
+            findings.extend(self._check_timing())
+            findings.extend(self._check_observability())
+            findings.extend(self._check_pair_tables())
+        move = str(applied.substitution)
+        report = LintReport(
+            f"{self.optimizer.netlist.name}: move #{move_index} {move}",
+            findings,
+        )
+        self.reports.append(report)
+        if findings:
+            first = findings[0]
+            context = (
+                f"move #{move_index} {move} "
+                f"(added {applied.added or '[]'}, removed "
+                f"{applied.removed or '[]'})"
+            )
+            raise LintError(
+                f"sanitizer: {first.rule_id} after {context}: {first.message}",
+                rule_id=first.rule_id,
+                report=report,
+            )
+
+    # ------------------------------------------------------------------
+    # Individual checks
+    # ------------------------------------------------------------------
+    def _check_lint(self) -> list[Diagnostic]:
+        report = lint_netlist(self.optimizer.netlist, rules=self.rules)
+        return [
+            Diagnostic(
+                rule_id=X_LINT,
+                severity=Severity.ERROR,
+                message=f"netlist lint failed: {diag}",
+                gate=diag.gate,
+                pin=diag.pin,
+            )
+            for diag in report.errors
+        ]
+
+    def _check_probabilities(self) -> list[Diagnostic]:
+        engine = self.optimizer.estimator.engine
+        if not isinstance(engine, SimulationProbability):
+            return []
+        netlist = self.optimizer.netlist
+        patterns = {
+            name: engine.sim.values[name] for name in netlist.input_names
+        }
+        fresh = SimState(netlist, patterns)
+        findings: list[Diagnostic] = []
+        for name in netlist.gates:
+            committed = engine.sim.values.get(name)
+            if committed is None:
+                findings.append(
+                    _finding(
+                        X_PROBABILITY,
+                        f"no committed simulation value for {name!r}",
+                        gate=name,
+                    )
+                )
+                continue
+            if not np.array_equal(committed, fresh.values[name]):
+                findings.append(
+                    _finding(
+                        X_PROBABILITY,
+                        f"committed value of {name!r} diverged from a "
+                        f"from-scratch resimulation",
+                        gate=name,
+                    )
+                )
+        for name in [n for n in engine.sim.values if n not in netlist.gates]:
+            findings.append(
+                _finding(
+                    X_PROBABILITY,
+                    f"simulation carries value for dead gate {name!r}",
+                    gate=name,
+                )
+            )
+        # Probabilities: exact restatement of the committed sample.  Only
+        # the plain engine derives them from `sim` alone; temporal
+        # subclasses measure from pair simulations we don't rebuild here.
+        if type(engine) is SimulationProbability:
+            for name in netlist.gates:
+                expected = fresh.signal_probability(name)
+                got = engine.probability(name)
+                if got != expected:
+                    findings.append(
+                        _finding(
+                            X_PROBABILITY,
+                            f"probability of {name!r} is {got!r}, "
+                            f"resimulation gives {expected!r}",
+                            gate=name,
+                        )
+                    )
+        return findings
+
+    def _check_timing(self) -> list[Diagnostic]:
+        optimizer = self.optimizer
+        fresh = TimingAnalysis(
+            optimizer.netlist,
+            optimizer.constraint.limit if optimizer.constraint else None,
+        )
+        timing = optimizer.timing
+        findings: list[Diagnostic] = []
+        for label, incremental, rebuilt in (
+            ("arrival", timing.arrival, fresh.arrival),
+            ("delay", timing.delay_of, fresh.delay_of),
+        ):
+            for name in rebuilt:
+                if incremental.get(name) != rebuilt[name]:
+                    findings.append(
+                        _finding(
+                            X_TIMING,
+                            f"incremental {label} of {name!r} is "
+                            f"{incremental.get(name)!r}, rebuild gives "
+                            f"{rebuilt[name]!r}",
+                            gate=name,
+                        )
+                    )
+            for name in incremental:
+                if name not in rebuilt:
+                    findings.append(
+                        _finding(
+                            X_TIMING,
+                            f"incremental STA carries {label} for dead "
+                            f"gate {name!r}",
+                            gate=name,
+                        )
+                    )
+        if timing.circuit_delay != fresh.circuit_delay:
+            findings.append(
+                _finding(
+                    X_TIMING,
+                    f"incremental circuit delay {timing.circuit_delay!r} "
+                    f"!= rebuilt {fresh.circuit_delay!r}",
+                )
+            )
+        return findings
+
+    def _check_observability(self) -> list[Diagnostic]:
+        workspace = self.optimizer._workspace
+        if workspace is None:
+            return []
+        # Flush the accumulated per-move invalidations: the next candidate
+        # round would do exactly this, so it cannot change move selection.
+        workspace._flush_pending()
+        fresh = ObservabilityMaps(workspace.sim)
+        findings: list[Diagnostic] = []
+        for name, mask in fresh.stem.items():
+            incremental = workspace.maps.stem.get(name)
+            if incremental is None or not np.array_equal(incremental, mask):
+                findings.append(
+                    _finding(
+                        X_OBSERVABILITY,
+                        f"incremental observability mask of {name!r} "
+                        f"diverged from a full recomputation",
+                        gate=name,
+                    )
+                )
+        for name in workspace.maps.stem:
+            if name not in fresh.stem:
+                findings.append(
+                    _finding(
+                        X_OBSERVABILITY,
+                        f"observability map carries mask for dead gate "
+                        f"{name!r}",
+                        gate=name,
+                    )
+                )
+        return findings
+
+    def _check_pair_tables(self) -> list[Diagnostic]:
+        workspace = self.optimizer._workspace
+        if workspace is None:
+            return []
+        library = workspace.netlist.library
+        findings: list[Diagnostic] = []
+        for key, entry in workspace._pair_cache.items():
+            target, _branch = key
+            names, cell_names, va, obs, rows, table = entry
+            if library is None or any(n not in library for n in cell_names):
+                continue  # entry can never validate; dropped on next use
+            cells = [library[n] for n in cell_names]
+            expected = workspace._compute_pair_compat(rows, va, obs, cells)
+            if not np.array_equal(table, expected):
+                findings.append(
+                    _finding(
+                        X_PAIR_TABLE,
+                        f"cached pair-compatibility table for target "
+                        f"{target!r} (sources {list(names)}) disagrees "
+                        f"with recomputation from its own inputs",
+                        gate=target,
+                    )
+                )
+        return findings
+
+
+def _finding(
+    rule_id: str, message: str, gate: Optional[str] = None
+) -> Diagnostic:
+    return Diagnostic(
+        rule_id=rule_id,
+        severity=Severity.ERROR,
+        message=message,
+        gate=gate,
+    )

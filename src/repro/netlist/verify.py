@@ -1,71 +1,25 @@
 """Structural invariant checking for netlists.
 
-:func:`check_netlist` asserts every invariant the rest of the system relies
-on (consistent fanin/fanout bookkeeping, acyclicity, pin arities, live
-outputs).  The optimizer calls it in its own self-check mode and the test
-suite calls it after every transformation.
+:func:`check_netlist` is the historical abort-on-first-violation guard.
+Since the introduction of :mod:`repro.lint` it is a thin wrapper over the
+structural rule pack (rules ``N001``–``N008``): the rules collect *every*
+violation with locations and suggested fixes; this wrapper raises
+:class:`NetlistError` on the first error-severity diagnostic so existing
+callers (the optimizer's self-check mode, the test suite) keep their
+exception contract.  Use :func:`repro.lint.lint_netlist` directly for the
+collect-all diagnostics view.
 """
 
 from __future__ import annotations
 
 from repro.errors import NetlistError
 from repro.netlist.netlist import Netlist
-from repro.netlist.traverse import topological_order
 
 
 def check_netlist(netlist: Netlist) -> None:
     """Raise :class:`NetlistError` on any broken structural invariant."""
-    for name, gate in netlist.gates.items():
-        if gate.name != name:
-            raise NetlistError(f"gate registered as {name!r} but named {gate.name!r}")
-        if gate.is_input:
-            if gate.fanins:
-                raise NetlistError(f"primary input {name!r} has fanins")
-            if name not in netlist.input_names:
-                raise NetlistError(f"input gate {name!r} missing from input list")
-        else:
-            if gate.cell.num_inputs != len(gate.fanins):
-                raise NetlistError(
-                    f"gate {name!r}: {len(gate.fanins)} fanins for "
-                    f"{gate.cell.num_inputs}-input cell {gate.cell.name!r}"
-                )
-        for pin, driver in enumerate(gate.fanins):
-            if netlist.gates.get(driver.name) is not driver:
-                raise NetlistError(
-                    f"gate {name!r} pin {pin} driven by foreign gate {driver.name!r}"
-                )
-            if (gate, pin) not in driver.fanouts:
-                raise NetlistError(
-                    f"fanout list of {driver.name!r} misses branch to "
-                    f"{name!r} pin {pin}"
-                )
-        for sink, pin in gate.fanouts:
-            if netlist.gates.get(sink.name) is not sink:
-                raise NetlistError(
-                    f"gate {name!r} fans out to foreign gate {sink.name!r}"
-                )
-            if pin >= len(sink.fanins) or sink.fanins[pin] is not gate:
-                raise NetlistError(
-                    f"fanout entry {name!r} -> {sink.name!r} pin {pin} is stale"
-                )
-        for po in gate.po_names:
-            if netlist.outputs.get(po) is not gate:
-                raise NetlistError(
-                    f"gate {name!r} claims PO {po!r} owned by another driver"
-                )
+    from repro.lint.rules import lint_netlist, structural_rules
 
-    for name in netlist.input_names:
-        gate = netlist.gates.get(name)
-        if gate is None or not gate.is_input:
-            raise NetlistError(f"input list entry {name!r} is not an input gate")
-
-    for po, driver in netlist.outputs.items():
-        if netlist.gates.get(driver.name) is not driver:
-            raise NetlistError(f"PO {po!r} driven by foreign gate")
-        if po not in driver.po_names:
-            raise NetlistError(f"driver of PO {po!r} does not list the port")
-        if po not in netlist.output_loads:
-            raise NetlistError(f"PO {po!r} has no load entry")
-
-    # Raises on combinational cycles.
-    topological_order(netlist)
+    report = lint_netlist(netlist, rules=structural_rules())
+    for diagnostic in report.errors:
+        raise NetlistError(f"[{diagnostic.rule_id}] {diagnostic.message}")

@@ -106,6 +106,14 @@ class OptimizeOptions:
     #: With the incremental engine this also verifies the in-place STA
     #: against a from-scratch rebuild after every move.
     self_check: bool = False
+    #: Diagnostics-grade superset of ``self_check``: after every move run
+    #: the :mod:`repro.lint` rule pack and cross-check every incremental
+    #: structure (simulation values, probabilities, STA, observability
+    #: maps, pair tables) against from-scratch rebuilds, raising
+    #: :class:`~repro.errors.LintError` with the offending move and rule
+    #: ID on any divergence.  Read-only: the applied move sequence is
+    #: bit-identical to an unsanitized run.
+    sanitize: bool = False
     #: Print one line per applied substitution (long-run progress).
     verbose: bool = False
     #: Merge structurally identical gates before optimizing (always
@@ -236,6 +244,11 @@ class PowerOptimizer:
         self.rejected_stale = 0
         self._round = 0
         self._workspace: Optional[CandidateWorkspace] = None
+        self.sanitizer = None
+        if opts.sanitize:
+            from repro.lint.sanitizer import TransformSanitizer
+
+            self.sanitizer = TransformSanitizer(self)
         self.phase_seconds = {
             "candidates": 0.0,
             "select": 0.0,
@@ -401,6 +414,8 @@ class PowerOptimizer:
             check_netlist(self.netlist)
             if self.options.incremental:
                 self._verify_incremental_timing()
+        if self.sanitizer is not None:
+            self.sanitizer.after_move(applied, len(self.moves) + 1)
         record = MoveRecord(
             substitution=candidate.substitution,
             predicted=candidate.gain,

@@ -1,0 +1,53 @@
+"""The bundled benchmark BLIFs lint clean, and injected corruption is
+reported with rule ID, location, and a failing exit code."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.library.standard import standard_library
+from repro.lint import Severity, lint_netlist
+from repro.netlist.blif import parse_blif_file
+
+BLIF_DIR = Path(__file__).resolve().parents[2] / "benchmarks" / "blif"
+BUNDLED = sorted(BLIF_DIR.glob("*.blif"))
+
+
+def test_blifs_are_bundled():
+    assert len(BUNDLED) >= 3
+
+
+@pytest.mark.parametrize("path", BUNDLED, ids=lambda p: p.stem)
+def test_bundled_blif_lints_clean(path, capsys):
+    assert main(["lint", str(path), "--patterns", "512"]) == 0
+    assert "clean: no findings" in capsys.readouterr().out
+
+
+def test_bundled_blif_zero_error_diagnostics():
+    library = standard_library()
+    for path in BUNDLED:
+        netlist = parse_blif_file(path, library)
+        report = lint_netlist(netlist)
+        assert report.errors == [], f"{path.name}: {report.format_text()}"
+
+
+def test_injected_corruption_is_pinpointed():
+    library = standard_library()
+    netlist = parse_blif_file(BUNDLED[0], library)
+    gate = next(g for g in netlist.logic_gates() if g.fanouts)
+    sink, _pin = gate.fanouts[0]
+    gate.fanouts.append((sink, 99))  # stale fanout entry
+
+    report = lint_netlist(netlist)
+    assert report.at_least(Severity.ERROR), "corruption must fail the lint"
+
+    text = report.format_text()
+    assert "N005" in text and gate.name in text and "error" in text
+
+    payload = json.loads(report.format_json())
+    (diag,) = [d for d in payload["diagnostics"] if d["rule"] == "N005"]
+    assert diag["gate"] == gate.name
+    assert diag["pin"] == 99
+    assert diag["severity"] == "error"

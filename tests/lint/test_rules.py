@@ -1,0 +1,248 @@
+"""Each built-in lint rule fires on a deliberately corrupted netlist."""
+
+import json
+
+import pytest
+
+from repro.errors import LintError, NetlistError
+from repro.library.cell import Cell, Library, Pin
+from repro.lint import (
+    Severity,
+    all_rules,
+    get_rule,
+    lint_netlist,
+    resolve_rules,
+    rule_catalog,
+)
+from repro.netlist.build import NetlistBuilder
+from repro.netlist.netlist import Netlist
+from repro.netlist.verify import check_netlist
+
+
+def rule_ids(report):
+    return {d.rule_id for d in report.diagnostics}
+
+
+class TestStructuralRules:
+    def test_clean_netlist_has_no_findings(self, figure2):
+        assert lint_netlist(figure2).diagnostics == []
+
+    def test_n001_wrong_registration(self, figure2):
+        gate = figure2.gate("d")
+        del figure2.gates["d"]
+        figure2.gates["dd"] = gate
+        assert "N001" in rule_ids(lint_netlist(figure2))
+
+    def test_n002_input_with_fanin(self, figure2):
+        a = figure2.gate("a")
+        a.fanins.append(figure2.gate("b"))
+        report = lint_netlist(figure2, select=["N002"])
+        assert [d.rule_id for d in report.errors] == ["N002"]
+        assert report.errors[0].gate == "a"
+
+    def test_n002_bogus_input_list_entry(self, figure2):
+        figure2.input_names.append("ghost")
+        assert "N002" in rule_ids(lint_netlist(figure2))
+
+    def test_n003_arity_mismatch(self, figure2):
+        d = figure2.gate("d")
+        dropped = d.fanins.pop()
+        dropped.fanouts.remove((d, 1))
+        report = lint_netlist(figure2, select=["N003"])
+        assert len(report.errors) == 1
+        assert report.errors[0].gate == "d"
+
+    def test_n004_foreign_fanin(self, figure2, lib):
+        other = NetlistBuilder(lib, "other")
+        foreign = other.input("zz")
+        d = figure2.gate("d")
+        d.fanins[0] = foreign
+        report = lint_netlist(figure2)
+        assert "N004" in rule_ids(report)
+
+    def test_n005_stale_fanout_entry(self, figure2):
+        d = figure2.gate("d")
+        e = figure2.gate("e")
+        d.fanouts.append((e, 0))  # e pin 0 is not driven by d
+        report = lint_netlist(figure2, select=["N005"])
+        (diag,) = report.errors
+        assert diag.gate == "d"
+        assert diag.pin == 0
+        assert "stale" in diag.message
+
+    def test_n005_missing_fanout_branch(self, figure2):
+        d = figure2.gate("d")
+        f = figure2.gate("f")
+        d.fanouts.remove((f, 0))
+        assert "N005" in rule_ids(lint_netlist(figure2))
+
+    def test_n006_po_owned_by_other_driver(self, figure2):
+        figure2.outputs["f_out"] = figure2.gate("e")
+        assert "N006" in rule_ids(lint_netlist(figure2))
+
+    def test_n006_missing_po_load(self, figure2):
+        del figure2.output_loads["f_out"]
+        assert "N006" in rule_ids(lint_netlist(figure2))
+
+    def test_n007_duplicated_po_driver(self, figure2):
+        # Both e and f now claim the f_out port.
+        figure2.gate("e").po_names.append("f_out")
+        report = lint_netlist(figure2)
+        assert "N007" in rule_ids(report)
+        (diag,) = [d for d in report.errors if d.rule_id == "N007"]
+        assert "f_out" in diag.message
+
+    def test_n008_cycle(self, figure2):
+        d = figure2.gate("d")
+        f = figure2.gate("f")
+        a = d.fanins[0]
+        a.fanouts.remove((d, 0))
+        d.fanins[0] = f
+        f.fanouts.append((d, 0))
+        figure2._invalidate()
+        report = lint_netlist(figure2, select=["N008"])
+        assert len(report.errors) == 1
+        assert "cycle" in report.errors[0].message
+
+
+class TestQualityRules:
+    def test_q001_dangling_gate(self, figure2, lib):
+        b = figure2.gate("b")
+        figure2.add_gate(lib.inverter(), [b], name="dead")
+        report = lint_netlist(figure2)
+        assert [d.rule_id for d in report.diagnostics] == ["Q001"]
+        diag = report.diagnostics[0]
+        assert diag.severity == Severity.WARNING
+        assert diag.gate == "dead"
+        assert "sweep_dead" in diag.suggestion
+
+    def test_q002_tie_fed_gate(self, figure2, lib):
+        tie = figure2.add_gate(lib["one"], [], name="tie1")
+        inv = figure2.add_gate(lib.inverter(), [tie], name="redundant")
+        figure2.set_output("extra", inv)
+        report = lint_netlist(figure2, select=["Q002"])
+        assert [d.gate for d in report.diagnostics] == ["redundant"]
+
+    def test_q003_double_inverter(self, figure2, lib):
+        inv1 = figure2.add_gate(
+            lib.inverter(), [figure2.gate("d")], name="inv1"
+        )
+        inv2 = figure2.add_gate(lib.inverter(), [inv1], name="inv2")
+        figure2.set_output("slow", inv2)
+        report = lint_netlist(figure2, select=["Q003"])
+        (diag,) = report.diagnostics
+        assert diag.gate == "inv2"
+        assert "'d'" in diag.suggestion
+
+
+class TestLibraryRules:
+    def test_l001_unbound_cell(self, figure2):
+        figure2.library = Library("empty")
+        report = lint_netlist(figure2, select=["L001"])
+        assert report.errors  # every logic gate's cell is now unknown
+        assert all(d.rule_id == "L001" for d in report.errors)
+
+    def test_l001_skipped_without_library(self, figure2):
+        figure2.library = None
+        assert lint_netlist(figure2, select=["L001"]).diagnostics == []
+
+    def test_l002_drive_limit(self):
+        weak_inv = Cell(
+            "weak_inv", 1.0, "O", "!A",
+            [Pin("A", load=1.0, max_load=0.5)],
+        )
+        nl = Netlist("weak")
+        a = nl.add_input("a")
+        inv = nl.add_gate(weak_inv, [a], name="inv")
+        nl.set_output("o", inv, load=2.0)  # 2.0 > max_load 0.5
+        report = lint_netlist(nl, select=["L002"])
+        (diag,) = report.diagnostics
+        assert diag.severity == Severity.WARNING
+        assert diag.gate == "inv"
+
+
+class TestPowerRules:
+    def test_p001_out_of_range(self, figure2):
+        probs = {name: 0.5 for name in figure2.gates}
+        probs["d"] = 1.5
+        report = lint_netlist(
+            figure2, select=["P001"], probabilities=probs
+        )
+        (diag,) = report.errors
+        assert diag.gate == "d"
+
+    def test_p001_nan(self, figure2):
+        probs = {"d": float("nan")}
+        report = lint_netlist(figure2, probabilities=probs)
+        assert "P001" in rule_ids(report)
+
+    def test_p001_skipped_without_probabilities(self, figure2):
+        assert lint_netlist(figure2, select=["P001"]).diagnostics == []
+
+
+class TestRegistryAndSelection:
+    def test_catalog_is_sorted_and_unique(self):
+        ids = [row[0] for row in rule_catalog()]
+        assert ids == sorted(ids)
+        assert len(ids) == len(set(ids))
+        assert {"N001", "N005", "N008", "Q001", "L001", "P001"} <= set(ids)
+
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(LintError):
+            get_rule("Z999")
+        with pytest.raises(LintError):
+            resolve_rules(select=["N001", "Z999"])
+
+    def test_ignore_suppresses(self, figure2, lib):
+        b = figure2.gate("b")
+        figure2.add_gate(lib.inverter(), [b], name="dead")
+        assert rule_ids(lint_netlist(figure2)) == {"Q001"}
+        assert lint_netlist(figure2, ignore=["Q001"]).diagnostics == []
+
+    def test_severity_parsing(self):
+        assert Severity.from_name("ERROR") is Severity.ERROR
+        assert Severity.from_name("warning") is Severity.WARNING
+        with pytest.raises(LintError):
+            Severity.from_name("fatal")
+
+    def test_every_rule_has_metadata(self):
+        for rule in all_rules():
+            assert rule.id and rule.title
+            assert isinstance(rule.severity, Severity)
+
+
+class TestReportFormats:
+    def test_text_format_names_rule_and_location(self, figure2):
+        d = figure2.gate("d")
+        e = figure2.gate("e")
+        d.fanouts.append((e, 0))
+        text = lint_netlist(figure2).format_text()
+        assert "N005" in text
+        assert "d.0" in text
+
+    def test_json_format_round_trips(self, figure2):
+        d = figure2.gate("d")
+        e = figure2.gate("e")
+        d.fanouts.append((e, 0))
+        payload = json.loads(lint_netlist(figure2).format_json())
+        assert payload["netlist"] == "fig2"
+        assert payload["counts"]["error"] >= 1
+        (diag,) = [
+            d for d in payload["diagnostics"] if d["rule"] == "N005"
+        ]
+        assert diag["gate"] == "d"
+        assert diag["pin"] == 0
+        assert diag["severity"] == "error"
+
+
+class TestCheckNetlistWrapper:
+    def test_raises_with_rule_id(self, figure2):
+        d = figure2.gate("d")
+        f = figure2.gate("f")
+        d.fanouts.remove((f, 0))
+        with pytest.raises(NetlistError, match=r"\[N005\]"):
+            check_netlist(figure2)
+
+    def test_warnings_do_not_raise(self, figure2, lib):
+        figure2.add_gate(lib.inverter(), [figure2.gate("b")], name="dead")
+        check_netlist(figure2)  # Q001 is warning severity; wrapper ignores

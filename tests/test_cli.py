@@ -195,6 +195,18 @@ class TestUtilityCommands:
         out = capsys.readouterr().out
         assert "OS2" in out and "paper" in out
 
+    def test_optimize_sanitize_flag(self, mapped_blif, capsys):
+        assert (
+            main(
+                [
+                    "optimize", str(mapped_blif), "--sanitize",
+                    "--patterns", "256", "--max-rounds", "1",
+                ]
+            )
+            == 0
+        )
+        assert "POWDER result" in capsys.readouterr().out
+
     def test_figure6_tiny(self, capsys):
         # Note: the CLI sweeps DEFAULT_SLACK_PERCENTS; restrict circuits to
         # the smallest and cap effort to keep this test quick.
@@ -210,3 +222,120 @@ class TestUtilityCommands:
         )
         text = format_figure6(result)
         assert "trade-off" in text
+
+
+class TestLintCommand:
+    @pytest.fixture
+    def mapped_blif(self, tmp_path):
+        pla = tmp_path / "maj.pla"
+        pla.write_text(
+            ".i 3\n.o 1\n.ilb a b c\n.ob f\n11- 1\n1-1 1\n-11 1\n.e\n"
+        )
+        out = tmp_path / "maj.blif"
+        assert main(["synth", str(pla), "-o", str(out)]) == 0
+        return out
+
+    @pytest.fixture
+    def dangling_blif(self, tmp_path):
+        """A parseable BLIF whose netlist carries a zero-fanout gate."""
+        from repro.library.standard import standard_library
+        from repro.netlist.blif import parse_blif_file, write_blif
+
+        library = standard_library()
+        pla = tmp_path / "maj.pla"
+        pla.write_text(
+            ".i 3\n.o 1\n.ilb a b c\n.ob f\n11- 1\n1-1 1\n-11 1\n.e\n"
+        )
+        mapped = tmp_path / "maj.blif"
+        assert main(["synth", str(pla), "-o", str(mapped)]) == 0
+        netlist = parse_blif_file(mapped, library)
+        netlist.add_gate(
+            library.inverter(), [netlist.gate("a")], name="dead_inv"
+        )
+        out = tmp_path / "dangling.blif"
+        out.write_text(write_blif(netlist))
+        return out
+
+    def test_clean_netlist_exits_zero(self, mapped_blif, capsys):
+        assert main(["lint", str(mapped_blif), "--patterns", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "clean: no findings" in out
+
+    def test_json_format(self, mapped_blif, capsys):
+        import json
+
+        assert (
+            main(
+                [
+                    "lint", str(mapped_blif), "--format", "json",
+                    "--patterns", "256",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["diagnostics"] == []
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "N001" in out and "Q001" in out and "P001" in out
+
+    def test_missing_netlist_is_usage_error(self, capsys):
+        assert main(["lint"]) == 2
+        assert "required" in capsys.readouterr().out
+
+    def test_warning_finding_and_fail_on(self, dangling_blif, capsys):
+        # Warnings alone do not fail the default (error) threshold...
+        assert main(["lint", str(dangling_blif), "--patterns", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "Q001" in out and "dead_inv" in out
+        # ...but do fail --fail-on warning, with a nonzero exit code.
+        assert (
+            main(
+                [
+                    "lint", str(dangling_blif), "--fail-on", "warning",
+                    "--patterns", "256",
+                ]
+            )
+            == 1
+        )
+
+    def test_warning_finding_json(self, dangling_blif, capsys):
+        import json
+
+        assert (
+            main(
+                [
+                    "lint", str(dangling_blif), "--format", "json",
+                    "--fail-on", "warning", "--patterns", "256",
+                ]
+            )
+            == 1
+        )
+        payload = json.loads(capsys.readouterr().out)
+        (diag,) = [
+            d for d in payload["diagnostics"] if d["rule"] == "Q001"
+        ]
+        assert diag["gate"] == "dead_inv"
+
+    def test_select_and_ignore(self, dangling_blif, capsys):
+        assert (
+            main(
+                [
+                    "lint", str(dangling_blif), "--ignore", "Q001",
+                    "--fail-on", "warning", "--patterns", "256",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "lint", str(dangling_blif), "--select", "N001,N005",
+                    "--fail-on", "warning", "--no-probabilities",
+                ]
+            )
+            == 0
+        )
