@@ -285,6 +285,12 @@ TRADEOFF_SUITE: tuple[str, ...] = tuple(
     name for name, spec in SUITE.items() if spec.tradeoff
 )
 
+#: Registry circuits small enough for the full differential-verification
+#: pipeline (``powder fuzz --bench``): every oracle tier applies (at most
+#: 16 inputs keeps exhaustive simulation in play) and the optimizer runs
+#: the circuit several times over within the CI fuzz budget.
+FUZZ_SUITE: tuple[str, ...] = ("rd53", "misex1", "sqrt8", "Z5xp1")
+
 
 def available_benchmarks() -> list[str]:
     return list(SUITE)

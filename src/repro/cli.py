@@ -13,6 +13,10 @@ Commands:
 - ``stats`` — netlist metrics and cell mix,
 - ``lint`` — static analysis of a mapped BLIF (``--format text|json``,
   ``--fail-on <severity>``, rule selection/suppression by stable ID),
+- ``fuzz`` — differential fuzzing of the optimizer: generate seeded random
+  mapped netlists, optimize, verify equivalence three independent ways,
+  check metamorphic properties, and shrink failures to reproducers
+  (``--shrink``, ``--corpus-dir``, ``--replay``, ``--self-test``),
 - ``bench-list`` — list the benchmark registry.
 """
 
@@ -304,6 +308,59 @@ def _cmd_lint(args) -> int:
     return 1 if report.at_least(threshold) else 0
 
 
+def _cmd_fuzz(args) -> int:
+    from repro.bench.suite import FUZZ_SUITE
+    from repro.fuzz import (
+        FuzzOptions,
+        cell_swap_mutator,
+        replay_corpus,
+        run_bench_cases,
+        run_fuzz,
+    )
+
+    shapes = _split_rule_ids(args.shapes)
+    options = FuzzOptions(
+        seed=args.seed,
+        count=args.count,
+        min_inputs=args.min_inputs,
+        max_inputs=args.max_inputs,
+        min_gates=args.min_gates,
+        max_gates=args.max_gates,
+        shapes=tuple(shapes) if shapes else FuzzOptions.shapes,
+        num_patterns=args.patterns,
+        max_moves=args.max_moves,
+        delay_slack_percent=args.delay_slack,
+        shrink=args.shrink or args.corpus_dir is not None,
+        corpus_dir=Path(args.corpus_dir) if args.corpus_dir else None,
+        check_rerun=not args.quick,
+        check_engine_identity=not args.quick,
+        mutator=cell_swap_mutator if args.self_test else None,
+    )
+    if args.replay:
+        report = replay_corpus(Path(args.replay), options)
+        if not report.cases:
+            print(f"no .blif reproducers under {args.replay}")
+            return 0
+    elif args.bench:
+        names = list(FUZZ_SUITE) if args.bench == ["all"] else args.bench
+        report = run_bench_cases(names, options)
+    else:
+        report = run_fuzz(options, progress=lambda case: print(
+            f"  {'ok  ' if case.ok else 'FAIL'} {case.name} "
+            f"({case.gates} gates, {case.moves} moves)",
+            flush=True,
+        ))
+    print(report.summary())
+    if args.self_test:
+        caught = all(not case.ok for case in report.cases)
+        print(
+            "self-test: injected cell-swap corruption "
+            + ("caught in every case" if caught else "MISSED in some case")
+        )
+        return 0 if caught else 1
+    return 0 if report.ok else 1
+
+
 def _cmd_bench_list(_args) -> int:
     print(f"{'name':10s} {'default':>7s} {'synthetic':>9s}  description")
     for name, spec in SUITE.items():
@@ -424,6 +481,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the rule catalog and exit",
     )
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing of the optimizer (generate, optimize, "
+        "verify three ways, shrink failures)",
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed; case i uses seed+i (default 0)")
+    p.add_argument("--count", type=int, default=20,
+                   help="number of generated cases (default 20)")
+    p.add_argument("--min-gates", type=int, default=6)
+    p.add_argument("--max-gates", type=int, default=24)
+    p.add_argument("--min-inputs", type=int, default=3)
+    p.add_argument("--max-inputs", type=int, default=8)
+    p.add_argument(
+        "--shapes", action="append", default=None, metavar="NAMES",
+        help="circuit shapes to rotate through (comma-separated, "
+        "repeatable; default: random, reconvergent, high_fanout, "
+        "inverter_chain)",
+    )
+    p.add_argument("--patterns", type=int, default=256,
+                   help="random patterns per case, multiple of 64 "
+                   "(default 256)")
+    p.add_argument("--max-moves", type=int, default=None)
+    p.add_argument("--delay-slack", type=float, default=None,
+                   help="also impose a delay constraint (%% over initial)")
+    p.add_argument(
+        "--shrink", action="store_true",
+        help="delta-debug failing cases to minimal reproducers",
+    )
+    p.add_argument(
+        "--corpus-dir", default=None, metavar="DIR",
+        help="write shrunk reproducers here as replayable BLIF "
+        "(implies --shrink)",
+    )
+    p.add_argument(
+        "--replay", default=None, metavar="DIR",
+        help="re-verify every .blif reproducer in DIR instead of "
+        "generating",
+    )
+    p.add_argument(
+        "--bench", nargs="+", default=None, metavar="NAME",
+        help="verify registry benchmark circuits instead of generated "
+        "ones ('all' = the FUZZ_SUITE subset)",
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="skip the properties that re-run the optimizer "
+        "(idempotent-rerun, engine-identity)",
+    )
+    p.add_argument(
+        "--self-test", action="store_true",
+        help="inject a cell-swap corruption after each optimization and "
+        "require the oracle to catch it (exit 0 = every case caught)",
+    )
+    p.set_defaults(func=_cmd_fuzz)
 
     p = sub.add_parser("bench-list", help="list the benchmark registry")
     p.set_defaults(func=_cmd_bench_list)

@@ -25,13 +25,36 @@ import numpy as np
 
 from repro.atpg.podem import DEFAULT_BACKTRACK_LIMIT, justify
 from repro.equiv.miter import build_miter
-from repro.errors import AtpgAbort
+from repro.errors import AtpgAbort, NetlistError
 from repro.netlist.netlist import Netlist
 from repro.netlist.simulate import SimState, random_patterns
 
 EQUAL = "equal"
 NOT_EQUAL = "not-equal"
 UNKNOWN = "unknown"
+
+
+def _validate_interfaces(left: Netlist, right: Netlist) -> None:
+    """Reject differing interface name *sets* up front, with the names.
+
+    Every stage downstream (pattern dicts, BDD orders, the miter) matches
+    signals by name, so a true mismatch would otherwise surface as a deep
+    KeyError or a missing-pattern crash far from the cause.
+    """
+    mismatch = set(left.input_names) ^ set(right.input_names)
+    if mismatch:
+        raise NetlistError(
+            "cannot compare netlists with different primary-input sets "
+            f"(matching is by name, order-independent); only on one "
+            f"side: {sorted(mismatch)}"
+        )
+    mismatch = set(left.outputs) ^ set(right.outputs)
+    if mismatch:
+        raise NetlistError(
+            "cannot compare netlists with different primary-output sets "
+            f"(matching is by name, order-independent); only on one "
+            f"side: {sorted(mismatch)}"
+        )
 
 
 @dataclass
@@ -121,7 +144,15 @@ def check_equivalent(
     backtrack_limit: int = DEFAULT_BACKTRACK_LIMIT,
     bdd_node_limit: int = 200_000,
 ) -> EquivalenceResult:
-    """Decide combinational equivalence of two netlists."""
+    """Decide combinational equivalence of two netlists.
+
+    Interfaces are matched **by name**: the operands may list their primary
+    inputs and outputs in different orders (declaration order is a storage
+    artifact, not semantics), and every stage — simulation patterns, BDD
+    variable order, the miter — honors that.  Differing name *sets* raise
+    :class:`~repro.errors.NetlistError` instead of producing a verdict.
+    """
+    _validate_interfaces(left, right)
     if left.input_names and num_patterns:
         cex = _simulation_counterexample(left, right, num_patterns, seed)
         if cex is not None:

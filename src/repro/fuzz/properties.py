@@ -1,0 +1,136 @@
+"""Metamorphic properties of one optimizer run.
+
+Each property states a relation the optimizer must satisfy on *every*
+input, no reference answer needed:
+
+- ``power-monotone`` — the estimated power never increases (the Figure-5
+  loop only accepts strictly improving moves),
+- ``delay-constraint`` — when a limit is configured, the final circuit
+  delay respects it,
+- ``idempotent-rerun`` — running the optimizer again on its own output is
+  safe: it converges, keeps equivalence, and never pushes power back up,
+- ``engine-identity`` — the incremental engine and the legacy from-scratch
+  paths produce bit-identical move sequences (the PR-1 contract, here
+  enforced on arbitrary generated circuits).
+
+All checks are pure observers: they work on copies and never mutate the
+netlist under test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.netlist.netlist import Netlist
+from repro.transform.optimizer import (
+    OptimizeOptions,
+    OptimizeResult,
+    power_optimize,
+)
+
+#: Acceptance slack on float comparisons.
+_EPS = 1e-9
+
+
+def run_properties(
+    original: Netlist,
+    result: OptimizeResult,
+    options: OptimizeOptions,
+    check_rerun: bool = True,
+    check_engine_identity: bool = True,
+) -> list[str]:
+    """Evaluate every metamorphic property; returns failure descriptions."""
+    failures: list[str] = []
+    failures.extend(power_monotone(result))
+    failures.extend(delay_constraint(result))
+    if check_rerun:
+        failures.extend(idempotent_rerun(result, options))
+    if check_engine_identity:
+        failures.extend(engine_identity(original, result, options))
+    return failures
+
+
+def power_monotone(result: OptimizeResult) -> list[str]:
+    """[power-monotone] optimization never increases estimated power."""
+    failures = []
+    if result.final_power > result.initial_power + _EPS:
+        failures.append(
+            f"[power-monotone] power rose {result.initial_power!r} -> "
+            f"{result.final_power!r}"
+        )
+    total = 0.0
+    for move in result.moves:
+        total += move.measured_power_gain
+        if move.measured_power_gain < -_EPS:
+            failures.append(
+                f"[power-monotone] accepted move {move.substitution} lost "
+                f"power ({move.measured_power_gain:+.6f})"
+            )
+    drift = (result.initial_power - result.final_power) - total
+    if abs(drift) > 1e-6:
+        failures.append(
+            f"[power-monotone] move-log gains sum to {total!r} but the run "
+            f"claims {(result.initial_power - result.final_power)!r}"
+        )
+    return failures
+
+
+def delay_constraint(result: OptimizeResult) -> list[str]:
+    """[delay-constraint] a configured limit holds on the final circuit."""
+    if result.delay_limit is None:
+        return []
+    if result.final_delay > result.delay_limit + _EPS:
+        return [
+            f"[delay-constraint] final delay {result.final_delay!r} violates "
+            f"the limit {result.delay_limit!r}"
+        ]
+    return []
+
+
+def idempotent_rerun(
+    result: OptimizeResult, options: OptimizeOptions
+) -> list[str]:
+    """[idempotent-rerun] re-optimizing the output is safe and monotone."""
+    from repro.fuzz.oracle import check_equivalence_tiers
+
+    optimized = result.netlist
+    rerun_input = optimized.copy(optimized.name + "_rerun")
+    rerun = power_optimize(rerun_input, replace(options))
+    failures = []
+    if rerun.final_power > result.final_power + _EPS:
+        failures.append(
+            f"[idempotent-rerun] second run raised power "
+            f"{result.final_power!r} -> {rerun.final_power!r}"
+        )
+    oracle = check_equivalence_tiers(
+        optimized, rerun.netlist, num_patterns=options.num_patterns
+    )
+    if not oracle.equal or not oracle.consistent:
+        failures.append(
+            "[idempotent-rerun] second run broke equivalence: "
+            f"{oracle.verdicts} {oracle.disagreements}"
+        )
+    return failures
+
+
+def engine_identity(
+    original: Netlist, result: OptimizeResult, options: OptimizeOptions
+) -> list[str]:
+    """[engine-identity] incremental and legacy engines agree move for move."""
+    other = replace(options, incremental=not options.incremental)
+    legacy = power_optimize(original.copy(original.name + "_ab"), other)
+    ours = [str(m.substitution) for m in result.moves]
+    theirs = [str(m.substitution) for m in legacy.moves]
+    if ours != theirs:
+        tag = "legacy" if options.incremental else "incremental"
+        for index, (a, b) in enumerate(zip(ours, theirs)):
+            if a != b:
+                return [
+                    f"[engine-identity] move {index} differs: {a} vs "
+                    f"{tag} {b}"
+                ]
+        return [
+            f"[engine-identity] move counts differ: {len(ours)} vs "
+            f"{tag} {len(theirs)}"
+        ]
+    return []

@@ -1,0 +1,108 @@
+"""Delta-debugging reduction of a failing netlist.
+
+Given a predicate that replays the failing pipeline (``True`` = still
+failing), :func:`shrink_netlist` greedily applies structure-removing
+reductions while the failure persists:
+
+- drop one primary output (and sweep the cone that dies with it),
+- bypass one gate — rewire all its fanout to one of its fanins and sweep,
+- re-root one gate's fanout onto a primary input.
+
+Every trial runs on a copy; the original is never mutated.  The loop stops
+at a local minimum: no single reduction keeps the failure alive.  Shrunk
+circuits are what lands in ``tests/fuzz/corpus/`` — a reproducer is only
+useful when it is small enough to read.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import NetlistError, TransformError
+from repro.netlist.netlist import Netlist
+from repro.netlist.traverse import topological_order
+
+#: A replay of the failing pipeline: True when the netlist still fails.
+Predicate = Callable[[Netlist], bool]
+
+
+def _drop_output(netlist: Netlist, po: str) -> None:
+    driver = netlist.outputs.pop(po)
+    netlist.output_loads.pop(po, None)
+    driver.po_names.remove(po)
+    netlist.sweep_dead()
+
+
+def _bypass(netlist: Netlist, gate_name: str, replacement_name: str) -> None:
+    gate = netlist.gate(gate_name)
+    replacement = netlist.gate(replacement_name)
+    netlist.replace_fanouts(gate, replacement)
+    netlist.sweep_dead()
+
+
+def _reductions(netlist: Netlist):
+    """Deterministic candidate edits, most destructive first."""
+    if len(netlist.outputs) > 1:
+        for po in sorted(netlist.outputs):
+            yield ("drop-output", po, None)
+    for gate in topological_order(netlist):
+        if gate.is_input or not gate.fanout_count():
+            continue
+        for fanin in dict.fromkeys(gate.fanins):
+            yield ("bypass", gate.name, fanin.name)
+    inputs = netlist.input_names[:1]
+    for gate in topological_order(netlist):
+        if gate.is_input or not gate.fanout_count() or not gate.fanins:
+            continue
+        for pi in inputs:
+            if gate.fanins[0].name != pi:
+                yield ("bypass", gate.name, pi)
+
+
+def _apply(netlist: Netlist, edit) -> Netlist | None:
+    kind, first, second = edit
+    trial = netlist.copy(netlist.name)
+    try:
+        if kind == "drop-output":
+            _drop_output(trial, first)
+        else:
+            _bypass(trial, first, second)
+    except (NetlistError, TransformError):
+        return None
+    if not trial.outputs or not trial.num_gates():
+        return None
+    return trial
+
+
+def shrink_netlist(
+    netlist: Netlist,
+    predicate: Predicate,
+    max_trials: int = 2000,
+) -> Netlist:
+    """Smallest netlist (under greedy reduction) on which ``predicate`` holds.
+
+    ``netlist`` itself must satisfy the predicate; the returned reproducer
+    does too and is never larger.  ``max_trials`` bounds total predicate
+    evaluations, so a pathological predicate cannot hang the harness.
+    """
+    current = netlist.copy(netlist.name)
+    trials = 0
+    progress = True
+    while progress and trials < max_trials:
+        progress = False
+        for edit in list(_reductions(current)):
+            if trials >= max_trials:
+                break
+            trial = _apply(current, edit)
+            if trial is None:
+                continue
+            if trial.num_gates() >= current.num_gates() and len(
+                trial.outputs
+            ) >= len(current.outputs):
+                continue
+            trials += 1
+            if predicate(trial):
+                current = trial
+                progress = True
+                break
+    return current

@@ -38,10 +38,18 @@ def sat_check_equivalent(
     conflict_limit: int = 200_000,
 ) -> SatEquivalenceResult:
     """Decide equivalence by CNF satisfiability of the miter."""
-    if set(left.input_names) != set(right.input_names):
-        raise NetlistError("operands have different input sets")
-    if set(left.outputs) != set(right.outputs):
-        raise NetlistError("operands have different output sets")
+    mismatch = set(left.input_names) ^ set(right.input_names)
+    if mismatch:
+        raise NetlistError(
+            "operands have different input sets (name-matched, order "
+            f"ignored); only on one side: {sorted(mismatch)}"
+        )
+    mismatch = set(left.outputs) ^ set(right.outputs)
+    if mismatch:
+        raise NetlistError(
+            "operands have different output sets (name-matched, order "
+            f"ignored); only on one side: {sorted(mismatch)}"
+        )
     formula = miter_cnf(left, right)
     result = DpllSolver(formula, conflict_limit).solve()
     if result.status == UNSAT:

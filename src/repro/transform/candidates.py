@@ -281,7 +281,10 @@ class CandidateWorkspace:
                         _branch_candidates(self, target, sink, pin, options)
                     )
 
-        collected.sort(key=lambda c: -c.quick)
+        # Ties on quick gain are broken by the canonical candidate ID, so
+        # the ranking (and with it the whole move sequence) is reproducible
+        # across Python builds and immune to generation-order changes.
+        collected.sort(key=_rank_key)
         return collected[: options.max_total]
 
 
@@ -300,10 +303,15 @@ def _two_input_cells(netlist: Netlist, options: CandidateOptions):
     return list(by_function.values())
 
 
+def _rank_key(candidate: Candidate) -> tuple[float, str]:
+    """Best quick gain first; equal gains in canonical candidate-ID order."""
+    return (-candidate.quick, candidate.substitution.candidate_id())
+
+
 def _keep_best(
     candidates: list[Candidate], limit: int
 ) -> list[Candidate]:
-    candidates.sort(key=lambda c: -c.quick)
+    candidates.sort(key=_rank_key)
     return candidates[:limit]
 
 

@@ -77,6 +77,28 @@ class Substitution:
             raise TransformError("substitution requires a source signal")
 
     # ------------------------------------------------------------------
+    def candidate_id(self) -> str:
+        """Canonical identity string, the optimizer's tie-break key.
+
+        Candidates with equal quick gain are ordered by this string, so a
+        run's move sequence depends only on the netlist and the options —
+        never on float-comparison quirks, hash seeds, or the incidental
+        order candidate generation happened to emit ties in.  The format
+        is content-derived and stable across Python versions.
+        """
+        branch = f"{self.branch[0]}.{self.branch[1]}" if self.branch else ""
+        return "|".join((
+            self.kind,
+            self.target,
+            self.source1,
+            "~" if self.invert1 else "",
+            branch,
+            self.source2 or "",
+            "~" if self.invert2 else "",
+            self.new_cell or "",
+            "" if self.constant is None else str(self.constant),
+        ))
+
     def is_output_substitution(self) -> bool:
         return self.kind in (OS2, OS3)
 

@@ -1,0 +1,74 @@
+"""The optimizer's determinism guarantee: explicit, canonical tie-breaking.
+
+Candidates with equal quick gain are ordered by
+:meth:`Substitution.candidate_id`, so a run's move sequence is a pure
+function of (netlist, options) — independent of hash seeds, float-tie
+enumeration order, and Python build.
+"""
+
+from __future__ import annotations
+
+from repro.fuzz.generator import GeneratorConfig, random_mapped_netlist
+from repro.transform.candidates import Candidate, _keep_best
+from repro.transform.gain import GainBreakdown
+from repro.transform.optimizer import OptimizeOptions, power_optimize
+from repro.transform.substitution import IS2, OS2, OS3, Substitution
+
+
+def test_candidate_id_is_canonical_and_stable():
+    sub = Substitution(OS2, "a", "b", invert1=True)
+    assert sub.candidate_id() == "OS2|a|b|~|||||"
+    is2 = Substitution(IS2, "a", "b", branch=("sink", 1))
+    assert is2.candidate_id() == "IS2|a|b||sink.1||||"
+    os3 = Substitution(OS3, "a", "b", source2="c", new_cell="nand2")
+    assert os3.candidate_id() == "OS3|a|b|||c||nand2|"
+
+
+def test_candidate_ids_distinguish_distinct_moves():
+    subs = [
+        Substitution(OS2, "a", "b"),
+        Substitution(OS2, "a", "b", invert1=True),
+        Substitution(OS2, "a", "c"),
+        Substitution(IS2, "a", "b", branch=("s", 0)),
+        Substitution(IS2, "a", "b", branch=("s", 1)),
+        Substitution(OS3, "a", "b", source2="c", new_cell="nand2"),
+        Substitution(OS3, "a", "b", source2="c", new_cell="nor2"),
+    ]
+    ids = [s.candidate_id() for s in subs]
+    assert len(set(ids)) == len(ids)
+
+
+def test_equal_gains_rank_in_canonical_order():
+    gain = GainBreakdown(pg_a=1.0, pg_b=0.0)
+    shuffled = [
+        Candidate(Substitution(OS2, "a", name), gain)
+        for name in ("g9", "g2", "g5", "g1")
+    ]
+    kept = _keep_best(shuffled, 10)
+    assert [c.substitution.source1 for c in kept] == ["g1", "g2", "g5", "g9"]
+
+
+def test_better_gain_still_wins_over_canonical_order():
+    low = GainBreakdown(pg_a=0.5, pg_b=0.0)
+    high = GainBreakdown(pg_a=2.0, pg_b=0.0)
+    kept = _keep_best(
+        [
+            Candidate(Substitution(OS2, "a", "g1"), low),
+            Candidate(Substitution(OS2, "a", "g9"), high),
+        ],
+        10,
+    )
+    assert [c.substitution.source1 for c in kept] == ["g9", "g1"]
+
+
+def test_repeated_runs_reproduce_the_move_sequence(lib):
+    options = OptimizeOptions(num_patterns=256, max_rounds=6)
+    moves = []
+    for _ in range(2):
+        netlist = random_mapped_netlist(
+            GeneratorConfig(seed=12, shape="high_fanout"), lib
+        )
+        result = power_optimize(netlist, options)
+        moves.append([str(m.substitution) for m in result.moves])
+    assert moves[0] == moves[1]
+    assert moves[0], "the chosen seed must produce at least one move"
