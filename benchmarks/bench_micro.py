@@ -242,6 +242,46 @@ class TestIncrementalEngine:
         raise RuntimeError("no applicable candidate")
 
 
+class TestTracingOverhead:
+    """Telemetry cost: a traced run vs. the default untraced run.
+
+    The untraced variant is the acceptance bar — with ``trace=None``
+    every optimizer hook is a single attribute test, so this measures
+    the instrumented loop's steady-state cost.  The traced variant bounds
+    the full recording overhead (expected low single-digit percent).
+    """
+
+    @pytest.fixture(scope="class")
+    def small_circuit(self, lib):
+        return build_benchmark("rd53", lib)
+
+    @staticmethod
+    def _optimize(circuit, tracer):
+        from repro.transform.optimizer import OptimizeOptions, power_optimize
+
+        working = circuit.copy("bench_copy")
+        options = OptimizeOptions(
+            num_patterns=512, max_rounds=2, trace=tracer
+        )
+        return power_optimize(working, options)
+
+    def test_optimize_untraced(self, benchmark, small_circuit):
+        result = benchmark.pedantic(
+            self._optimize, args=(small_circuit, None), rounds=3, iterations=1
+        )
+        assert result.trace is None
+
+    def test_optimize_traced(self, benchmark, small_circuit):
+        from repro.telemetry import Tracer
+
+        result = benchmark.pedantic(
+            lambda: self._optimize(small_circuit, Tracer()),
+            rounds=3,
+            iterations=1,
+        )
+        assert result.trace is not None and result.trace.moves
+
+
 def test_technology_mapping(benchmark, lib):
     """Synthesis front-end + mapper on a 40-cube PLA."""
     pla = random_pla("bench", 12, 8, 40, seed=77)

@@ -6,7 +6,11 @@ Commands:
   figure over the benchmark suite (``--full`` for the whole registry),
 - ``synth`` — synthesize a ``.pla`` or logic ``.blif`` to a mapped netlist,
 - ``optimize`` — run POWDER on a mapped BLIF netlist (``--objective
-  power|area|delay``, ``--delay-slack``, Verilog export),
+  power|area|delay``, ``--delay-slack``, ``--trace out.json`` telemetry,
+  Verilog export),
+- ``trace`` — inspect (``show``) and compare (``diff``) the JSON run
+  traces written by ``optimize --trace``; ``diff`` exits nonzero on any
+  deterministic-field divergence,
 - ``verify`` — equivalence-check two mapped BLIFs,
 - ``atpg`` — fault coverage and redundancy report,
 - ``glitch`` — glitch-aware power analysis,
@@ -127,6 +131,11 @@ def _cmd_figure6(args) -> int:
 
 def _cmd_optimize(args) -> int:
     netlist, _library = _load_mapped_netlist(args)
+    tracer = None
+    if args.trace:
+        from repro.telemetry import Tracer
+
+        tracer = Tracer()
     options = OptimizeOptions(
         objective=args.objective,
         repeat=args.repeat,
@@ -135,9 +144,15 @@ def _cmd_optimize(args) -> int:
         max_moves=args.max_moves,
         delay_slack_percent=args.delay_slack,
         sanitize=args.sanitize,
+        trace=tracer,
     )
     result = power_optimize(netlist, options)
     print(result.summary())
+    if args.trace:
+        from repro.telemetry import write_trace
+
+        write_trace(result.trace, args.trace)
+        print(f"run trace written to {args.trace}")
     if args.output:
         Path(args.output).write_text(write_blif(netlist))
         print(f"optimized netlist written to {args.output}")
@@ -361,6 +376,35 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_trace_show(args) -> int:
+    from repro.errors import TelemetryError
+    from repro.telemetry import format_trace, read_trace
+
+    try:
+        trace = read_trace(args.trace)
+    except TelemetryError as error:
+        print(f"error: {error}")
+        return 1
+    limit = None if args.moves < 0 else args.moves
+    print(format_trace(trace, max_moves=limit))
+    return 0
+
+
+def _cmd_trace_diff(args) -> int:
+    from repro.errors import TelemetryError
+    from repro.telemetry import compare_traces, read_trace
+
+    try:
+        left = read_trace(args.left)
+        right = read_trace(args.right)
+    except TelemetryError as error:
+        print(f"error: {error}")
+        return 1
+    diff = compare_traces(left, right, tolerance=args.tolerance)
+    print(diff.format())
+    return 0 if diff.ok else 1
+
+
 def _cmd_bench_list(_args) -> int:
     print(f"{'name':10s} {'default':>7s} {'synthetic':>9s}  description")
     for name, spec in SUITE.items():
@@ -408,6 +452,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--sanitize", action="store_true",
         help="validate every incremental structure after each move "
         "(slow; raises on the first diverging move)",
+    )
+    p.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record per-round/per-move telemetry and write the JSON "
+        "run trace here (inspect with 'powder trace show')",
     )
     p.set_defaults(func=_cmd_optimize)
 
@@ -537,6 +586,34 @@ def build_parser() -> argparse.ArgumentParser:
         "require the oracle to catch it (exit 0 = every case caught)",
     )
     p.set_defaults(func=_cmd_fuzz)
+
+    p = sub.add_parser(
+        "trace",
+        help="inspect and compare optimizer run traces "
+        "(written by 'optimize --trace')",
+    )
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+
+    t = tsub.add_parser("show", help="render a run trace")
+    t.add_argument("trace", help="trace JSON file")
+    t.add_argument(
+        "--moves", type=int, default=20,
+        help="move-table rows to print (default 20; -1 for all)",
+    )
+    t.set_defaults(func=_cmd_trace_show)
+
+    t = tsub.add_parser(
+        "diff",
+        help="compare the deterministic fields of two run traces "
+        "(exit 1 on any divergence; wall-times are ignored)",
+    )
+    t.add_argument("left")
+    t.add_argument("right")
+    t.add_argument(
+        "--tolerance", type=float, default=0.0,
+        help="absolute tolerance for float fields (default 0: exact)",
+    )
+    t.set_defaults(func=_cmd_trace_diff)
 
     p = sub.add_parser("bench-list", help="list the benchmark registry")
     p.set_defaults(func=_cmd_bench_list)

@@ -64,6 +64,10 @@ class TimingError(ReproError):
     """Timing analysis failure (unconstrained graph, negative load...)."""
 
 
+class TelemetryError(ReproError):
+    """Invalid run-trace data (unreadable file, schema violation...)."""
+
+
 class LintError(ReproError):
     """A static-analysis failure surfaced as an exception.
 

@@ -317,6 +317,10 @@ class Netlist:
             mapping[id(gate)] = clone.add_gate(gate.cell, fanins, name=gate.name)
         for po, driver in self.outputs.items():
             clone.set_output(po, mapping[id(driver)], self.output_loads[po])
+        # Keep fresh_name in lockstep with the source so a move log
+        # recorded on the original replays verbatim on the copy (replayed
+        # moves may reference gates earlier moves created by fresh name).
+        clone._name_counter = self._name_counter
         return clone
 
     def __repr__(self) -> str:

@@ -1,0 +1,46 @@
+"""Run telemetry: structured tracing and metrics for the optimizer.
+
+The subsystem has four parts:
+
+- :mod:`repro.telemetry.metrics` — named counters and (injectable-clock)
+  timers,
+- :mod:`repro.telemetry.trace` — the :class:`RunTrace` model with a
+  versioned JSON schema, writer, and reader,
+- :mod:`repro.telemetry.tracer` — the :class:`Tracer` callback surface
+  the optimizer drives when ``OptimizeOptions(trace=...)`` is set,
+- :mod:`repro.telemetry.diff` — :func:`compare_traces`, the
+  deterministic-field comparison behind the golden-trace regression
+  suite and ``powder trace diff``.
+"""
+
+from repro.telemetry.diff import Divergence, TraceDiff, compare_traces
+from repro.telemetry.metrics import Counter, Metrics, Timer
+from repro.telemetry.schema import validate_trace
+from repro.telemetry.trace import (
+    TRACE_SCHEMA_VERSION,
+    MoveTrace,
+    RoundTrace,
+    RunTrace,
+    format_trace,
+    read_trace,
+    write_trace,
+)
+from repro.telemetry.tracer import Tracer
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "Counter",
+    "Divergence",
+    "Metrics",
+    "MoveTrace",
+    "RoundTrace",
+    "RunTrace",
+    "Timer",
+    "TraceDiff",
+    "Tracer",
+    "compare_traces",
+    "format_trace",
+    "read_trace",
+    "validate_trace",
+    "write_trace",
+]

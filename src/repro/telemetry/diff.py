@@ -1,0 +1,168 @@
+"""Deterministic-field trace comparison (the golden-trace oracle).
+
+:func:`compare_traces` compares every reproducible field of two
+:class:`~repro.telemetry.trace.RunTrace` objects — move sequence
+(canonical candidate IDs), gain decompositions, ATPG verdicts, per-round
+candidate statistics, counters, and the run summary — and reports each
+divergence with a JSON-path-style location.  Wall-times (``timers``) are
+machine facts and are never compared.
+
+Floats compare exactly by default: a replayed run of the same build on
+the same inputs must reproduce every gain bit-for-bit.  The golden-trace
+suite passes a small ``tolerance`` so baselines stay portable across
+NumPy builds while still flagging any real drift in the gain arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from numbers import Real
+
+from repro.telemetry.trace import RunTrace
+
+
+@dataclass
+class Divergence:
+    """One differing deterministic field."""
+
+    path: str
+    left: object
+    right: object
+
+    def __str__(self) -> str:
+        return f"{self.path}: {self.left!r} != {self.right!r}"
+
+
+@dataclass
+class TraceDiff:
+    """Outcome of one comparison."""
+
+    divergences: list[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def format(self, max_lines: int = 50) -> str:
+        if self.ok:
+            return "traces are identical on every deterministic field"
+        lines = [f"{len(self.divergences)} divergence(s):"]
+        for entry in self.divergences[:max_lines]:
+            lines.append(f"  {entry}")
+        if len(self.divergences) > max_lines:
+            lines.append(f"  ... {len(self.divergences) - max_lines} more")
+        return "\n".join(lines)
+
+
+class _Comparator:
+    def __init__(self, tolerance: float):
+        self.tolerance = tolerance
+        self.divergences: list[Divergence] = []
+
+    def diverge(self, path: str, left: object, right: object) -> None:
+        self.divergences.append(Divergence(path, left, right))
+
+    def values(self, path: str, left: object, right: object) -> None:
+        if (
+            isinstance(left, Real)
+            and isinstance(right, Real)
+            and not isinstance(left, bool)
+            and not isinstance(right, bool)
+        ):
+            if abs(float(left) - float(right)) > self.tolerance:
+                self.diverge(path, left, right)
+            return
+        if left != right:
+            self.diverge(path, left, right)
+
+    def mappings(self, path: str, left: dict, right: dict) -> None:
+        for key in sorted(set(left) | set(right)):
+            entry = f"{path}.{key}"
+            if key not in left:
+                self.diverge(entry, "<absent>", right[key])
+            elif key not in right:
+                self.diverge(entry, left[key], "<absent>")
+            else:
+                self.values(entry, left[key], right[key])
+
+
+def compare_traces(
+    left: RunTrace, right: RunTrace, tolerance: float = 0.0
+) -> TraceDiff:
+    """Compare every deterministic field; wall-times are ignored.
+
+    ``tolerance`` is an absolute bound applied to float fields only —
+    move indices, candidate IDs, classes, counters, and ATPG verdicts
+    always compare exactly.
+    """
+    c = _Comparator(tolerance)
+    c.values("$.schema_version", left.schema_version, right.schema_version)
+    c.values("$.netlist", left.netlist, right.netlist)
+    c.mappings("$.options", left.options, right.options)
+
+    if len(left.moves) != len(right.moves):
+        c.diverge(
+            "$.moves.length",
+            f"{len(left.moves)} moves",
+            f"{len(right.moves)} moves",
+        )
+    for i, (lm, rm) in enumerate(zip(left.moves, right.moves)):
+        path = f"$.moves[{i}]"
+        # The move's identity first: when the sequences fork, the field
+        # noise after the fork is meaningless, so stop at the fork point.
+        if lm.candidate_id != rm.candidate_id:
+            c.diverge(f"{path}.candidate_id", lm.candidate_id, rm.candidate_id)
+            break
+        c.values(f"{path}.kind", lm.kind, rm.kind)
+        c.values(f"{path}.round", lm.round, rm.round)
+        c.values(f"{path}.pg_a", lm.pg_a, rm.pg_a)
+        c.values(f"{path}.pg_b", lm.pg_b, rm.pg_b)
+        c.values(f"{path}.pg_c", lm.pg_c, rm.pg_c)
+        c.values(f"{path}.predicted_total", lm.predicted_total, rm.predicted_total)
+        c.values(
+            f"{path}.measured_power_gain",
+            lm.measured_power_gain,
+            rm.measured_power_gain,
+        )
+        c.values(
+            f"{path}.measured_area_delta",
+            lm.measured_area_delta,
+            rm.measured_area_delta,
+        )
+        c.values(
+            f"{path}.circuit_delay_after",
+            lm.circuit_delay_after,
+            rm.circuit_delay_after,
+        )
+        c.values(f"{path}.atpg_status", lm.atpg_status, rm.atpg_status)
+        c.values(f"{path}.atpg_stage", lm.atpg_stage, rm.atpg_stage)
+        c.values(
+            f"{path}.atpg_backtracks", lm.atpg_backtracks, rm.atpg_backtracks
+        )
+
+    if len(left.rounds) != len(right.rounds):
+        c.diverge(
+            "$.rounds.length",
+            f"{len(left.rounds)} rounds",
+            f"{len(right.rounds)} rounds",
+        )
+    for i, (lr, rr) in enumerate(zip(left.rounds, right.rounds)):
+        path = f"$.rounds[{i}]"
+        c.values(f"{path}.index", lr.index, rr.index)
+        c.values(f"{path}.pool_size", lr.pool_size, rr.pool_size)
+        c.mappings(
+            f"{path}.candidates_by_class",
+            lr.candidates_by_class,
+            rr.candidates_by_class,
+        )
+        c.values(
+            f"{path}.shortlist_evaluations",
+            lr.shortlist_evaluations,
+            rr.shortlist_evaluations,
+        )
+        c.values(f"{path}.moves_applied", lr.moves_applied, rr.moves_applied)
+        c.mappings(f"{path}.rejections", lr.rejections, rr.rejections)
+
+    c.mappings("$.counters", left.counters, right.counters)
+    c.mappings("$.summary", left.summary, right.summary)
+    return TraceDiff(c.divergences)

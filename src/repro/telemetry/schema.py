@@ -1,0 +1,133 @@
+"""Structural validation of the versioned trace JSON.
+
+Hand-rolled (no external json-schema dependency): :func:`validate_trace`
+walks a plain dict and raises :class:`~repro.errors.TelemetryError` with
+a precise path on the first violation.  Readers validate before
+constructing :class:`~repro.telemetry.trace.RunTrace` objects, so a
+corrupted or foreign file fails loudly instead of surfacing as an
+``AttributeError`` deep inside the diff tool.
+"""
+
+from __future__ import annotations
+
+from numbers import Integral, Real
+
+from repro.errors import TelemetryError
+
+_MOVE_FIELDS: dict[str, type] = {
+    "index": Integral,
+    "round": Integral,
+    "candidate_id": str,
+    "kind": str,
+    "pg_a": Real,
+    "pg_b": Real,
+    "pg_c": Real,
+    "predicted_total": Real,
+    "measured_power_gain": Real,
+    "measured_area_delta": Real,
+    "circuit_delay_after": Real,
+    "atpg_status": str,
+    "atpg_stage": str,
+    "atpg_backtracks": Integral,
+}
+
+_ROUND_FIELDS: dict[str, type] = {
+    "index": Integral,
+    "pool_size": Integral,
+    "candidates_by_class": dict,
+    "shortlist_evaluations": Integral,
+    "moves_applied": Integral,
+    "rejections": dict,
+}
+
+_TOP_FIELDS: dict[str, type] = {
+    "schema_version": Integral,
+    "netlist": str,
+    "options": dict,
+    "rounds": list,
+    "moves": list,
+    "counters": dict,
+    "summary": dict,
+}
+
+_KINDS = ("OS2", "IS2", "OS3", "IS3")
+
+
+def _require(condition: bool, path: str, message: str) -> None:
+    if not condition:
+        raise TelemetryError(f"invalid trace at {path}: {message}")
+
+
+def _check_fields(data: dict, fields: dict[str, type], path: str) -> None:
+    _require(isinstance(data, dict), path, "expected an object")
+    for name, kind in fields.items():
+        _require(name in data, path, f"missing field {name!r}")
+        value = data[name]
+        # bool is an Integral; never a valid trace value here.
+        _require(
+            isinstance(value, kind) and not isinstance(value, bool),
+            f"{path}.{name}",
+            f"expected {kind.__name__}, got {type(value).__name__}",
+        )
+
+
+def validate_trace(data: dict) -> None:
+    """Raise :class:`TelemetryError` unless ``data`` is a valid v1 trace."""
+    _check_fields(data, _TOP_FIELDS, "$")
+    version = data["schema_version"]
+    from repro.telemetry.trace import TRACE_SCHEMA_VERSION
+
+    _require(
+        version == TRACE_SCHEMA_VERSION,
+        "$.schema_version",
+        f"unsupported version {version} (this build reads "
+        f"{TRACE_SCHEMA_VERSION})",
+    )
+    if "timers" in data:
+        _check_fields(data, {"timers": dict}, "$")
+        for name, value in data["timers"].items():
+            _require(
+                isinstance(value, Real) and not isinstance(value, bool),
+                f"$.timers.{name}",
+                "expected a number",
+            )
+    for name, value in data["counters"].items():
+        _require(
+            isinstance(value, Integral) and not isinstance(value, bool),
+            f"$.counters.{name}",
+            "expected an integer",
+        )
+    for i, entry in enumerate(data["rounds"]):
+        path = f"$.rounds[{i}]"
+        _check_fields(entry, _ROUND_FIELDS, path)
+        _require(
+            set(entry["candidates_by_class"]) == set(_KINDS),
+            f"{path}.candidates_by_class",
+            f"expected exactly the classes {_KINDS}",
+        )
+        for reason, count in entry["rejections"].items():
+            _require(
+                isinstance(count, Integral) and not isinstance(count, bool),
+                f"{path}.rejections.{reason}",
+                "expected an integer",
+            )
+    previous = 0
+    for i, entry in enumerate(data["moves"]):
+        path = f"$.moves[{i}]"
+        _check_fields(entry, _MOVE_FIELDS, path)
+        _require(
+            entry["kind"] in _KINDS, f"{path}.kind", f"unknown class {entry['kind']!r}"
+        )
+        _require(
+            entry["index"] == previous + 1,
+            f"{path}.index",
+            f"move indices must be 1,2,...; got {entry['index']} after "
+            f"{previous}",
+        )
+        previous = entry["index"]
+    for name, value in data["summary"].items():
+        _require(
+            isinstance(value, Real) and not isinstance(value, bool),
+            f"$.summary.{name}",
+            "expected a number",
+        )

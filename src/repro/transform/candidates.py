@@ -115,6 +115,9 @@ class CandidateWorkspace:
         self._pair_cache: dict[
             tuple[str, Optional[tuple[str, int]]], tuple
         ] = {}
+        #: Lifetime tallies of pair-table reuse, read by the run tracer.
+        self.pair_cache_hits = 0
+        self.pair_cache_misses = 0
         #: Dirty gates accumulated since the last mask flush (by id: names
         #: can be freed by one edit and reused by a later one).
         self._pending: dict[int, Gate] = {}
@@ -225,7 +228,9 @@ class CandidateWorkspace:
                 and np.array_equal(c_obs, obs)
                 and np.array_equal(c_rows, rows)
             ):
+                self.pair_cache_hits += 1
                 return c_table
+        self.pair_cache_misses += 1
         table = self._compute_pair_compat(rows, va, obs, cells)
         self._pair_cache[key] = (names, cell_sig, va, obs, rows, table)
         return table

@@ -114,6 +114,13 @@ class OptimizeOptions:
     #: ID on any divergence.  Read-only: the applied move sequence is
     #: bit-identical to an unsanitized run.
     sanitize: bool = False
+    #: A :class:`repro.telemetry.Tracer` recording per-round and per-move
+    #: events into a structured :class:`~repro.telemetry.RunTrace`
+    #: (available as ``OptimizeResult.trace`` afterwards).  The tracer is
+    #: strictly read-only, so a traced run applies exactly the moves an
+    #: untraced run would; ``None`` (the default) records nothing and
+    #: costs nothing.
+    trace: Optional[object] = None
     #: Print one line per applied substitution (long-run progress).
     verbose: bool = False
     #: Merge structurally identical gates before optimizing (always
@@ -145,6 +152,9 @@ class OptimizeResult:
     #: Wall-clock seconds per loop phase (candidates / select / timing /
     #: atpg / apply).
     phase_seconds: dict = field(default_factory=dict)
+    #: The finished :class:`~repro.telemetry.RunTrace` when the run was
+    #: traced via ``OptimizeOptions(trace=...)``; ``None`` otherwise.
+    trace: Optional[object] = None
 
     @property
     def power_reduction_percent(self) -> float:
@@ -244,6 +254,9 @@ class PowerOptimizer:
         self.rejected_stale = 0
         self._round = 0
         self._workspace: Optional[CandidateWorkspace] = None
+        #: Telemetry hooks; every call site is guarded by ``is not None``
+        #: so the untraced path (the default) pays nothing.
+        self.tracer = opts.trace
         self.sanitizer = None
         if opts.sanitize:
             from repro.lint.sanitizer import TransformSanitizer
@@ -313,12 +326,16 @@ class PowerOptimizer:
                 candidate = pool[index]
                 if not candidate.substitution.validate_against(self.netlist):
                     self.rejected_stale += 1
+                    if self.tracer is not None:
+                        self.tracer.record_rejection("stale")
                     pool.pop(index)
                     continue
                 chunk.append((index, candidate))
                 index += 1
             if not chunk:
                 return None
+            if self.tracer is not None:
+                self.tracer.record_shortlist(len(chunk))
             best: Optional[tuple[int, Candidate, float]] = None
             for position, candidate in chunk:
                 try:
@@ -327,6 +344,8 @@ class PowerOptimizer:
                     )
                 except TransformError:
                     self.rejected_stale += 1
+                    if self.tracer is not None:
+                        self.tracer.record_rejection("stale")
                     continue
                 score = self._objective_score(candidate)
                 if best is None or score > best[2]:
@@ -383,6 +402,8 @@ class PowerOptimizer:
             substitution,
             backtrack_limit=self.options.backtrack_limit,
         )
+        if self.tracer is not None:
+            self.tracer.record_atpg(result)
         return result.status
 
     def perform_substitution(self, candidate: Candidate) -> MoveRecord:
@@ -425,6 +446,8 @@ class PowerOptimizer:
             circuit_delay_after=self.timing.circuit_delay,
         )
         self.moves.append(record)
+        if self.tracer is not None:
+            self.tracer.record_move(record)
         if self.options.verbose:
             print(
                 f"  [{len(self.moves):4d}] {record.substitution}  "
@@ -454,6 +477,8 @@ class PowerOptimizer:
     def run(self) -> OptimizeResult:
         opts = self.options
         start = time.perf_counter()
+        if self.tracer is not None:
+            self.tracer.begin_run(self)
         initial_power = self.estimator.total()
         initial_area = self.netlist.total_area()
         # §4.2 early termination: lift the acceptance floor to a fraction
@@ -471,6 +496,8 @@ class PowerOptimizer:
             tick = time.perf_counter()
             pool = self.get_candidate_substitutions()
             phases["candidates"] += time.perf_counter() - tick
+            if self.tracer is not None:
+                self.tracer.begin_round(self._round, pool)
             performed_this_round = 0
             budget = opts.repeat
             while budget > 0 and pool:
@@ -486,21 +513,29 @@ class PowerOptimizer:
                 phases["timing"] += time.perf_counter() - tick
                 if not delay_ok:
                     self.rejected_delay += 1
+                    if self.tracer is not None:
+                        self.tracer.record_rejection("delay")
                     continue
                 tick = time.perf_counter()
                 status = self.check_candidate(good.substitution)
                 phases["atpg"] += time.perf_counter() - tick
                 if status == ABORTED:
                     self.rejected_aborted += 1
+                    if self.tracer is not None:
+                        self.tracer.record_rejection("aborted")
                     continue
                 if status == NOT_PERMISSIBLE:
                     self.rejected_not_permissible += 1
+                    if self.tracer is not None:
+                        self.tracer.record_rejection("not_permissible")
                     continue
                 tick = time.perf_counter()
                 self.perform_substitution(good)
                 phases["apply"] += time.perf_counter() - tick
                 performed_this_round += 1
                 budget -= 1
+            if self.tracer is not None:
+                self.tracer.end_round()
             stop = (
                 performed_this_round == 0
                 or self._round >= opts.max_rounds
@@ -513,7 +548,7 @@ class PowerOptimizer:
                 break
 
         final_timing = TimingAnalysis(self.netlist)
-        return OptimizeResult(
+        result = OptimizeResult(
             netlist=self.netlist,
             initial_power=initial_power,
             final_power=self.estimator.total(),
@@ -531,6 +566,9 @@ class PowerOptimizer:
             delay_limit=self.constraint.limit if self.constraint else None,
             phase_seconds=dict(self.phase_seconds),
         )
+        if self.tracer is not None:
+            result.trace = self.tracer.end_run(self, result)
+        return result
 
 
 def _added_load(netlist: Netlist, substitution: Substitution) -> float:

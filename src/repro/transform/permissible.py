@@ -37,6 +37,9 @@ class PermissibilityResult:
     status: str
     counterexample: Optional[dict[str, int]] = None
     stage: str = ""
+    #: ATPG decisions spent by the deciding justification (0 when another
+    #: stage decided); deterministic, so run traces may pin it.
+    backtracks: int = 0
 
     @property
     def allowed(self) -> bool:
@@ -66,9 +69,16 @@ def check_candidate(
         bdd_node_limit=bdd_node_limit,
     )
     if verdict.status == EQUAL:
-        return PermissibilityResult(PERMISSIBLE, stage=verdict.stage)
+        return PermissibilityResult(
+            PERMISSIBLE, stage=verdict.stage, backtracks=verdict.backtracks
+        )
     if verdict.status == NOT_EQUAL:
         return PermissibilityResult(
-            NOT_PERMISSIBLE, verdict.counterexample, stage=verdict.stage
+            NOT_PERMISSIBLE,
+            verdict.counterexample,
+            stage=verdict.stage,
+            backtracks=verdict.backtracks,
         )
-    return PermissibilityResult(ABORTED, stage=verdict.stage)
+    return PermissibilityResult(
+        ABORTED, stage=verdict.stage, backtracks=verdict.backtracks
+    )

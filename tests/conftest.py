@@ -11,6 +11,16 @@ from repro.netlist.build import NetlistBuilder
 from repro.netlist.netlist import Netlist
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the committed golden run traces under "
+        "tests/telemetry/golden/ instead of comparing against them",
+    )
+
+
 @pytest.fixture(scope="session")
 def lib():
     return standard_library()

@@ -1,8 +1,12 @@
 """Tests for the temporal-correlation activity engine."""
 
+import itertools
+
 import pytest
 
 from repro.errors import NetlistError
+from repro.fuzz.generator import GeneratorConfig, random_mapped_netlist
+from repro.netlist.traverse import topological_order
 from repro.power.estimate import PowerEstimator, transition_probability
 from repro.power.temporal import TemporalSimulationProbability, TemporalSpec
 
@@ -93,6 +97,125 @@ class TestEngine:
         engine.refresh()
         full = {n: engine.activity(n) for n in figure2.gates}
         assert incremental == full
+
+
+def _evaluate(order, inputs):
+    """Per-vector circuit evaluation, independent of the sim engine."""
+    values = {}
+    for gate in order:
+        if gate.is_input:
+            values[gate.name] = inputs[gate.name]
+        else:
+            values[gate.name] = gate.cell.evaluate(
+                [values[f.name] for f in gate.fanins]
+            )
+    return values
+
+
+def _exact_statistics(netlist, specs):
+    """Brute-force stationary probability and activity of every stem.
+
+    Enumerates every (cycle-t, cycle-t+1) input-vector pair with its
+    exact lag-1 Markov probability — ``P(v) · Π P(v'_i | v_i)`` — and
+    accumulates each gate's onset and toggle probability.  Exponential in
+    the input count, so only for small circuits; this is the ground truth
+    the pair-simulation engine samples.
+    """
+    order = topological_order(netlist)
+    names = list(netlist.input_names)
+    probability = {g.name: 0.0 for g in order}
+    activity = {g.name: 0.0 for g in order}
+    for v_t in itertools.product((0, 1), repeat=len(names)):
+        weight_t = 1.0
+        for name, bit in zip(names, v_t):
+            spec = specs[name]
+            weight_t *= spec.p1 if bit else 1.0 - spec.p1
+        if weight_t == 0.0:
+            continue
+        values_t = _evaluate(order, dict(zip(names, v_t)))
+        for name, p in probability.items():
+            probability[name] = p + weight_t * values_t[name]
+        for v_t1 in itertools.product((0, 1), repeat=len(names)):
+            weight = weight_t
+            for name, bit, nxt in zip(names, v_t, v_t1):
+                spec = specs[name]
+                if bit:
+                    weight *= spec.p_fall if nxt == 0 else 1.0 - spec.p_fall
+                else:
+                    weight *= spec.p_rise if nxt == 1 else 1.0 - spec.p_rise
+            if weight == 0.0:
+                continue
+            values_t1 = _evaluate(order, dict(zip(names, v_t1)))
+            for name in activity:
+                if values_t[name] != values_t1[name]:
+                    activity[name] += weight
+    return probability, activity
+
+
+class TestBruteForceCrossCheck:
+    """Engine estimates vs. exact enumeration on small circuits."""
+
+    @pytest.mark.parametrize(
+        "shape, seed", [("random", 3), ("reconvergent", 6), ("random", 17)]
+    )
+    def test_generated_circuit_matches_enumeration(self, lib, shape, seed):
+        netlist = random_mapped_netlist(
+            GeneratorConfig(
+                seed=seed, shape=shape, min_inputs=4, max_inputs=5,
+                min_gates=8, max_gates=14,
+            ),
+            lib,
+        )
+        specs = {
+            name: TemporalSpec(p1=0.3 + 0.1 * (i % 3), activity=0.1 + 0.05 * (i % 4))
+            for i, name in enumerate(netlist.input_names)
+        }
+        engine = TemporalSimulationProbability(
+            netlist, num_patterns=64 * 512, seed=seed, input_specs=specs
+        )
+        probability, activity = _exact_statistics(netlist, specs)
+        for gate in netlist.gates.values():
+            assert engine.probability(gate.name) == pytest.approx(
+                probability[gate.name], abs=0.02
+            ), f"stationary probability of {gate.name}"
+            assert engine.activity(gate.name) == pytest.approx(
+                activity[gate.name], abs=0.02
+            ), f"toggle activity of {gate.name}"
+
+    def test_figure2_asymmetric_specs(self, figure2):
+        specs = {
+            "a": TemporalSpec(p1=0.8, activity=0.1),
+            "b": TemporalSpec(p1=0.5, activity=0.5),
+            "c": TemporalSpec(p1=0.2, activity=0.3),
+        }
+        engine = TemporalSimulationProbability(
+            figure2, num_patterns=64 * 512, seed=13, input_specs=specs
+        )
+        probability, activity = _exact_statistics(figure2, specs)
+        for name in figure2.gates:
+            assert engine.probability(name) == pytest.approx(
+                probability[name], abs=0.02
+            )
+            assert engine.activity(name) == pytest.approx(
+                activity[name], abs=0.02
+            )
+
+    def test_power_total_matches_enumeration(self, figure2):
+        """The full Σ C·E estimate agrees with the exact expectation."""
+        specs = {
+            name: TemporalSpec(p1=0.5, activity=0.2)
+            for name in figure2.input_names
+        }
+        engine = TemporalSimulationProbability(
+            figure2, num_patterns=64 * 1024, seed=21, input_specs=specs
+        )
+        estimator = PowerEstimator(figure2, engine)
+        _probability, activity = _exact_statistics(figure2, specs)
+        exact_total = sum(
+            figure2.load_of(g) * activity[g.name]
+            for g in figure2.gates.values()
+        )
+        assert estimator.total() == pytest.approx(exact_total, rel=0.05)
 
 
 class TestGainExactnessTemporal:

@@ -1,0 +1,94 @@
+"""Golden-trace regression suite.
+
+Each bundled benchmark BLIF (``benchmarks/blif/``) has a committed
+baseline run trace under ``tests/telemetry/golden/``.  Every test here
+replays the optimizer with :data:`GOLDEN_OPTIONS` on the same input and
+compares the fresh trace against the baseline with
+:func:`repro.telemetry.compare_traces` — so any behavioural drift in
+candidate ranking, gain arithmetic (PG_A/PG_B/PG_C), ATPG outcomes, or
+counter totals fails with a precise move-level diff instead of a vague
+end-to-end power delta.  Wall-times are ignored by construction.
+
+Regenerating the baselines
+--------------------------
+After an *intentional* behaviour change (new ranking rule, gain-model
+fix, ...), refresh the committed traces and review the diff like any
+other source change::
+
+    PYTHONPATH=src python -m pytest tests/telemetry/test_golden_traces.py \
+        --update-golden
+
+With ``--update-golden`` the tests write the freshly recorded traces to
+``tests/telemetry/golden/<name>.trace.json`` and pass; without it they
+compare and fail on any deterministic-field divergence.  Never update a
+baseline to silence a diff you cannot explain.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.library.standard import standard_library
+from repro.netlist.blif import parse_blif_file
+from repro.telemetry import Tracer, compare_traces, read_trace, write_trace
+from repro.transform.optimizer import OptimizeOptions, power_optimize
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BLIF_DIR = REPO_ROOT / "benchmarks" / "blif"
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+GOLDEN_BENCHMARKS = ("rd53", "misex1", "sqrt8", "ttt2")
+
+#: Absolute float tolerance for the comparison: zero would also hold on
+#: the machine that generated the baseline, but identical logic can land
+#: on slightly different doubles across NumPy builds; 1e-9 keeps the
+#: baselines portable while still failing on any real drift in the gain
+#: arithmetic (real regressions move gains by far more than 1e-9).
+TOLERANCE = 1e-9
+
+
+def golden_options(tracer: Tracer) -> OptimizeOptions:
+    """The pinned configuration every baseline was recorded with."""
+    return OptimizeOptions(num_patterns=512, trace=tracer)
+
+
+def record_trace(name: str):
+    netlist = parse_blif_file(BLIF_DIR / f"{name}.blif", standard_library())
+    tracer = Tracer()
+    result = power_optimize(netlist, golden_options(tracer))
+    return result.trace
+
+
+@pytest.mark.parametrize("name", GOLDEN_BENCHMARKS)
+def test_golden_trace(name, request):
+    golden_path = GOLDEN_DIR / f"{name}.trace.json"
+    fresh = record_trace(name)
+    assert fresh.moves, f"{name} must apply at least one move"
+    if request.config.getoption("--update-golden"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        write_trace(fresh, golden_path)
+        return
+    assert golden_path.exists(), (
+        f"missing baseline {golden_path}; regenerate with "
+        "pytest tests/telemetry/test_golden_traces.py --update-golden"
+    )
+    golden = read_trace(golden_path)
+    diff = compare_traces(golden, fresh, tolerance=TOLERANCE)
+    if not diff.ok:
+        pytest.fail(
+            f"optimizer behaviour drifted from the committed {name} "
+            f"baseline:\n{diff.format()}\n"
+            "If the change is intentional, regenerate with "
+            "--update-golden and review the new trace.",
+            pytrace=False,
+        )
+
+
+def test_golden_baselines_are_schema_valid():
+    """Committed baselines must parse and validate standalone."""
+    for name in GOLDEN_BENCHMARKS:
+        trace = read_trace(GOLDEN_DIR / f"{name}.trace.json")
+        assert trace.netlist == name
+        assert trace.moves and trace.rounds

@@ -1,0 +1,296 @@
+"""Unit tests of the telemetry subsystem: metrics registry, trace
+schema/writer/reader, the diff tool, and the tracer's read-only wiring
+into the optimizer."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.fuzz.generator import GeneratorConfig, random_mapped_netlist
+from repro.telemetry import (
+    TRACE_SCHEMA_VERSION,
+    Metrics,
+    MoveTrace,
+    RoundTrace,
+    RunTrace,
+    Tracer,
+    compare_traces,
+    format_trace,
+    read_trace,
+    validate_trace,
+    write_trace,
+)
+from repro.transform.optimizer import OptimizeOptions, power_optimize
+
+
+class FakeClock:
+    """Deterministic clock for timer tests."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestMetrics:
+    def test_counters_accumulate_and_sort(self):
+        metrics = Metrics()
+        metrics.increment("b")
+        metrics.increment("a", 4)
+        metrics.counter("b").increment(2)
+        assert metrics.counters() == {"a": 4, "b": 3}
+
+    def test_timer_uses_injected_clock(self):
+        clock = FakeClock()
+        metrics = Metrics(clock=clock)
+        with metrics.timer("phase"):
+            clock.advance(1.5)
+        with metrics.timer("phase"):
+            clock.advance(0.25)
+        assert metrics.timers() == {"phase": 1.75}
+
+    def test_timer_add_folds_external_measurements(self):
+        metrics = Metrics(clock=FakeClock())
+        metrics.timer("x").add(2.0)
+        metrics.timer("x").add(0.5)
+        assert metrics.timers()["x"] == 2.5
+
+    def test_timer_stop_without_start_is_harmless(self):
+        timer = Metrics(clock=FakeClock()).timer("t")
+        timer.stop()
+        assert timer.seconds == 0.0
+
+
+def _tiny_trace() -> RunTrace:
+    return RunTrace(
+        netlist="tiny",
+        options={"num_patterns": 64},
+        rounds=[
+            RoundTrace(
+                index=1,
+                pool_size=2,
+                candidates_by_class={"OS2": 1, "IS2": 1, "OS3": 0, "IS3": 0},
+                shortlist_evaluations=2,
+                moves_applied=1,
+                rejections={"delay": 0, "not_permissible": 1, "aborted": 0, "stale": 0},
+            )
+        ],
+        moves=[
+            MoveTrace(
+                index=1,
+                round=1,
+                candidate_id="OS2|a|b||||||",
+                kind="OS2",
+                pg_a=1.0,
+                pg_b=-0.25,
+                pg_c=0.5,
+                predicted_total=1.25,
+                measured_power_gain=1.25,
+                measured_area_delta=-8.0,
+                circuit_delay_after=3.5,
+                atpg_status="permissible",
+                atpg_stage="atpg",
+                atpg_backtracks=7,
+            )
+        ],
+        counters={"atpg_calls": 2},
+        timers={"total": 0.01},
+        summary={"initial_power": 4.0, "final_power": 2.75},
+    )
+
+
+class TestSchemaAndRoundtrip:
+    def test_roundtrip_through_json_file(self, tmp_path):
+        trace = _tiny_trace()
+        path = tmp_path / "t.json"
+        write_trace(trace, path)
+        back = read_trace(path)
+        assert back == trace
+
+    def test_validate_accepts_own_output(self):
+        validate_trace(_tiny_trace().to_dict())
+
+    def test_unreadable_file_raises(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(TelemetryError, match="cannot read"):
+            read_trace(path)
+
+    @pytest.mark.parametrize(
+        "corrupt, match",
+        [
+            (lambda d: d.pop("moves"), "missing field 'moves'"),
+            (lambda d: d.update(schema_version=99), "unsupported version"),
+            (
+                lambda d: d["moves"][0].update(pg_a="high"),
+                r"moves\[0\].pg_a",
+            ),
+            (
+                lambda d: d["moves"][0].update(kind="XYZ"),
+                "unknown class",
+            ),
+            (
+                lambda d: d["moves"][0].update(index=3),
+                "move indices",
+            ),
+            (
+                lambda d: d["rounds"][0]["candidates_by_class"].pop("OS3"),
+                "exactly the classes",
+            ),
+            (
+                lambda d: d["counters"].update(atpg_calls=True),
+                "expected an integer",
+            ),
+        ],
+    )
+    def test_validate_rejects_corruption(self, corrupt, match):
+        data = _tiny_trace().to_dict()
+        corrupt(data)
+        with pytest.raises(TelemetryError, match=match):
+            validate_trace(data)
+
+    def test_deterministic_json_excludes_timers(self):
+        text = _tiny_trace().deterministic_json()
+        assert "timers" not in json.loads(text)
+        assert "schema_version" in json.loads(text)
+
+    def test_format_trace_renders_moves_and_counters(self):
+        text = format_trace(_tiny_trace())
+        assert "'tiny'" in text
+        assert "atpg_calls=2" in text
+        assert "permissible/atpg" in text
+
+    def test_schema_version_constant_matches_model(self):
+        assert _tiny_trace().schema_version == TRACE_SCHEMA_VERSION
+
+
+class TestCompareTraces:
+    def test_identical_traces_compare_clean(self):
+        diff = compare_traces(_tiny_trace(), _tiny_trace())
+        assert diff.ok
+        assert "identical" in diff.format()
+
+    def test_wall_times_are_ignored(self):
+        left, right = _tiny_trace(), _tiny_trace()
+        right.timers = {"total": 123.0, "phase.atpg": 9.0}
+        assert compare_traces(left, right).ok
+
+    def test_move_sequence_fork_is_reported_once(self):
+        left, right = _tiny_trace(), _tiny_trace()
+        right.moves[0].candidate_id = "OS2|a|c||||||"
+        right.moves[0].pg_a = 9.0  # noise after the fork must not pile on
+        diff = compare_traces(left, right)
+        assert [d.path for d in diff.divergences] == ["$.moves[0].candidate_id"]
+
+    def test_gain_decomposition_divergence_flagged(self):
+        left, right = _tiny_trace(), _tiny_trace()
+        right.moves[0].pg_c += 0.125
+        right.moves[0].predicted_total += 0.125
+        diff = compare_traces(left, right)
+        paths = {d.path for d in diff.divergences}
+        assert "$.moves[0].pg_c" in paths
+        assert "$.moves[0].predicted_total" in paths
+
+    def test_counter_divergence_flagged(self):
+        left, right = _tiny_trace(), _tiny_trace()
+        right.counters["atpg_calls"] = 3
+        diff = compare_traces(left, right)
+        assert [d.path for d in diff.divergences] == ["$.counters.atpg_calls"]
+
+    def test_missing_counter_flagged_both_ways(self):
+        left, right = _tiny_trace(), _tiny_trace()
+        right.counters["extra"] = 1
+        assert not compare_traces(left, right).ok
+        assert not compare_traces(right, left).ok
+
+    def test_move_count_mismatch_flagged(self):
+        left, right = _tiny_trace(), _tiny_trace()
+        right.moves = []
+        diff = compare_traces(left, right)
+        assert any("moves.length" in d.path for d in diff.divergences)
+
+    def test_float_tolerance_applies_to_floats_only(self):
+        left, right = _tiny_trace(), _tiny_trace()
+        right.moves[0].pg_b += 1e-12
+        right.counters["atpg_calls"] = 3
+        diff = compare_traces(left, right, tolerance=1e-9)
+        assert [d.path for d in diff.divergences] == ["$.counters.atpg_calls"]
+
+    def test_format_caps_output(self):
+        left, right = _tiny_trace(), _tiny_trace()
+        right.counters = {f"c{i}": i for i in range(60)}
+        text = compare_traces(left, right).format(max_lines=5)
+        assert "more" in text
+
+
+def _optimize(lib, tracer=None, seed=5):
+    netlist = random_mapped_netlist(
+        GeneratorConfig(seed=seed, shape="high_fanout"), lib
+    )
+    options = OptimizeOptions(num_patterns=256, max_rounds=4, trace=tracer)
+    return power_optimize(netlist, options)
+
+
+class TestTracedRuns:
+    def test_traced_and_untraced_runs_apply_identical_moves(self, lib):
+        traced = _optimize(lib, tracer=Tracer())
+        plain = _optimize(lib)
+        assert [str(m.substitution) for m in traced.moves] == [
+            str(m.substitution) for m in plain.moves
+        ]
+        assert traced.moves, "seed must yield at least one move"
+        assert plain.trace is None
+
+    def test_trace_totals_mirror_the_result(self, lib):
+        tracer = Tracer()
+        result = _optimize(lib, tracer=tracer)
+        trace = result.trace
+        assert trace is tracer.trace
+        assert len(trace.moves) == len(result.moves)
+        assert trace.summary["final_power"] == result.final_power
+        assert trace.summary["rounds"] == result.rounds
+        assert trace.counters["moves_applied"] == len(result.moves)
+        assert sum(r.moves_applied for r in trace.rounds) == len(result.moves)
+        rejected = (
+            result.rejected_delay
+            + result.rejected_not_permissible
+            + result.rejected_aborted
+            + result.rejected_stale
+        )
+        by_round = sum(
+            count for r in trace.rounds for count in r.rejections.values()
+        )
+        assert by_round == rejected
+
+    def test_moves_carry_candidate_ids_and_atpg_verdicts(self, lib):
+        result = _optimize(lib, tracer=Tracer())
+        replayed = {m.substitution.candidate_id() for m in result.moves}
+        for move in result.trace.moves:
+            assert move.candidate_id in replayed
+            assert move.atpg_status == "permissible"
+            assert move.atpg_stage in ("simulation", "atpg", "bdd")
+            assert move.atpg_backtracks >= 0
+
+    def test_candidate_class_counts_cover_the_pool(self, lib):
+        result = _optimize(lib, tracer=Tracer())
+        for round_trace in result.trace.rounds:
+            assert (
+                sum(round_trace.candidates_by_class.values())
+                == round_trace.pool_size
+            )
+
+    def test_trace_validates_and_roundtrips(self, lib, tmp_path):
+        result = _optimize(lib, tracer=Tracer())
+        path = tmp_path / "run.json"
+        write_trace(result.trace, path)
+        back = read_trace(path)
+        assert compare_traces(result.trace, back).ok
+        assert copy.deepcopy(result.trace) == back

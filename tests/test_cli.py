@@ -224,6 +224,83 @@ class TestUtilityCommands:
         assert "trade-off" in text
 
 
+class TestTraceCommands:
+    @pytest.fixture
+    def mapped_blif(self, tmp_path):
+        pla = tmp_path / "maj.pla"
+        pla.write_text(
+            ".i 3\n.o 1\n.ilb a b c\n.ob f\n11- 1\n1-1 1\n-11 1\n.e\n"
+        )
+        out = tmp_path / "maj.blif"
+        assert main(["synth", str(pla), "-o", str(out)]) == 0
+        return out
+
+    @pytest.fixture
+    def trace_file(self, mapped_blif, tmp_path, capsys):
+        out = tmp_path / "run.trace.json"
+        assert (
+            main(
+                [
+                    "optimize", str(mapped_blif), "--trace", str(out),
+                    "--patterns", "256", "--max-rounds", "2",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        return out
+
+    def test_optimize_writes_schema_valid_trace(self, trace_file):
+        from repro.telemetry import read_trace
+
+        trace = read_trace(trace_file)  # read_trace validates
+        assert trace.summary["moves"] == len(trace.moves)
+
+    def test_trace_show(self, trace_file, capsys):
+        assert main(["trace", "show", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "schema v1" in out and "rounds" in out
+
+    def test_trace_show_caps_moves(self, trace_file, capsys):
+        assert main(["trace", "show", str(trace_file), "--moves", "0"]) == 0
+        assert "#1" not in capsys.readouterr().out
+
+    def test_trace_diff_identical(self, trace_file, capsys):
+        assert (
+            main(["trace", "diff", str(trace_file), str(trace_file)]) == 0
+        )
+        assert "identical" in capsys.readouterr().out
+
+    def test_trace_diff_divergent_exits_nonzero(
+        self, trace_file, tmp_path, capsys
+    ):
+        from repro.telemetry import read_trace, write_trace
+
+        trace = read_trace(trace_file)
+        trace.counters["atpg_calls"] = trace.counters.get("atpg_calls", 0) + 1
+        other = tmp_path / "other.trace.json"
+        write_trace(trace, other)
+        assert main(["trace", "diff", str(trace_file), str(other)]) == 1
+        assert "atpg_calls" in capsys.readouterr().out
+
+    def test_trace_diff_tolerance_flag(self, trace_file, capsys):
+        assert (
+            main(
+                [
+                    "trace", "diff", str(trace_file), str(trace_file),
+                    "--tolerance", "1e-9",
+                ]
+            )
+            == 0
+        )
+
+    def test_unreadable_trace_reports_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{oops")
+        assert main(["trace", "show", str(bad)]) == 1
+        assert "cannot read" in capsys.readouterr().out
+
+
 class TestLintCommand:
     @pytest.fixture
     def mapped_blif(self, tmp_path):

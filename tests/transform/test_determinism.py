@@ -72,3 +72,32 @@ def test_repeated_runs_reproduce_the_move_sequence(lib):
         moves.append([str(m.substitution) for m in result.moves])
     assert moves[0] == moves[1]
     assert moves[0], "the chosen seed must produce at least one move"
+
+
+def test_repeated_runs_produce_byte_identical_traces(lib):
+    """Trace-level determinism: the entire deterministic section of the
+    run trace — move sequence keyed by ``Substitution.candidate_id()``,
+    gain decompositions, per-round statistics, counters — serializes to
+    byte-identical JSON across runs.  Only wall-times may differ."""
+    from repro.telemetry import Tracer, compare_traces
+
+    serialized = []
+    traces = []
+    for _ in range(2):
+        netlist = random_mapped_netlist(
+            GeneratorConfig(seed=12, shape="high_fanout"), lib
+        )
+        tracer = Tracer()
+        result = power_optimize(
+            netlist,
+            OptimizeOptions(num_patterns=256, max_rounds=6, trace=tracer),
+        )
+        traces.append(result.trace)
+        serialized.append(result.trace.deterministic_json().encode())
+    assert serialized[0] == serialized[1]
+    assert compare_traces(traces[0], traces[1]).ok
+    assert traces[0].moves, "the chosen seed must produce at least one move"
+    # Every trace event is keyed by the canonical tie-break ID, never by
+    # enumeration order or hashing.
+    for move in traces[0].moves:
+        assert move.candidate_id.count("|") == 8
