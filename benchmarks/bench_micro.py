@@ -282,6 +282,71 @@ class TestTracingOverhead:
         assert result.trace is not None and result.trace.moves
 
 
+class TestPassManagerOverhead:
+    """Pipeline-scheduling cost vs driving the engine directly (ttt2).
+
+    ``power_optimize`` now routes through ``OptimizationContext`` +
+    ``PassManager``; the scheduling layer only adds configure/lazy-build/
+    invalidate bookkeeping around one engine run, so its overhead budget
+    is <2% of the direct ``PowerOptimizer.run()`` wall time.
+    """
+
+    OVERHEAD_BUDGET = 0.02
+
+    @pytest.fixture(scope="class")
+    def ttt2(self, lib):
+        return build_benchmark("ttt2", lib)
+
+    @staticmethod
+    def _options():
+        from repro.transform.optimizer import OptimizeOptions
+
+        return OptimizeOptions(num_patterns=512)
+
+    def _direct(self, circuit):
+        from repro.transform.optimizer import PowerOptimizer
+
+        return PowerOptimizer(circuit.copy("direct"), self._options()).run()
+
+    def _pipeline(self, circuit):
+        from repro.transform.optimizer import power_optimize
+
+        return power_optimize(circuit.copy("piped"), self._options())
+
+    def test_engine_direct(self, benchmark, ttt2):
+        result = benchmark.pedantic(
+            self._direct, args=(ttt2,), rounds=3, iterations=1
+        )
+        assert result.moves
+
+    def test_engine_via_pipeline(self, benchmark, ttt2):
+        result = benchmark.pedantic(
+            self._pipeline, args=(ttt2,), rounds=3, iterations=1
+        )
+        assert result.moves
+
+    def test_overhead_within_budget(self, ttt2):
+        import time
+
+        def best_of(fn, rounds=3):
+            best = float("inf")
+            for _ in range(rounds):
+                tick = time.perf_counter()
+                result = fn(ttt2)
+                best = min(best, time.perf_counter() - tick)
+                assert result.moves
+            return best
+
+        direct = best_of(self._direct)
+        piped = best_of(self._pipeline)
+        # Best-of-3 de-noises; the 50ms absolute slack guards against
+        # scheduler hiccups dominating on a fast run.
+        assert piped <= direct * (1.0 + self.OVERHEAD_BUDGET) + 0.05, (
+            f"pipeline run {piped:.3f}s vs direct {direct:.3f}s exceeds "
+            f"the {self.OVERHEAD_BUDGET:.0%} PassManager overhead budget"
+        )
+
+
 def test_technology_mapping(benchmark, lib):
     """Synthesis front-end + mapper on a 40-cube PLA."""
     pla = random_pla("bench", 12, 8, 40, seed=77)

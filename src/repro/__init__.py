@@ -40,15 +40,23 @@ __all__ = [
     "power_optimize",
     "PowerOptimizer",
     "OptimizeOptions",
+    "run_pipeline",
+    "OptimizationContext",
+    "PassManager",
     "__version__",
 ]
 
 
 def __getattr__(name):
     # Late imports keep `import repro` light and avoid circular imports
-    # while the higher layers (transform) are built on the lower ones.
+    # while the higher layers (transform, pipeline) are built on the
+    # lower ones.
     if name in ("power_optimize", "PowerOptimizer", "OptimizeOptions"):
         from repro.transform import optimizer
 
         return getattr(optimizer, name)
+    if name in ("run_pipeline", "OptimizationContext", "PassManager"):
+        import repro.pipeline as pipeline
+
+        return getattr(pipeline, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -41,7 +41,7 @@ from repro.library.standard import standard_library
 from repro.netlist.blif import parse_blif_file, write_blif
 from repro.synth.flow import SynthesisOptions, synthesize
 from repro.synth.mapper import MapOptions
-from repro.transform.optimizer import OptimizeOptions, power_optimize
+from repro.transform.optimizer import OptimizeOptions
 
 
 def _load_library(args):
@@ -55,6 +55,40 @@ def _load_mapped_netlist(args, attribute: str = "netlist"):
     """Shared BLIF-loading + library-binding path for every subcommand."""
     library = _load_library(args)
     return parse_blif_file(getattr(args, attribute), library), library
+
+
+def _optimizer_option_kwargs(args) -> dict:
+    """The optimizer-configuration subset shared by ``optimize``,
+    ``pipeline run``, and ``fuzz --bench`` (one prologue, one behaviour)."""
+    return dict(
+        objective=getattr(args, "objective", "power"),
+        repeat=getattr(args, "repeat", 25),
+        num_patterns=args.patterns,
+        max_rounds=getattr(args, "max_rounds", 20),
+        max_moves=args.max_moves,
+        delay_slack_percent=args.delay_slack,
+        sanitize=getattr(args, "sanitize", False),
+    )
+
+
+def _build_pipeline_from_args(args, spec=None):
+    """One shared load/optimize prologue: netlist, options, tracer, passes.
+
+    ``spec=None`` selects the default pipeline for the options (what
+    ``power_optimize`` runs); a spec string builds the stages through the
+    pass registry.
+    """
+    from repro.pipeline import build_pipeline, default_pipeline
+
+    netlist, _library = _load_mapped_netlist(args)
+    tracer = None
+    if getattr(args, "trace", None):
+        from repro.telemetry import Tracer
+
+        tracer = Tracer()
+    options = OptimizeOptions(trace=tracer, **_optimizer_option_kwargs(args))
+    passes = build_pipeline(spec) if spec else default_pipeline(options)
+    return netlist, options, tracer, passes
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -129,38 +163,67 @@ def _cmd_figure6(args) -> int:
     return 0
 
 
-def _cmd_optimize(args) -> int:
-    netlist, _library = _load_mapped_netlist(args)
-    tracer = None
-    if args.trace:
-        from repro.telemetry import Tracer
-
-        tracer = Tracer()
-    options = OptimizeOptions(
-        objective=args.objective,
-        repeat=args.repeat,
-        num_patterns=args.patterns,
-        max_rounds=args.max_rounds,
-        max_moves=args.max_moves,
-        delay_slack_percent=args.delay_slack,
-        sanitize=args.sanitize,
-        trace=tracer,
-    )
-    result = power_optimize(netlist, options)
-    print(result.summary())
-    if args.trace:
+def _write_optimized_outputs(args, netlist, result) -> None:
+    """Trace/BLIF/Verilog emission shared by ``optimize`` and ``pipeline``."""
+    if getattr(args, "trace", None) and result is not None:
         from repro.telemetry import write_trace
 
         write_trace(result.trace, args.trace)
         print(f"run trace written to {args.trace}")
-    if args.output:
+    if getattr(args, "output", None):
         Path(args.output).write_text(write_blif(netlist))
         print(f"optimized netlist written to {args.output}")
-    if args.verilog:
+    if getattr(args, "verilog", None):
         from repro.netlist.verilog import write_verilog
 
         Path(args.verilog).write_text(write_verilog(netlist))
         print(f"structural Verilog written to {args.verilog}")
+
+
+def _cmd_optimize(args) -> int:
+    from repro.pipeline import OptimizationContext, PassManager
+
+    netlist, options, _tracer, passes = _build_pipeline_from_args(args)
+    outcome = PassManager().run(OptimizationContext(netlist, options), passes)
+    result = outcome.optimize_result
+    print(result.summary())
+    _write_optimized_outputs(args, netlist, result)
+    return 0
+
+
+def _cmd_pipeline_run(args) -> int:
+    from repro.errors import PipelineError
+    from repro.pipeline import (
+        OptimizationContext,
+        PassManager,
+        available_passes,
+    )
+
+    if args.list_passes:
+        print(f"{'name':10s} description")
+        for entry in available_passes():
+            print(f"{entry.name:10s} {entry.description}")
+            if entry.parameters:
+                print(f"{'':10s}   parameters: {entry.parameters}")
+        return 0
+    if args.netlist is None:
+        print("error: a mapped BLIF input is required (or --list-passes)")
+        return 2
+    try:
+        netlist, options, _tracer, passes = _build_pipeline_from_args(
+            args, spec=args.spec
+        )
+    except PipelineError as error:
+        print(f"error: invalid pipeline spec: {error}")
+        return 2
+    print(f"pipeline: {'; '.join(stage.spec() for stage in passes)}")
+    manager = PassManager(verbose=True)
+    outcome = manager.run(OptimizationContext(netlist, options), passes)
+    print(outcome.summary())
+    result = outcome.optimize_result
+    if result is not None:
+        print(result.summary())
+    _write_optimized_outputs(args, outcome.netlist, result)
     return 0
 
 
@@ -334,6 +397,9 @@ def _cmd_fuzz(args) -> int:
     )
 
     shapes = _split_rule_ids(args.shapes)
+    # The optimizer-facing subset comes from the same prologue the
+    # optimize/pipeline commands use, so the three stay in sync.
+    shared = _optimizer_option_kwargs(args)
     options = FuzzOptions(
         seed=args.seed,
         count=args.count,
@@ -342,13 +408,15 @@ def _cmd_fuzz(args) -> int:
         min_gates=args.min_gates,
         max_gates=args.max_gates,
         shapes=tuple(shapes) if shapes else FuzzOptions.shapes,
-        num_patterns=args.patterns,
-        max_moves=args.max_moves,
-        delay_slack_percent=args.delay_slack,
+        num_patterns=shared["num_patterns"],
+        max_moves=shared["max_moves"],
+        delay_slack_percent=shared["delay_slack_percent"],
+        objective=shared["objective"],
         shrink=args.shrink or args.corpus_dir is not None,
         corpus_dir=Path(args.corpus_dir) if args.corpus_dir else None,
         check_rerun=not args.quick,
         check_engine_identity=not args.quick,
+        check_pipeline_identity=not args.quick,
         mutator=cell_swap_mutator if args.self_test else None,
     )
     if args.replay:
@@ -459,6 +527,48 @@ def build_parser() -> argparse.ArgumentParser:
         "run trace here (inspect with 'powder trace show')",
     )
     p.set_defaults(func=_cmd_optimize)
+
+    p = sub.add_parser(
+        "pipeline",
+        help="compose and run optimization pass pipelines "
+        "(e.g. --spec 'dedupe; powder(repeat=25); sweep')",
+    )
+    psub = p.add_subparsers(dest="pipeline_command", required=True)
+    pr = psub.add_parser("run", help="run a pass pipeline on a mapped BLIF")
+    pr.add_argument(
+        "netlist", nargs="?", default=None, help="mapped BLIF input"
+    )
+    pr.add_argument(
+        "--spec", default="powder", metavar="SPEC",
+        help="pipeline spec: 'pass; pass(key=value, ...); ...' "
+        "(default 'powder'; see --list-passes)",
+    )
+    pr.add_argument("--library", help="genlib file (default: built-in)")
+    pr.add_argument("--output", "-o", help="write the final BLIF here")
+    pr.add_argument("--verilog", help="also write structural Verilog here")
+    pr.add_argument("--objective", choices=("power", "area", "delay"),
+                    default="power",
+                    help="default objective for powder stages "
+                    "(stage parameters override)")
+    pr.add_argument("--delay-slack", type=float, default=None,
+                    help="delay constraint as %% over initial (e.g. 0)")
+    pr.add_argument("--patterns", type=int, default=2048)
+    pr.add_argument("--repeat", type=int, default=25)
+    pr.add_argument("--max-rounds", type=int, default=20)
+    pr.add_argument("--max-moves", type=int, default=None)
+    pr.add_argument(
+        "--sanitize", action="store_true",
+        help="per-move validation inside powder stages (slow)",
+    )
+    pr.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write the last powder stage's JSON run trace here",
+    )
+    pr.add_argument(
+        "--list-passes", action="store_true",
+        help="print the registered pass catalog and exit",
+    )
+    pr.set_defaults(func=_cmd_pipeline_run)
 
     p = sub.add_parser(
         "synth", help="synthesize a .pla or logic .blif to a mapped netlist"
@@ -578,7 +688,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--quick", action="store_true",
         help="skip the properties that re-run the optimizer "
-        "(idempotent-rerun, engine-identity)",
+        "(idempotent-rerun, engine-identity, pipeline-identity)",
     )
     p.add_argument(
         "--self-test", action="store_true",

@@ -68,6 +68,24 @@ class TelemetryError(ReproError):
     """Invalid run-trace data (unreadable file, schema violation...)."""
 
 
+class PipelineError(ReproError):
+    """Invalid pass-pipeline configuration (unknown pass or analysis,
+    malformed pipeline spec...).
+
+    Attributes
+    ----------
+    position:
+        0-based character offset into the pipeline-spec text where the
+        problem was detected, when one applies.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"column {position}: {message}"
+        super().__init__(message)
+        self.position = position
+
+
 class LintError(ReproError):
     """A static-analysis failure surfaced as an exception.
 

@@ -92,6 +92,7 @@ class FuzzOptions:
     #: for quick smoke runs).
     check_rerun: bool = True
     check_engine_identity: bool = True
+    check_pipeline_identity: bool = True
     #: Test-only fault injection (see :data:`Mutator`).
     mutator: Optional[Mutator] = None
 
@@ -219,6 +220,7 @@ def verify_netlist(
             opt,
             check_rerun=options.check_rerun,
             check_engine_identity=options.check_engine_identity,
+            check_pipeline_identity=options.check_pipeline_identity,
         )
     )
     return failures, len(result.moves)

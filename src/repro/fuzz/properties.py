@@ -11,7 +11,11 @@ input, no reference answer needed:
   safe: it converges, keeps equivalence, and never pushes power back up,
 - ``engine-identity`` — the incremental engine and the legacy from-scratch
   paths produce bit-identical move sequences (the PR-1 contract, here
-  enforced on arbitrary generated circuits).
+  enforced on arbitrary generated circuits),
+- ``pipeline-identity`` — the default pass pipeline (what
+  ``power_optimize`` schedules through the PassManager) and a directly
+  driven ``PowerOptimizer`` apply identical move sequences (the
+  pass-pipeline refactor contract).
 
 All checks are pure observers: they work on copies and never mutate the
 netlist under test.
@@ -38,6 +42,7 @@ def run_properties(
     options: OptimizeOptions,
     check_rerun: bool = True,
     check_engine_identity: bool = True,
+    check_pipeline_identity: bool = True,
 ) -> list[str]:
     """Evaluate every metamorphic property; returns failure descriptions."""
     failures: list[str] = []
@@ -47,6 +52,8 @@ def run_properties(
         failures.extend(idempotent_rerun(result, options))
     if check_engine_identity:
         failures.extend(engine_identity(original, result, options))
+    if check_pipeline_identity:
+        failures.extend(pipeline_identity(original, result, options))
     return failures
 
 
@@ -111,6 +118,42 @@ def idempotent_rerun(
             f"{oracle.verdicts} {oracle.disagreements}"
         )
     return failures
+
+
+def pipeline_identity(
+    original: Netlist, result: OptimizeResult, options: OptimizeOptions
+) -> list[str]:
+    """[pipeline-identity] default pipeline == directly driven engine.
+
+    ``result`` came from ``power_optimize`` — the PassManager-scheduled
+    default pipeline; a :class:`~repro.transform.optimizer.PowerOptimizer`
+    constructed and run directly (no pipeline layer) must apply the
+    identical move sequence.
+    """
+    from repro.transform.optimizer import PowerOptimizer
+
+    direct = PowerOptimizer(
+        original.copy(original.name + "_direct"), replace(options, trace=None)
+    ).run()
+    ours = [str(m.substitution) for m in result.moves]
+    theirs = [str(m.substitution) for m in direct.moves]
+    if ours != theirs:
+        for index, (a, b) in enumerate(zip(ours, theirs)):
+            if a != b:
+                return [
+                    f"[pipeline-identity] move {index} differs: pipeline "
+                    f"{a} vs direct {b}"
+                ]
+        return [
+            f"[pipeline-identity] move counts differ: pipeline {len(ours)} "
+            f"vs direct {len(theirs)}"
+        ]
+    if abs(direct.final_power - result.final_power) > _EPS:
+        return [
+            f"[pipeline-identity] final power differs: pipeline "
+            f"{result.final_power!r} vs direct {direct.final_power!r}"
+        ]
+    return []
 
 
 def engine_identity(

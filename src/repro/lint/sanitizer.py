@@ -21,6 +21,10 @@ round would do anyway), so a sanitized run applies a bit-identical move
 sequence to an unsanitized one.  On any finding it raises
 :class:`~repro.errors.LintError` naming the offending move, the rule ID,
 and the minimal repro context.
+
+The same checks are available between pipeline stages as the
+``sanitize`` pass (:class:`repro.pipeline.SanitizePass`), which
+cross-checks whatever analyses the shared context has built so far.
 """
 
 from __future__ import annotations

@@ -1,0 +1,80 @@
+"""Composable optimization pass pipelines.
+
+The architecture production synthesis flows converge on: small
+single-purpose passes scheduled over shared, incrementally-maintained
+analysis state.
+
+- :class:`~repro.pipeline.context.OptimizationContext` — one netlist
+  plus every derived analysis (probability engine, power estimator,
+  delay constraint, STA, candidate workspace) with lazy build and
+  declared invalidation,
+- :class:`~repro.pipeline.passes.Pass` — the pass protocol (``name``,
+  ``requires``, ``invalidates``, ``run(ctx)``) and the builtin passes
+  (``dedupe``, ``powder``, ``sweep``, ``lint``, ``sanitize``,
+  ``resynth``),
+- :class:`~repro.pipeline.manager.PassManager` — schedules passes,
+  rebuilds required analyses exactly when needed, and emits per-pass
+  telemetry phases,
+- :mod:`~repro.pipeline.spec` — the ``"dedupe; powder(repeat=25);
+  sweep"`` mini-language, surfaced as ``powder pipeline run`` in the
+  CLI.
+
+Quickstart::
+
+    from repro.pipeline import run_pipeline
+
+    outcome = run_pipeline(netlist, "dedupe; powder(repeat=25); sweep")
+    print(outcome.summary())
+    print(outcome.optimize_result.summary())
+"""
+
+from repro.pipeline.context import ALL_ANALYSES, OptimizationContext
+from repro.pipeline.manager import PassManager, PipelineResult, run_pipeline
+from repro.pipeline.passes import (
+    DedupePass,
+    LintPass,
+    Pass,
+    PassResult,
+    PowderPass,
+    RegisteredPass,
+    ResynthPass,
+    SanitizePass,
+    SweepPass,
+    available_passes,
+    default_pipeline,
+    make_pass,
+    register_pass,
+)
+from repro.pipeline.spec import (
+    StageSpec,
+    build_pipeline,
+    format_pipeline_spec,
+    format_stage,
+    parse_pipeline_spec,
+)
+
+__all__ = [
+    "ALL_ANALYSES",
+    "OptimizationContext",
+    "PassManager",
+    "PipelineResult",
+    "run_pipeline",
+    "Pass",
+    "PassResult",
+    "DedupePass",
+    "PowderPass",
+    "SweepPass",
+    "LintPass",
+    "SanitizePass",
+    "ResynthPass",
+    "RegisteredPass",
+    "available_passes",
+    "default_pipeline",
+    "make_pass",
+    "register_pass",
+    "StageSpec",
+    "build_pipeline",
+    "format_pipeline_spec",
+    "format_stage",
+    "parse_pipeline_spec",
+]

@@ -1,0 +1,107 @@
+"""Scheduling passes over a shared context.
+
+The :class:`PassManager` runs a pass sequence with declared-dependency
+semantics: before each pass it lazily (re)builds the analyses the pass
+``requires``; afterwards it invalidates exactly what the pass declares
+in ``invalidates`` (dependents cascade through the context's dependency
+graph).  Each pass runs under its own telemetry phase — a
+``pass.<name>`` timer on the manager's
+:class:`~repro.telemetry.metrics.Metrics` — so pipeline hot spots show
+up per stage, not as one opaque total.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from repro.netlist.netlist import Netlist
+from repro.pipeline.context import OptimizationContext
+from repro.pipeline.passes import Pass, PassResult
+from repro.telemetry.metrics import Metrics
+from repro.transform.optimizer import OptimizeOptions
+
+
+@dataclass
+class PipelineResult:
+    """Everything one pipeline run produced."""
+
+    context: OptimizationContext
+    passes: list[PassResult] = field(default_factory=list)
+    metrics: Optional[Metrics] = None
+
+    @property
+    def netlist(self) -> Netlist:
+        return self.context.netlist
+
+    @property
+    def optimize_result(self):
+        """The last powder stage's
+        :class:`~repro.transform.optimizer.OptimizeResult` (``None`` when
+        no stage ran the engine)."""
+        for result in reversed(self.passes):
+            if result.optimize_result is not None:
+                return result.optimize_result
+        return None
+
+    @property
+    def changed(self) -> bool:
+        return any(result.changed for result in self.passes)
+
+    def summary(self) -> str:
+        lines = [f"pipeline over {self.context.netlist.name!r}:"]
+        lines.extend(f"  {result.summary()}" for result in self.passes)
+        total = sum(result.seconds for result in self.passes)
+        lines.append(f"  {'total':10s} {total:7.2f}s")
+        return "\n".join(lines)
+
+
+class PassManager:
+    """Runs pass sequences with build/invalidate bookkeeping."""
+
+    def __init__(self, metrics: Optional[Metrics] = None, verbose: bool = False):
+        self.metrics = metrics or Metrics()
+        self.verbose = verbose
+
+    def run(
+        self, context: OptimizationContext, passes: Sequence[Pass]
+    ) -> PipelineResult:
+        outcome = PipelineResult(context=context, metrics=self.metrics)
+        for stage in passes:
+            # A pass may retune the context's options (e.g. powder
+            # overrides) before its requirements are built against them.
+            stage.configure(context)
+            for analysis in stage.requires:
+                context.get(analysis)
+            tick = time.perf_counter()
+            with self.metrics.timer(f"pass.{stage.name}"):
+                result = stage.run(context)
+            result.seconds = time.perf_counter() - tick
+            context.invalidate(*stage.invalidates)
+            outcome.passes.append(result)
+            if self.verbose:
+                print(f"  [pipeline] {result.summary()}", flush=True)
+        return outcome
+
+
+def run_pipeline(
+    netlist: Netlist,
+    pipeline: Union[str, Sequence[Pass]],
+    options: Optional[OptimizeOptions] = None,
+    verbose: bool = False,
+) -> PipelineResult:
+    """Run a pipeline — a spec string or ready passes — on ``netlist``.
+
+    ``run_pipeline(nl, "dedupe; powder(repeat=25); sweep")`` parses the
+    spec through :func:`repro.pipeline.spec.parse_pipeline_spec` and
+    schedules the stages over a fresh context built from ``options``.
+    """
+    if isinstance(pipeline, str):
+        from repro.pipeline.spec import build_pipeline
+
+        passes: Sequence[Pass] = build_pipeline(pipeline)
+    else:
+        passes = pipeline
+    context = OptimizationContext(netlist, options)
+    return PassManager(verbose=verbose).run(context, passes)

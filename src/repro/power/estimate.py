@@ -9,6 +9,11 @@ The estimator is the object the optimizer interrogates constantly, so the
 hot paths — per-stem contribution and post-move update — avoid whole-circuit
 recomputation (§3.3: "the goal is to avoid as much reestimation as
 possible").
+
+In pipeline runs the estimator is owned by a
+:class:`repro.pipeline.OptimizationContext` (analysis name
+``"estimator"``, built lazily from the ``"probability"`` engine) and is
+shared across passes until one invalidates it.
 """
 
 from __future__ import annotations

@@ -11,7 +11,9 @@ Typical uses:
 - re-target a design to another library
   (``resynthesize(netlist, new_library)``),
 - alternate mapping and POWDER in an improvement loop: POWDER's rewires
-  expose sharing the next mapping pass can exploit, and vice versa.
+  expose sharing the next mapping pass can exploit, and vice versa.  The
+  ``resynth`` pipeline stage (``powder pipeline run --spec
+  "powder; resynth(mode=power); powder"``) composes exactly this loop.
 """
 
 from __future__ import annotations

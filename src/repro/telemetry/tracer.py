@@ -82,6 +82,10 @@ class Tracer:
     def begin_run(self, optimizer: "PowerOptimizer") -> None:
         opts = optimizer.options
         options = {name: getattr(opts, name) for name in _OPTION_FIELDS}
+        # A CostModel instance serializes as its registered name.
+        options["objective"] = getattr(
+            options["objective"], "name", options["objective"]
+        )
         for name in _CANDIDATE_FIELDS:
             options[f"candidates.{name}"] = getattr(opts.candidates, name)
         options["input_probs"] = opts.input_probs is not None

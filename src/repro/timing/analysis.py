@@ -73,6 +73,10 @@ class TimingAnalysis:
     makes all slacks non-negative by construction.  After in-place netlist
     edits call :meth:`update_after_edit` with the dirtied gates instead of
     constructing a new instance.
+
+    In pipeline runs the instance is owned by a
+    :class:`repro.pipeline.OptimizationContext` (analysis name
+    ``"timing"``, built against the ``"constraint"`` analysis' limit).
     """
 
     def __init__(self, netlist: Netlist, required_limit: Optional[float] = None):

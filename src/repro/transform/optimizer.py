@@ -19,6 +19,20 @@ constraint:
 The inner loop runs up to ``repeat`` substitutions per candidate round; the
 outer loop regenerates candidates until no power-reducing substitution
 remains (or a configured budget runs out).
+
+Since the pass-pipeline refactor this module is the *engine* layer:
+
+- shared analysis state (probability engine, estimator, delay
+  constraint, STA, candidate workspace) lives in a
+  :class:`repro.pipeline.OptimizationContext`; :class:`PowerOptimizer`
+  reads it through the context, building lazily and maintaining it
+  incrementally,
+- the objective is a pluggable :class:`repro.transform.cost.CostModel`
+  (``power``/``area``/``delay`` built in) instead of a string branch,
+- :func:`power_optimize` is a thin wrapper over the default pass
+  pipeline (``dedupe?; powder``) run by a
+  :class:`repro.pipeline.PassManager` — bit-identical to driving the
+  engine directly.
 """
 
 from __future__ import annotations
@@ -30,16 +44,14 @@ from typing import Optional
 from repro.errors import NetlistError, TransformError
 from repro.netlist.netlist import Netlist
 from repro.netlist.verify import check_netlist
-from repro.power.estimate import PowerEstimator
-from repro.power.probability import SimulationProbability
 from repro.timing.analysis import TimingAnalysis
-from repro.timing.constraints import DelayConstraint, quick_delay_reject
+from repro.timing.constraints import quick_delay_reject
 from repro.transform.candidates import (
     Candidate,
     CandidateOptions,
-    CandidateWorkspace,
     generate_candidates,
 )
+from repro.transform.cost import COST_MODELS, CostModel, resolve_cost_model
 from repro.transform.gain import full_gain
 from repro.transform.permissible import (
     ABORTED,
@@ -60,10 +72,12 @@ from repro.transform.substitution import (
 class OptimizeOptions:
     """Configuration of one POWDER run."""
 
-    #: What each substitution must improve.  "power" is the paper;
-    #: "area" and "delay" reproduce the same ATPG-transformation engine in
-    #: the roles of the paper's companion works (redundancy
-    #: addition/removal for area [2], clause analysis for delay [5]).
+    #: What each substitution must improve: the name of a registered
+    #: :class:`~repro.transform.cost.CostModel` or an instance.  "power"
+    #: is the paper; "area" and "delay" reproduce the same
+    #: ATPG-transformation engine in the roles of the paper's companion
+    #: works (redundancy addition/removal for area [2], clause analysis
+    #: for delay [5]).
     objective: str = "power"
     #: Substitutions applied per candidate-generation round (Figure 5).
     repeat: int = 25
@@ -128,6 +142,30 @@ class OptimizeOptions:
     #: by default: the paper's protocol starts from the mapped netlist
     #: as-is.
     dedupe_first: bool = False
+
+    def __post_init__(self):
+        """Reject configurations that would otherwise fail deep in the run."""
+        if (
+            not isinstance(self.objective, CostModel)
+            and self.objective not in COST_MODELS
+        ):
+            raise ValueError(
+                f"unknown optimization objective {self.objective!r}; "
+                f"registered objectives: {', '.join(sorted(COST_MODELS))}"
+            )
+        if self.repeat < 0:
+            raise ValueError(
+                f"repeat must be non-negative, got {self.repeat}"
+            )
+        if self.preselect < 0:
+            raise ValueError(
+                f"preselect must be non-negative, got {self.preselect}"
+            )
+        if self.delay_limit is not None and self.delay_slack_percent is not None:
+            raise ValueError(
+                "delay_limit and delay_slack_percent are mutually "
+                "exclusive; set at most one"
+            )
 
 
 @dataclass
@@ -197,55 +235,46 @@ class OptimizeResult:
 
 
 class PowerOptimizer:
-    """Stateful POWDER run over one netlist (modified in place)."""
+    """Stateful POWDER run over one netlist (modified in place).
 
-    def __init__(self, netlist: Netlist, options: Optional[OptimizeOptions] = None):
-        self.netlist = netlist
-        self.options = options or OptimizeOptions()
-        opts = self.options
-        if opts.objective not in ("power", "area", "delay"):
-            raise TransformError(
-                f"unknown optimization objective {opts.objective!r}"
+    The engine behind the pipeline's ``powder`` pass.  Shared analysis
+    state (estimator, constraint, STA, candidate workspace) lives in an
+    :class:`~repro.pipeline.OptimizationContext`: construct with
+    ``PowerOptimizer(netlist, options)`` for a private context (the
+    legacy direct entry point), or ``PowerOptimizer(context=ctx)`` to
+    run over a pipeline's shared one.
+    """
+
+    def __init__(
+        self,
+        netlist: Optional[Netlist] = None,
+        options: Optional[OptimizeOptions] = None,
+        *,
+        context=None,
+    ):
+        if context is None:
+            if netlist is None:
+                raise TypeError("pass a netlist or an OptimizationContext")
+            from repro.pipeline.context import OptimizationContext
+
+            context = OptimizationContext(netlist, options or OptimizeOptions())
+        elif netlist is not None or options is not None:
+            raise TypeError(
+                "pass either (netlist, options) or a context, not both"
             )
+        self.ctx = context
+        self.netlist = context.netlist
+        self.options = context.options
+        opts = self.options
+        self.cost_model = resolve_cost_model(opts.objective)
         self.deduped: list[tuple[str, str]] = []
         if opts.dedupe_first:
-            from repro.transform.dedupe import merge_duplicate_gates
+            if context.dedupe_pairs is None:
+                from repro.transform.dedupe import merge_duplicate_gates
 
-            self.deduped = merge_duplicate_gates(netlist)
-        # power_estimate(netlist): committed probabilities for all gates.
-        if opts.input_temporal_specs is not None:
-            from repro.power.temporal import TemporalSimulationProbability
-
-            engine = TemporalSimulationProbability(
-                netlist,
-                num_patterns=opts.num_patterns,
-                seed=opts.seed,
-                input_specs=opts.input_temporal_specs,
-            )
-        else:
-            engine = SimulationProbability(
-                netlist,
-                num_patterns=opts.num_patterns,
-                seed=opts.seed,
-                input_probs=opts.input_probs,
-            )
-        self.estimator = PowerEstimator(netlist, engine)
-        initial_timing = TimingAnalysis(netlist)
-        self.initial_delay = initial_timing.circuit_delay
-        if opts.delay_limit is not None:
-            self.constraint: Optional[DelayConstraint] = DelayConstraint(
-                opts.delay_limit
-            )
-        elif opts.delay_slack_percent is not None:
-            self.constraint = DelayConstraint.from_netlist(
-                netlist, opts.delay_slack_percent
-            )
-        else:
-            self.constraint = None
-        self.timing = TimingAnalysis(
-            netlist,
-            self.constraint.limit if self.constraint else None,
-        )
+                context.dedupe_pairs = merge_duplicate_gates(self.netlist)
+            self.deduped = list(context.dedupe_pairs)
+        self.initial_delay = TimingAnalysis(self.netlist).circuit_delay
         self.moves: list[MoveRecord] = []
         self._gain_floor = opts.min_gain
         self.rejected_delay = 0
@@ -253,7 +282,6 @@ class PowerOptimizer:
         self.rejected_aborted = 0
         self.rejected_stale = 0
         self._round = 0
-        self._workspace: Optional[CandidateWorkspace] = None
         #: Telemetry hooks; every call site is guarded by ``is not None``
         #: so the untraced path (the default) pays nothing.
         self.tracer = opts.trace
@@ -271,43 +299,40 @@ class PowerOptimizer:
         }
 
     # ------------------------------------------------------------------
+    # Shared analyses (owned by the context, built on first use)
+    # ------------------------------------------------------------------
+    @property
+    def estimator(self):
+        """power_estimate(netlist): committed probabilities for all gates."""
+        return self.ctx.estimator
+
+    @property
+    def constraint(self):
+        return self.ctx.constraint
+
+    @property
+    def timing(self):
+        return self.ctx.timing
+
+    @property
+    def _workspace(self):
+        """The persistent candidate workspace, ``None`` until first built."""
+        return self.ctx.peek("workspace")
+
+    # ------------------------------------------------------------------
     # Figure-5 primitives
     # ------------------------------------------------------------------
     def get_candidate_substitutions(self) -> list[Candidate]:
         if not self.options.incremental:
             return generate_candidates(self.estimator, self.options.candidates)
-        if self._workspace is None:
-            self._workspace = CandidateWorkspace(self.estimator)
-        return self._workspace.generate(self.options.candidates)
+        return self.ctx.workspace.generate(self.options.candidates)
 
     def _objective_score(self, candidate: Candidate) -> float:
         """How much the configured objective improves (> floor = accept)."""
-        objective = self.options.objective
-        if objective == "power":
-            return candidate.gain.total
-        if objective == "area":
-            return -candidate.gain.area_delta
-        # Delay objective: exact trial STA (quick gains cannot see timing).
-        if self.options.incremental:
-            after = self.timing.what_if(candidate.substitution)
-            if after is None:
-                return float("-inf")
-            return self.timing.circuit_delay - after
-        try:
-            trial, _applied = apply_to_copy(
-                self.netlist, candidate.substitution
-            )
-        except (TransformError, NetlistError):
-            return float("-inf")
-        return (
-            TimingAnalysis(self.netlist).circuit_delay
-            - TimingAnalysis(trial).circuit_delay
-        )
+        return self.cost_model.score(self, candidate)
 
     def _objective_floor(self) -> float:
-        if self.options.objective == "power":
-            return self._gain_floor
-        return 1e-9  # area/delay: any strict improvement
+        return self.cost_model.floor(self)
 
     def select_power_red_subst(
         self, pool: list[Candidate]
@@ -424,12 +449,16 @@ class PowerOptimizer:
                     dirty.setdefault(name)
             dirty_gates = [self.netlist.gate(n) for n in dirty]
             self.timing.update_after_edit(dirty_gates)
-            if self._workspace is not None:
-                self._workspace.invalidate(dirty_gates)
+            workspace = self._workspace
+            if workspace is not None:
+                workspace.invalidate(dirty_gates)
         else:
-            self.timing = TimingAnalysis(
-                self.netlist,
-                self.constraint.limit if self.constraint else None,
+            self.ctx.put(
+                "timing",
+                TimingAnalysis(
+                    self.netlist,
+                    self.constraint.limit if self.constraint else None,
+                ),
             )
         if self.options.self_check:
             check_netlist(self.netlist)
@@ -592,9 +621,25 @@ def power_optimize(
     Keyword arguments are convenience overrides for
     :class:`OptimizeOptions` fields, e.g. ``power_optimize(nl, repeat=10,
     delay_slack_percent=0)``.
+
+    This is a thin wrapper over the default pass pipeline
+    (``dedupe``, when ``dedupe_first`` is set, followed by ``powder``)
+    scheduled by a :class:`repro.pipeline.PassManager`; it applies a
+    move sequence bit-identical to driving :class:`PowerOptimizer`
+    directly.  Compose custom pipelines with
+    :func:`repro.pipeline.run_pipeline`.
     """
     if options is None:
         options = OptimizeOptions(**kwargs)
     elif kwargs:
         raise TypeError("pass either an OptimizeOptions or keyword overrides")
-    return PowerOptimizer(netlist, options).run()
+    from repro.pipeline.context import OptimizationContext
+    from repro.pipeline.manager import PassManager
+    from repro.pipeline.passes import default_pipeline
+
+    context = OptimizationContext(netlist, options)
+    outcome = PassManager().run(context, default_pipeline(options))
+    result = outcome.optimize_result
+    if result is None:  # pragma: no cover - default_pipeline always powders
+        raise TransformError("default pipeline produced no optimize result")
+    return result

@@ -12,6 +12,7 @@ from repro.fuzz.properties import (
     delay_constraint,
     engine_identity,
     idempotent_rerun,
+    pipeline_identity,
     power_monotone,
     run_properties,
 )
@@ -51,6 +52,15 @@ def test_rerun_and_engine_identity_hold(run):
     original, result, options = run
     assert idempotent_rerun(result, options) == []
     assert engine_identity(original, result, options) == []
+
+
+def test_pipeline_identity_holds_and_flags_divergence(run):
+    original, result, options = run
+    assert pipeline_identity(original, result, options) == []
+    # A doctored move log (one move dropped) must trip the property.
+    doctored = replace(result, moves=result.moves[:-1])
+    failures = pipeline_identity(original, doctored, options)
+    assert any("[pipeline-identity]" in f for f in failures)
 
 
 def test_constrained_run_respects_delay_limit(lib):

@@ -1,0 +1,68 @@
+"""Pipeline-identity regression: explicit pipelines replay the golden traces.
+
+The committed baselines under ``tests/telemetry/golden/`` were recorded
+through :func:`repro.transform.optimizer.power_optimize`.  Since the
+pass-pipeline refactor that function is a thin wrapper over the default
+pipeline, so an *explicitly* spelled pipeline (spec string, fresh
+context, :class:`~repro.pipeline.PassManager`) must reproduce every
+baseline bit-for-bit — same moves, same PG_A/PG_B/PG_C gains, same
+counters.  This is the CI ``pipeline-identity`` gate.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.library.standard import standard_library
+from repro.netlist.blif import parse_blif_file
+from repro.pipeline import run_pipeline
+from repro.telemetry import Tracer, compare_traces, read_trace
+from repro.transform.optimizer import OptimizeOptions
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BLIF_DIR = REPO_ROOT / "benchmarks" / "blif"
+GOLDEN_DIR = REPO_ROOT / "tests" / "telemetry" / "golden"
+
+#: Must match tests/telemetry/test_golden_traces.py.
+GOLDEN_BENCHMARKS = ("rd53", "misex1", "sqrt8", "ttt2")
+TOLERANCE = 1e-9
+
+
+@pytest.mark.parametrize("name", GOLDEN_BENCHMARKS)
+def test_explicit_pipeline_replays_golden_trace(name):
+    netlist = parse_blif_file(BLIF_DIR / f"{name}.blif", standard_library())
+    tracer = Tracer()
+    outcome = run_pipeline(
+        netlist, "powder", OptimizeOptions(num_patterns=512, trace=tracer)
+    )
+    result = outcome.optimize_result
+    assert result is not None and result.trace is not None
+    golden = read_trace(GOLDEN_DIR / f"{name}.trace.json")
+    diff = compare_traces(golden, result.trace, tolerance=TOLERANCE)
+    assert diff.ok, (
+        f"explicit pipeline drifted from the {name} baseline:\n"
+        f"{diff.format()}"
+    )
+
+
+def test_spec_with_sweep_matches_moves():
+    """A richer spec around the powder stage must not perturb the engine.
+
+    misex1 has no structurally duplicate gates, so the leading ``dedupe``
+    is a no-op and the powder stage must replay the baseline moves.
+    """
+    name = "misex1"
+    netlist = parse_blif_file(BLIF_DIR / f"{name}.blif", standard_library())
+    tracer = Tracer()
+    outcome = run_pipeline(
+        netlist,
+        "dedupe; powder; sweep",
+        OptimizeOptions(num_patterns=512, trace=tracer),
+    )
+    golden = read_trace(GOLDEN_DIR / f"{name}.trace.json")
+    fresh = outcome.optimize_result.trace
+    golden_moves = [(m.candidate_id, m.kind) for m in golden.moves]
+    fresh_moves = [(m.candidate_id, m.kind) for m in fresh.moves]
+    assert fresh_moves == golden_moves

@@ -416,3 +416,73 @@ class TestLintCommand:
             )
             == 0
         )
+
+
+class TestPipelineCommand:
+    @pytest.fixture
+    def mapped_blif(self, tmp_path):
+        pla = tmp_path / "maj.pla"
+        pla.write_text(
+            ".i 3\n.o 1\n.ilb a b c\n.ob f\n11- 1\n1-1 1\n-11 1\n.e\n"
+        )
+        out = tmp_path / "maj.blif"
+        assert main(["synth", str(pla), "-o", str(out)]) == 0
+        return out
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["pipeline", "run", "x.blif"])
+        assert args.netlist == "x.blif"
+        assert args.spec == "powder"
+        assert not args.list_passes
+
+    def test_list_passes_catalog(self, capsys):
+        assert main(["pipeline", "run", "--list-passes"]) == 0
+        out = capsys.readouterr().out
+        for name in ("dedupe", "powder", "sweep", "lint", "sanitize", "resynth"):
+            assert name in out
+        assert "parameters:" in out
+
+    def test_missing_netlist_is_usage_error(self, capsys):
+        assert main(["pipeline", "run"]) == 2
+        assert "required" in capsys.readouterr().out
+
+    def test_invalid_spec_reports_position(self, mapped_blif, capsys):
+        assert (
+            main(
+                [
+                    "pipeline", "run", str(mapped_blif),
+                    "--spec", "dedupe powder",
+                ]
+            )
+            == 2
+        )
+        out = capsys.readouterr().out
+        assert "invalid pipeline spec" in out and "column 7" in out
+
+    def test_unknown_pass_is_usage_error(self, mapped_blif, capsys):
+        assert (
+            main(["pipeline", "run", str(mapped_blif), "--spec", "polish"])
+            == 2
+        )
+        assert "unknown pass" in capsys.readouterr().out
+
+    def test_run_spec_writes_outputs(self, mapped_blif, tmp_path, capsys):
+        out_blif = tmp_path / "opt.blif"
+        trace = tmp_path / "run.trace.json"
+        assert (
+            main(
+                [
+                    "pipeline", "run", str(mapped_blif),
+                    "--spec", "dedupe; powder(repeat=3, max_rounds=1); sweep",
+                    "--patterns", "512",
+                    "-o", str(out_blif),
+                    "--trace", str(trace),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "pipeline: dedupe; powder(repeat=3, max_rounds=1); sweep" in out
+        for stage in ("dedupe", "powder", "sweep", "total"):
+            assert stage in out
+        assert out_blif.exists() and trace.exists()

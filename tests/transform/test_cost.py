@@ -1,0 +1,104 @@
+"""Cost-model registry and OptimizeOptions construction-time validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.transform.cost import (
+    COST_MODELS,
+    AreaCost,
+    CostModel,
+    DelayCost,
+    PowerCost,
+    register_cost_model,
+    resolve_cost_model,
+)
+from repro.transform.optimizer import (
+    OptimizeOptions,
+    PowerOptimizer,
+    power_optimize,
+)
+from tests.conftest import make_random_netlist
+
+
+class TestRegistry:
+    def test_builtin_objectives_registered(self):
+        assert COST_MODELS["power"] is PowerCost
+        assert COST_MODELS["area"] is AreaCost
+        assert COST_MODELS["delay"] is DelayCost
+
+    def test_resolve_by_name(self):
+        assert isinstance(resolve_cost_model("power"), PowerCost)
+
+    def test_resolve_passes_instances_through(self):
+        model = AreaCost()
+        assert resolve_cost_model(model) is model
+
+    def test_resolve_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown optimization objective"):
+            resolve_cost_model("speed")
+
+    def test_register_custom_model(self):
+        class NegSize(CostModel):
+            name = "_test_negsize"
+
+            def score(self, optimizer, candidate):
+                return -candidate.gain.area_delta
+
+        try:
+            register_cost_model(NegSize)
+            assert isinstance(resolve_cost_model("_test_negsize"), NegSize)
+            OptimizeOptions(objective="_test_negsize")  # now valid
+        finally:
+            del COST_MODELS["_test_negsize"]
+
+
+class TestOptionsValidation:
+    def test_unknown_objective(self):
+        with pytest.raises(ValueError, match="unknown optimization objective"):
+            OptimizeOptions(objective="speed")
+
+    def test_negative_repeat(self):
+        with pytest.raises(ValueError, match="repeat must be non-negative"):
+            OptimizeOptions(repeat=-1)
+
+    def test_negative_preselect(self):
+        with pytest.raises(ValueError, match="preselect must be non-negative"):
+            OptimizeOptions(preselect=-5)
+
+    def test_conflicting_delay_options(self):
+        with pytest.raises(ValueError, match="mutually\\s+exclusive"):
+            OptimizeOptions(delay_limit=10.0, delay_slack_percent=5.0)
+
+    def test_each_delay_option_alone_is_fine(self):
+        assert OptimizeOptions(delay_limit=10.0).delay_limit == 10.0
+        assert (
+            OptimizeOptions(delay_slack_percent=5.0).delay_slack_percent == 5.0
+        )
+
+    def test_cost_model_instance_accepted(self):
+        options = OptimizeOptions(objective=PowerCost())
+        assert isinstance(options.objective, PowerCost)
+
+
+class TestModelDrivenRuns:
+    def test_instance_objective_matches_name(self, lib):
+        base = make_random_netlist(lib, 5, 16, 2, seed=81)
+        options = dict(num_patterns=256, max_rounds=2)
+        by_name = power_optimize(
+            base.copy("n"), OptimizeOptions(objective="power", **options)
+        )
+        by_instance = power_optimize(
+            base.copy("i"), OptimizeOptions(objective=PowerCost(), **options)
+        )
+        assert [str(m.substitution) for m in by_name.moves] == [
+            str(m.substitution) for m in by_instance.moves
+        ]
+        assert by_name.final_power == by_instance.final_power
+
+    def test_optimizer_exposes_resolved_model(self, lib):
+        netlist = make_random_netlist(lib, 5, 14, 2, seed=82)
+        engine = PowerOptimizer(
+            netlist, OptimizeOptions(objective="area", num_patterns=256)
+        )
+        assert isinstance(engine.cost_model, AreaCost)

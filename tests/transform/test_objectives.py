@@ -9,7 +9,6 @@ those roles.
 import pytest
 
 from repro.equiv.checker import check_equivalent
-from repro.errors import TransformError
 from repro.timing.analysis import TimingAnalysis
 from repro.transform.optimizer import OptimizeOptions, power_optimize
 from tests.conftest import make_random_netlist
@@ -26,8 +25,9 @@ def options(objective, **overrides):
 
 class TestAreaObjective:
     def test_unknown_objective_rejected(self, figure2):
-        with pytest.raises(TransformError):
-            power_optimize(figure2, OptimizeOptions(objective="speed"))
+        # Rejected at construction time since OptimizeOptions validation.
+        with pytest.raises(ValueError, match="unknown optimization objective"):
+            OptimizeOptions(objective="speed")
 
     def test_duplicate_logic_removed(self, builder):
         a, b = builder.inputs("a", "b")
