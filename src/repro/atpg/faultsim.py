@@ -17,7 +17,8 @@ from collections.abc import Iterable, Sequence
 import numpy as np
 
 from repro.atpg.fault import StuckAtFault
-from repro.netlist.simulate import SimState, evaluate_cell, popcount
+from repro.kernels.words import popcount
+from repro.netlist.simulate import SimState, evaluate_cell
 from repro.netlist.traverse import transitive_fanout
 
 

@@ -1,0 +1,39 @@
+"""Packed hot-path kernels.
+
+Everything in this package operates on contiguous word buffers instead of
+per-gate dict walks:
+
+- :mod:`repro.kernels.words` — the simulation word size (one constant),
+  pattern-count validation, and the popcount ladder
+  (``numpy.bitwise_count`` → ``int.bit_count`` → 16-bit LUT),
+- :mod:`repro.kernels.packed` — :class:`~repro.kernels.packed.PackedCircuit`,
+  a topologically-ordered flat-array view of a netlist (gate op codes,
+  fanin indices, level-grouped evaluation schedule) with vectorized
+  full-simulation and forced-overlay propagation kernels.
+
+The packed view is cached per netlist and self-validates against the
+netlist's structural state, so callers never hold a stale view; see
+:func:`repro.kernels.packed.packed_view`.
+"""
+
+from repro.kernels.words import (
+    ALL_ONES,
+    WORD_BITS,
+    WORD_DTYPE,
+    popcount,
+    popcount_lastaxis,
+    validate_num_patterns,
+)
+from repro.kernels.packed import HAVE_NUMPY, PackedCircuit, packed_view
+
+__all__ = [
+    "ALL_ONES",
+    "HAVE_NUMPY",
+    "WORD_BITS",
+    "WORD_DTYPE",
+    "PackedCircuit",
+    "packed_view",
+    "popcount",
+    "popcount_lastaxis",
+    "validate_num_patterns",
+]

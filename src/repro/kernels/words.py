@@ -1,0 +1,108 @@
+"""Simulation word size and bit-counting primitives.
+
+Every bit-parallel structure in the system — pattern sets, simulation
+values, observability masks, fault-detection masks — packs one pattern per
+bit of a :data:`WORD_BITS`-wide unsigned word.  This module is the single
+place that width is defined; everything else derives word counts through
+:func:`validate_num_patterns` instead of hard-coding ``64``.
+
+``popcount`` totals the set bits of a word array through the fastest
+available path:
+
+1. ``numpy.bitwise_count`` (NumPy ≥ 2.0) — one vectorized pass,
+2. ``int.bit_count()`` (Python ≥ 3.10) on the array's bytes viewed as one
+   big integer — no 64× temporary, no table,
+3. a 16-bit lookup table, the portable fallback for older Python/NumPy
+   combinations.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import NetlistError
+
+#: Patterns per simulation word.  The one place the word width lives.
+WORD_BITS = 64
+
+#: Dtype matching :data:`WORD_BITS`; value words are arrays of this type.
+WORD_DTYPE = np.uint64
+
+#: A fully-set word (every pattern bit 1).
+ALL_ONES = np.uint64((1 << WORD_BITS) - 1)
+
+
+def validate_num_patterns(num_patterns: int, context: str = "num_patterns") -> int:
+    """Check a pattern count against the word width; return the word count.
+
+    Raises :class:`~repro.errors.NetlistError` with an actionable message
+    when ``num_patterns`` is not a positive multiple of :data:`WORD_BITS`
+    (patterns are packed one per bit, so partial words cannot be
+    represented).
+    """
+    if num_patterns <= 0 or num_patterns % WORD_BITS:
+        raise NetlistError(
+            f"{context} must be a positive multiple of {WORD_BITS} "
+            f"(patterns pack one per bit of a {WORD_BITS}-bit simulation "
+            f"word), got {num_patterns}"
+        )
+    return num_patterns // WORD_BITS
+
+
+_POPCOUNT_TABLE: Optional[np.ndarray] = None
+
+
+def _popcount_table() -> np.ndarray:
+    global _POPCOUNT_TABLE
+    if _POPCOUNT_TABLE is None:
+        _POPCOUNT_TABLE = np.fromiter(
+            (bin(i).count("1") for i in range(1 << 16)),
+            dtype=np.uint16,
+            count=1 << 16,
+        )
+    return _POPCOUNT_TABLE
+
+
+def _popcount_lut(words: np.ndarray) -> int:
+    """Total set bits via a 16-bit lookup table (no 64x temporary)."""
+    return int(_popcount_table()[words.view(np.uint16)].sum(dtype=np.uint64))
+
+
+def popcount_lastaxis(words: np.ndarray) -> np.ndarray:
+    """Per-entry set-bit totals over the last axis of a word array.
+
+    ``popcount_lastaxis(a)[i, j] == popcount(a[i, j])`` for a 3-d array —
+    the batched form used to score whole candidate tables at once.
+    """
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(words).sum(axis=-1, dtype=np.int64)
+    u16 = words.view(np.uint16).reshape(*words.shape[:-1], -1)
+    return _popcount_table()[u16].sum(axis=-1, dtype=np.int64)
+
+
+def _popcount_bigint(words: np.ndarray) -> int:
+    """Total set bits via ``int.bit_count`` over the raw bytes.
+
+    Byte order is irrelevant for a population count, so the array's bytes
+    are reinterpreted as one arbitrary-precision integer and counted in a
+    single C-level call.
+    """
+    return int.from_bytes(words.tobytes(), "little").bit_count()
+
+
+if hasattr(np, "bitwise_count"):
+
+    def popcount(words: np.ndarray) -> int:
+        """Total number of set bits across a word array."""
+        return int(np.bitwise_count(words).sum())
+
+elif sys.version_info >= (3, 10):  # numpy < 2.0, modern Python
+
+    popcount = _popcount_bigint
+
+else:  # pragma: no cover - Python < 3.10 with numpy < 2.0
+
+    popcount = _popcount_lut

@@ -257,12 +257,16 @@ class TransformSanitizer:
         findings: list[Diagnostic] = []
         for key, entry in workspace._pair_cache.items():
             target, _branch = key
-            names, cell_names, va, obs, rows, table = entry
+            names, cell_names, va, obs, rows, rows_next, table, act = entry
             if library is None or any(n not in library for n in cell_names):
                 continue  # entry can never validate; dropped on next use
             cells = [library[n] for n in cell_names]
-            expected = workspace._compute_pair_compat(rows, va, obs, cells)
-            if not np.array_equal(table, expected):
+            expected, expected_act = workspace._compute_pair_tables(
+                rows, rows_next, va, obs, cells
+            )
+            if not np.array_equal(table, expected) or not np.array_equal(
+                act, expected_act
+            ):
                 findings.append(
                     _finding(
                         X_PAIR_TABLE,

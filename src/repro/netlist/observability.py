@@ -47,7 +47,6 @@ from repro.netlist.simulate import _ALL_ONES, SimState, evaluate_cell
 from repro.netlist.traverse import (
     topological_order,
     transitive_fanin,
-    transitive_fanout,
 )
 
 
@@ -161,31 +160,14 @@ class ObservabilityMaps:
     def _flip_mask(self, gate: Gate) -> np.ndarray:
         """Exact flip propagation for reconvergent multi-fanout stems.
 
-        Same semantics as ``SimState.stem_observability`` but restricted to
-        the stem's TFO and skipping gates none of whose fanin words were
-        touched by the flip so far.
+        Same semantics as ``SimState.stem_observability``: runs on the
+        packed level-grouped kernels, which skip every fanout gate none of
+        whose fanin words were touched by the flip so far.
         """
+        from repro.kernels.packed import packed_view
+
         sim = self.sim
-        values = sim.values
-        overlay: dict[str, np.ndarray] = {gate.name: ~values[gate.name]}
-        for node in transitive_fanout(self.netlist, [gate]):
-            touched = False
-            for fanin in node.fanins:
-                if fanin.name in overlay:
-                    touched = True
-                    break
-            if not touched:
-                continue
-            fanin_words = [
-                overlay.get(f.name, values[f.name]) for f in node.fanins
-            ]
-            new = evaluate_cell(node.cell, fanin_words, sim.nwords)
-            if not np.array_equal(new, values[node.name]):
-                overlay[node.name] = new
-        mask = np.zeros(sim.nwords, dtype=np.uint64)
-        gates = self.netlist.gates
-        for name, new in overlay.items():
-            node = gates.get(name)
-            if node is not None and node.po_names:
-                mask |= new ^ values[name]
-        return mask
+        packed = packed_view(self.netlist)
+        return packed.flip_mask(
+            sim.matrix(), packed.index[gate.name], sim.nwords
+        )

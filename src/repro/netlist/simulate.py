@@ -12,7 +12,10 @@ set and keeps one value array per stem, supporting:
 
 Gate evaluation goes through a per-cell compiled cube list (an irredundant
 SOP of the cell function), so any library cell simulates in a handful of
-vector ops.
+vector ops.  Full re-simulation and forced-value propagation run on the
+packed flat-array kernels (:mod:`repro.kernels.packed`) — one vectorized
+operation per level × op group instead of a dict walk per gate — and are
+bit-identical to the per-gate evaluation they replace.
 """
 
 from __future__ import annotations
@@ -23,6 +26,11 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import NetlistError
+from repro.kernels.words import (
+    WORD_BITS,
+    popcount,
+    validate_num_patterns,
+)
 from repro.library.cell import Cell
 from repro.logic.sop import Cover
 from repro.netlist.netlist import Gate, Netlist
@@ -88,10 +96,8 @@ def random_patterns(
     probabilities are realised by thresholding uniform bytes per bit, so the
     sample respects the requested bias in expectation.
     """
-    if num_patterns <= 0 or num_patterns % 64:
-        raise NetlistError("num_patterns must be a positive multiple of 64")
+    nwords = validate_num_patterns(num_patterns)
     rng = np.random.default_rng(seed)
-    nwords = num_patterns // 64
     patterns: dict[str, np.ndarray] = {}
     for name in input_names:
         p = 0.5 if input_probs is None else float(input_probs.get(name, 0.5))
@@ -111,8 +117,8 @@ def exhaustive_patterns(input_names: Sequence[str]) -> dict[str, np.ndarray]:
     n = len(input_names)
     if n > 20:
         raise NetlistError("exhaustive simulation limited to 20 inputs")
-    total = max(64, 1 << n)
-    nwords = total // 64
+    total = max(WORD_BITS, 1 << n)
+    nwords = total // WORD_BITS
     patterns: dict[str, np.ndarray] = {}
     index = np.arange(total, dtype=np.uint64)
     for var, name in enumerate(input_names):
@@ -132,13 +138,18 @@ class SimState:
             raise NetlistError(f"patterns missing for inputs {missing}")
         first = patterns[netlist.input_names[0]] if netlist.input_names else None
         self.nwords = len(first) if first is not None else 1
-        self.num_patterns = self.nwords * 64
+        self.num_patterns = self.nwords * WORD_BITS
         self.values: dict[str, np.ndarray] = {}
         for name in netlist.input_names:
             word = np.asarray(patterns[name], dtype=np.uint64)
             if len(word) != self.nwords:
                 raise NetlistError("inconsistent pattern word counts")
             self.values[name] = word
+        #: Committed values as one packed (num_gates, nwords) matrix, row
+        #: order matching the packed view it was built against.  Lazy:
+        #: ``None`` whenever values changed since the last build.
+        self._matrix: Optional[np.ndarray] = None
+        self._matrix_packed = None
         self.resimulate_all()
 
     # ------------------------------------------------------------------
@@ -148,12 +159,36 @@ class SimState:
         fanin_words = [values[f.name] for f in gate.fanins]
         return evaluate_cell(gate.cell, fanin_words, self.nwords)
 
+    def matrix(self) -> np.ndarray:
+        """Committed values as the packed view's ``(num_gates, nwords)`` matrix.
+
+        Row *i* is the value word of ``packed_view(netlist).order[i]``.
+        Rebuilt lazily after any value change or structural edit; the
+        returned array is never mutated in place (kernels copy), so rows
+        may be aliased by ``values`` entries safely.
+        """
+        from repro.kernels.packed import packed_view
+
+        packed = packed_view(self.netlist)
+        if self._matrix is not None and self._matrix_packed is packed:
+            return self._matrix
+        self._matrix = np.stack([self.values[name] for name in packed.names])
+        self._matrix_packed = packed
+        return self._matrix
+
     def resimulate_all(self) -> None:
-        for gate in topological_order(self.netlist):
-            if gate.is_input:
-                continue
-            self.values[gate.name] = self._eval(gate, self.values)
-        self._drop_stale()
+        """Full forward evaluation on the packed level-grouped kernels."""
+        from repro.kernels.packed import packed_view
+
+        packed = packed_view(self.netlist)
+        matrix = packed.simulate(self.values, self.nwords)
+        # Rebind every stem to its matrix row: dead gates drop out, rows
+        # are views (the matrix is immutable once built).
+        self.values = {
+            name: matrix[i] for i, name in enumerate(packed.names)
+        }
+        self._matrix = matrix
+        self._matrix_packed = packed
 
     def _drop_stale(self) -> None:
         live = set(self.netlist.gates)
@@ -185,6 +220,7 @@ class SimState:
                 self.values[gate.name] = new
                 changed.append(gate)
         self._drop_stale()
+        self._matrix = None
         return changed
 
     # ------------------------------------------------------------------
@@ -220,32 +256,29 @@ class SimState:
         plus every TFO gate whose value differs under the overlay.  Committed
         values are untouched.
         """
-        overlay: dict[str, np.ndarray] = dict(forced)
-        roots = [self.netlist.gate(name) for name in forced]
-        for gate in transitive_fanout(self.netlist, roots):
-            fanin_words = [
-                overlay.get(f.name, self.values[f.name]) for f in gate.fanins
-            ]
-            new = evaluate_cell(gate.cell, fanin_words, self.nwords)
-            if not np.array_equal(new, self.values[gate.name]):
-                overlay[gate.name] = new
-        return overlay
+        from repro.kernels.packed import packed_view
+
+        packed = packed_view(self.netlist)
+        forced_idx = {
+            packed.index[name]: np.asarray(word, dtype=np.uint64)
+            for name, word in forced.items()
+        }
+        overlay = packed.propagate_overlay(self.matrix(), forced_idx)
+        return {packed.names[i]: word for i, word in overlay.items()}
 
     def stem_observability(self, gate: Gate) -> np.ndarray:
         """Patterns on which flipping the stem flips some primary output."""
-        flipped = ~self.values[gate.name]
-        overlay = self.propagate_forced({gate.name: flipped})
-        mask = np.zeros(self.nwords, dtype=np.uint64)
-        for po, driver in self.netlist.outputs.items():
-            new = overlay.get(driver.name, self.values[driver.name])
-            mask |= new ^ self.values[driver.name]
-        return mask
+        from repro.kernels.packed import packed_view
+
+        packed = packed_view(self.netlist)
+        return packed.flip_mask(
+            self.matrix(), packed.index[gate.name], self.nwords
+        )
 
     def branch_observability(self, sink: Gate, pin: int) -> np.ndarray:
         """Patterns on which flipping one input branch flips some output."""
         if sink.is_input:
             raise NetlistError("primary inputs have no input branches")
-        driver = sink.fanins[pin]
         fanin_words = [
             ~self.values[f.name] if i == pin else self.values[f.name]
             for i, f in enumerate(sink.fanins)
@@ -253,35 +286,10 @@ class SimState:
         flipped_sink = evaluate_cell(sink.cell, fanin_words, self.nwords)
         if np.array_equal(flipped_sink, self.values[sink.name]):
             return np.zeros(self.nwords, dtype=np.uint64)
-        overlay = self.propagate_forced({sink.name: flipped_sink})
-        mask = np.zeros(self.nwords, dtype=np.uint64)
-        for po, out_driver in self.netlist.outputs.items():
-            new = overlay.get(out_driver.name, self.values[out_driver.name])
-            mask |= new ^ self.values[out_driver.name]
-        return mask
+        from repro.kernels.packed import packed_view
 
-
-_POPCOUNT_TABLE: Optional[np.ndarray] = None
-
-
-def _popcount_lut(words: np.ndarray) -> int:
-    """Total set bits via a 16-bit lookup table (no 64x temporary)."""
-    global _POPCOUNT_TABLE
-    if _POPCOUNT_TABLE is None:
-        _POPCOUNT_TABLE = np.fromiter(
-            (bin(i).count("1") for i in range(1 << 16)),
-            dtype=np.uint16,
-            count=1 << 16,
+        packed = packed_view(self.netlist)
+        overlay = packed.propagate_overlay(
+            self.matrix(), {packed.index[sink.name]: flipped_sink}
         )
-    return int(_POPCOUNT_TABLE[words.view(np.uint16)].sum(dtype=np.uint64))
-
-
-if hasattr(np, "bitwise_count"):
-
-    def popcount(words: np.ndarray) -> int:
-        """Total number of set bits across a word array."""
-        return int(np.bitwise_count(words).sum())
-
-else:  # numpy < 2.0
-
-    popcount = _popcount_lut
+        return packed.output_diff_mask(self.matrix(), overlay, self.nwords)

@@ -18,6 +18,8 @@ The dependency graph (an edge means "is built from"):
 
     probability -> estimator -> workspace
     constraint  -> timing
+    triage      (self-contained: permissibility caches keyed on the
+                 netlist's structural state)
 
 Every analysis also depends on the netlist structure; passes that edit
 the netlist without maintaining the analyses incrementally declare
@@ -33,7 +35,14 @@ from repro.netlist.netlist import Netlist
 from repro.transform.optimizer import OptimizeOptions
 
 #: Every analysis name the context can build, in build-dependency order.
-ALL_ANALYSES = ("probability", "estimator", "constraint", "timing", "workspace")
+ALL_ANALYSES = (
+    "probability",
+    "estimator",
+    "constraint",
+    "timing",
+    "workspace",
+    "triage",
+)
 
 #: analysis -> analyses built *from* it (invalidated along with it).
 _DEPENDENTS = {
@@ -42,6 +51,7 @@ _DEPENDENTS = {
     "constraint": ("timing",),
     "timing": (),
     "workspace": (),
+    "triage": (),
 }
 
 _UNBUILT = object()
@@ -159,6 +169,13 @@ class OptimizationContext:
         from repro.transform.candidates import CandidateWorkspace
 
         return CandidateWorkspace(self.get("estimator"))
+
+    def _build_triage(self):
+        from repro.transform.permissible import TriageChecker
+
+        return TriageChecker(
+            self.netlist, backtrack_limit=self.options.backtrack_limit
+        )
 
     # ------------------------------------------------------------------
     # Convenience accessors (lazy-building)

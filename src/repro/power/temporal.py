@@ -31,10 +31,10 @@ import numpy as np
 
 from repro.errors import NetlistError
 from repro.netlist.netlist import Netlist
+from repro.kernels.words import popcount
 from repro.netlist.simulate import (
     DEFAULT_NUM_PATTERNS,
     SimState,
-    popcount,
     random_patterns,
 )
 from repro.power.probability import SimulationProbability

@@ -8,12 +8,16 @@ This package provides the SAT side as an *independent* oracle:
   netlists/miters,
 - :mod:`~repro.sat.dpll` — a DPLL solver with two-watched-literal unit
   propagation and an activity decision heuristic,
+- :mod:`~repro.sat.incremental` — a CDCL solver (clause learning,
+  assumptions, persistent database) behind the optimizer's triage
+  permissibility front-end,
 - :func:`~repro.sat.oracle.sat_check_equivalent` — a drop-in equivalence
   check used by the test-suite to cross-validate the PODEM oracle.
 """
 
 from repro.sat.cnf import CnfFormula, tseitin_encode, miter_cnf
 from repro.sat.dpll import DpllSolver, SAT, UNSAT, UNKNOWN
+from repro.sat.incremental import IncrementalSolver
 from repro.sat.oracle import sat_check_equivalent
 
 __all__ = [
@@ -21,6 +25,7 @@ __all__ = [
     "tseitin_encode",
     "miter_cnf",
     "DpllSolver",
+    "IncrementalSolver",
     "SAT",
     "UNSAT",
     "UNKNOWN",

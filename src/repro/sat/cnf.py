@@ -58,9 +58,14 @@ class CnfFormula:
         return True
 
 
-def _cube_templates(gate: Gate):
-    """(onset cubes, offset cubes) of the gate's function, as literal lists."""
-    table = gate.cell.function
+def cell_templates(cell):
+    """(onset cubes, offset cubes) of a cell's function, as literal lists.
+
+    Shared by the whole-netlist Tseitin encoding and the triage checker's
+    cone-duplication encoding (which instantiates single cells against
+    mapped literals rather than whole gates).
+    """
+    table = cell.function
     key = (table.nvars, table.bits)
     cached = _TEMPLATE_CACHE.get(key)
     if cached is not None:
@@ -83,6 +88,11 @@ def _cube_templates(gate: Gate):
     result = (cube_list(onset), cube_list(offset))
     _TEMPLATE_CACHE[key] = result
     return result
+
+
+def _cube_templates(gate: Gate):
+    """(onset cubes, offset cubes) of the gate's function, as literal lists."""
+    return cell_templates(gate.cell)
 
 
 def tseitin_encode(

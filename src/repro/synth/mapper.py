@@ -29,7 +29,7 @@ from repro.errors import MappingError
 from repro.library.cell import Cell, Library
 from repro.logic.truthtable import TruthTable
 from repro.netlist.netlist import Netlist
-from repro.netlist.simulate import popcount
+from repro.kernels.words import popcount
 from repro.power.estimate import transition_probability
 from repro.synth.subject import AND2, CONST0, INV, PI, SubjectGraph
 

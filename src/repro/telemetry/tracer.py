@@ -44,6 +44,7 @@ _OPTION_FIELDS = (
     "num_patterns",
     "seed",
     "backtrack_limit",
+    "permissibility",
     "preselect",
     "min_gain",
     "gain_threshold_fraction",
@@ -106,6 +107,10 @@ class Tracer:
             self.metrics.counter("workspace_pair_cache_misses").increment(
                 workspace.pair_cache_misses
             )
+        triage = getattr(optimizer, "triage_checker", None)
+        if triage is not None:
+            for name, value in triage.counters.items():
+                self.metrics.counter(f"triage_{name}").increment(value)
         trace = self.trace
         trace.counters = self.metrics.counters()
         trace.timers = self.metrics.timers()

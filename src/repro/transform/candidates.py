@@ -38,13 +38,19 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import TransformError
+from repro.kernels.words import popcount, popcount_lastaxis
 from repro.netlist.netlist import Gate, Netlist
 from repro.netlist.observability import ObservabilityMaps
 from repro.netlist.simulate import evaluate_cell
 from repro.netlist.traverse import topological_order
 from repro.power.estimate import PowerEstimator
 from repro.power.probability import SimulationProbability
-from repro.transform.gain import GainBreakdown, quick_gain
+from repro.transform.gain import (
+    GainBreakdown,
+    dominated_region,
+    quick_gain,
+    region_power,
+)
 from repro.transform.substitution import IS2, IS3, OS2, OS3, Substitution
 
 
@@ -79,6 +85,8 @@ class Candidate:
 
     substitution: Substitution
     gain: GainBreakdown
+    #: Memoized ranking key (every candidate is sorted at least twice).
+    _key: Optional[tuple[float, str]] = None
 
     @property
     def quick(self) -> float:
@@ -115,6 +123,9 @@ class CandidateWorkspace:
         self._pair_cache: dict[
             tuple[str, Optional[tuple[str, int]]], tuple
         ] = {}
+        #: Keys whose cache entry was validated/rebuilt by this round's
+        #: batch precompute, mapped to whether it counted as a reuse.
+        self._fresh: dict[tuple[str, Optional[tuple[str, int]]], bool] = {}
         #: Lifetime tallies of pair-table reuse, read by the run tracer.
         self.pair_cache_hits = 0
         self.pair_cache_misses = 0
@@ -125,8 +136,14 @@ class CandidateWorkspace:
         self.stems: list[Gate] = []
         self.index: dict[str, int] = {}
         self.matrix: Optional[np.ndarray] = None
+        self.matrix_next: Optional[np.ndarray] = None
         self.reach: Optional[np.ndarray] = None
+        self.activity: list[float] = []
         self.act_order: list[int] = []
+        self.act_order_array: np.ndarray = np.zeros(0, dtype=np.intp)
+        #: The round's deduplicated 2-input cell list (None outside a
+        #: generate() round with pair substitutions enabled).
+        self._round_cells: Optional[list] = None
 
     # ------------------------------------------------------------------
     def invalidate(self, dirty: list[Gate]) -> None:
@@ -163,12 +180,21 @@ class CandidateWorkspace:
         self.matrix = np.stack(
             [self.sim.value(g.name) for g in self.stems]
         )  # (num stems, nwords)
+        sim_next = getattr(self.engine, "sim_next", None)
+        self.matrix_next = (
+            np.stack([sim_next.value(g.name) for g in self.stems])
+            if sim_next is not None
+            else None
+        )
         self.reach = self._reachability()
         # Stable activity order over all stems: restricting it to any
         # source subset gives the same list as sorting that subset, so the
         # per-target OS3/IS3 rankings come from one sort per round.
-        activity = [self.estimator.activity(g) for g in self.stems]
-        self.act_order = sorted(range(len(self.stems)), key=activity.__getitem__)
+        self.activity = [self.estimator.activity(g) for g in self.stems]
+        self.act_order = sorted(
+            range(len(self.stems)), key=self.activity.__getitem__
+        )
+        self.act_order_array = np.asarray(self.act_order, dtype=np.intp)
 
     def _reachability(self) -> np.ndarray:
         """Boolean matrix: ``reach[i, j]`` iff stem j is i or in TFO(i)."""
@@ -198,60 +224,229 @@ class CandidateWorkspace:
         return direct, inverted
 
     # ------------------------------------------------------------------
-    def pair_compat(
+    def pair_tables(
         self,
         key: tuple[str, Optional[tuple[str, int]]],
         ranked: list[int],
         va: np.ndarray,
         obs: np.ndarray,
         cells: list,
-    ) -> np.ndarray:
-        """Upper-triangular compat table over ``ranked`` sources × cells.
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(compat, activity) tables over ``ranked`` sources × cells.
 
         ``compat[ai, bi, ci]`` (ai < bi) is True when the cell over the
-        ranked sources agrees with the target on every observable pattern.
+        ranked sources agrees with the target on every observable pattern;
+        ``activity[ai, bi, ci]`` is the switching activity the inserted
+        gate's output would have — the whole OS3/IS3 gain table in two
+        broadcast passes instead of one ``evaluate_cell`` per tuple.
         Cached per target/branch; entries self-validate against the array
         content they were computed from, so no eager invalidation needed.
         """
+        fresh = self._fresh.pop(key, None)
+        if fresh is not None:
+            # The round's batch precompute already validated (or rebuilt)
+            # this entry against the exact same content.
+            if fresh:
+                self.pair_cache_hits += 1
+            else:
+                self.pair_cache_misses += 1
+            cached = self._pair_cache[key]
+            return cached[6], cached[7]
         names = tuple(self.stems[i].name for i in ranked)
         cell_sig = tuple(c.name for c in cells)
+        rows, rows_next = self._ranked_rows(ranked)
+        if self._cache_valid(key, names, cell_sig, va, obs, rows, rows_next):
+            self.pair_cache_hits += 1
+            cached = self._pair_cache[key]
+            return cached[6], cached[7]
+        self.pair_cache_misses += 1
+        table, act = self._compute_pair_tables(rows, rows_next, va, obs, cells)
+        self._pair_cache[key] = (
+            names, cell_sig, va, obs, rows, rows_next, table, act,
+        )
+        return table, act
+
+    def _ranked_rows(
+        self, ranked: list[int]
+    ) -> tuple[np.ndarray, Optional[np.ndarray]]:
         rows = self.matrix[ranked] if ranked else np.zeros(
             (0, self.sim.nwords), dtype=np.uint64
         )
-        cached = self._pair_cache.get(key)
-        if cached is not None:
-            c_names, c_cells, c_va, c_obs, c_rows, c_table = cached
-            if (
-                c_names == names
-                and c_cells == cell_sig
-                and np.array_equal(c_va, va)
-                and np.array_equal(c_obs, obs)
-                and np.array_equal(c_rows, rows)
-            ):
-                self.pair_cache_hits += 1
-                return c_table
-        self.pair_cache_misses += 1
-        table = self._compute_pair_compat(rows, va, obs, cells)
-        self._pair_cache[key] = (names, cell_sig, va, obs, rows, table)
-        return table
+        rows_next = (
+            self.matrix_next[ranked]
+            if self.matrix_next is not None and ranked
+            else (None if self.matrix_next is None else rows[:0])
+        )
+        return rows, rows_next
 
-    def _compute_pair_compat(
+    def _cache_valid(
+        self, key, names, cell_sig, va, obs, rows, rows_next
+    ) -> bool:
+        cached = self._pair_cache.get(key)
+        if cached is None:
+            return False
+        (
+            c_names, c_cells, c_va, c_obs, c_rows, c_rows_next,
+            _c_table, _c_act,
+        ) = cached
+        next_match = (
+            c_rows_next is None
+            if rows_next is None
+            else c_rows_next is not None
+            and np.array_equal(c_rows_next, rows_next)
+        )
+        return (
+            c_names == names
+            and c_cells == cell_sig
+            and next_match
+            and np.array_equal(c_va, va)
+            and np.array_equal(c_obs, obs)
+            and np.array_equal(c_rows, rows)
+        )
+
+    def _ranked_sources(
+        self, source_mask: np.ndarray, limit: int
+    ) -> list[int]:
+        """First ``limit`` legal sources in the round's activity order."""
+        order = self.act_order_array
+        return order[source_mask[order]][:limit].tolist()
+
+    def _precompute_pair_tables(self, options: "CandidateOptions") -> None:
+        """Batch-(re)build every pair table this round's enumeration needs.
+
+        Computing the tables one target at a time spends more wall clock on
+        numpy dispatch than on bit-math; stacking all stale targets of equal
+        source-list length into one broadcast pass amortises it.  Results
+        land in ``_pair_cache`` exactly as the per-target path would have
+        left them, and reuse accounting is deferred to :meth:`pair_tables`.
+        """
+        cells = self._round_cells
+        if cells is None:
+            cells = _two_input_cells(self.netlist, options)
+        if not cells:
+            return
+        limit = options.pair_source_limit
+        jobs: list[tuple] = []
+        if options.enable_os3:
+            for target in self.stems:
+                if target.is_input or not target.fanout_count():
+                    continue
+                jobs.append((
+                    (target.name, None),
+                    self._ranked_sources(
+                        self.legal_sources(target, target), limit
+                    ),
+                    self.sim.value(target.name),
+                    self.maps.stem[target.name],
+                ))
+        if options.enable_is3:
+            for target in self.stems:
+                if target.fanout_count() < 2:
+                    continue
+                for sink, pin in list(target.fanouts):
+                    jobs.append((
+                        (target.name, (sink.name, pin)),
+                        self._ranked_sources(
+                            self.legal_sources(sink, target), limit
+                        ),
+                        self.sim.value(target.name),
+                        self.maps.branch(sink, pin),
+                    ))
+        cell_sig = tuple(c.name for c in cells)
+        by_k: dict[int, list[tuple]] = {}
+        for key, ranked, va, obs in jobs:
+            names = tuple(self.stems[i].name for i in ranked)
+            rows, rows_next = self._ranked_rows(ranked)
+            if self._cache_valid(
+                key, names, cell_sig, va, obs, rows, rows_next
+            ):
+                self._fresh[key] = True
+                continue
+            self._fresh[key] = False
+            by_k.setdefault(len(ranked), []).append(
+                (key, names, va, obs, rows, rows_next)
+            )
+        for k, group in by_k.items():
+            if k < 2:
+                for key, names, va, obs, rows, rows_next in group:
+                    table = np.zeros((k, k, len(cells)), dtype=bool)
+                    act = np.zeros((k, k, len(cells)), dtype=np.float64)
+                    self._pair_cache[key] = (
+                        names, cell_sig, va, obs, rows, rows_next, table, act,
+                    )
+                continue
+            rows_b = np.stack([job[4] for job in group])
+            rows_next_b = (
+                np.stack([job[5] for job in group])
+                if group[0][5] is not None
+                else None
+            )
+            va_b = np.stack([job[2] for job in group])
+            obs_b = np.stack([job[3] for job in group])
+            tables, acts = self._compute_pair_tables_batch(
+                rows_b, rows_next_b, va_b, obs_b, cells
+            )
+            for ji, (key, names, va, obs, rows, rows_next) in enumerate(
+                group
+            ):
+                self._pair_cache[key] = (
+                    names, cell_sig, va, obs, rows, rows_next,
+                    tables[ji], acts[ji],
+                )
+
+    def _compute_pair_tables(
         self,
         rows: np.ndarray,
+        rows_next: Optional[np.ndarray],
         va: np.ndarray,
         obs: np.ndarray,
         cells: list,
-    ) -> np.ndarray:
+    ) -> tuple[np.ndarray, np.ndarray]:
         k = len(rows)
+        total = self.sim.num_patterns
         table = np.zeros((k, k, len(cells)), dtype=bool)
+        act = np.zeros((k, k, len(cells)), dtype=np.float64)
         if k < 2:
-            return table
+            return table, act
         wa = rows[:, None, :]  # (k, 1, w)
         wb = rows[None, :, :]  # (1, k, w)
+        if rows_next is not None:
+            na = rows_next[:, None, :]
+            nb = rows_next[None, :, :]
+        # Complement pairs (AND/NAND, OR/NOR, XOR/XNOR) share one kernel
+        # evaluation: with d = (word ^ va) & obs the complement's masked
+        # disagreement is d ^ obs, and its switching activity is identical
+        # (~w ^ ~w' == w ^ w'; 2p(1-p) is symmetric in p <-> 1-p).
+        done: dict[int, tuple[np.ndarray, int]] = {}
+        full_words = total == 64 * self.sim.nwords
         for ci, cell in enumerate(cells):
-            word = _two_input_word(cell.function.bits, wa, wb)
+            bits = cell.function.bits
+            mate = done.get(~bits & 0b1111)
+            if mate is not None:
+                d_mate, mi = mate
+                table[:, :, ci] = ~((d_mate ^ obs).any(axis=2))
+                if rows_next is not None or full_words:
+                    act[:, :, ci] = act[:, :, mi]
+                else:
+                    # Padding bits flip under complement, so the shortcut
+                    # is only exact when every word bit is a pattern.
+                    word = _two_input_word(bits, wa, wb)
+                    p = popcount_lastaxis(word) / total
+                    act[:, :, ci] = 2.0 * p * (1.0 - p)
+                continue
+            word = _two_input_word(bits, wa, wb)
             if word is not None:
-                table[:, :, ci] = ~(((word ^ va) & obs).any(axis=2))
+                d = (word ^ va) & obs
+                table[:, :, ci] = ~(d.any(axis=2))
+                if rows_next is not None:
+                    word_next = _two_input_word(bits, na, nb)
+                    act[:, :, ci] = (
+                        popcount_lastaxis(word ^ word_next) / total
+                    )
+                else:
+                    p = popcount_lastaxis(word) / total
+                    act[:, :, ci] = 2.0 * p * (1.0 - p)
+                done[bits] = (d, ci)
                 continue
             # Odd cell without a broadcast fast path: per-pair fallback.
             for ai in range(k):
@@ -260,7 +455,97 @@ class CandidateWorkspace:
                         cell, [rows[ai], rows[bi]], self.sim.nwords
                     )
                     table[ai, bi, ci] = not ((w ^ va) & obs).any()
-        return table
+                    if rows_next is not None:
+                        w_next = evaluate_cell(
+                            cell,
+                            [rows_next[ai], rows_next[bi]],
+                            self.sim.nwords,
+                        )
+                        act[ai, bi, ci] = popcount(w ^ w_next) / total
+                    else:
+                        p = popcount(w) / total
+                        act[ai, bi, ci] = 2.0 * p * (1.0 - p)
+        return table, act
+
+    def _compute_pair_tables_batch(
+        self,
+        rows: np.ndarray,
+        rows_next: Optional[np.ndarray],
+        va: np.ndarray,
+        obs: np.ndarray,
+        cells: list,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`_compute_pair_tables` over a job axis.
+
+        ``rows`` is ``(jobs, k, words)``; ``va``/``obs`` are ``(jobs,
+        words)``.  Purely elementwise over the extra axis, so each slice
+        is bit-identical to the per-target computation.
+        """
+        j, k, _w = rows.shape
+        total = self.sim.num_patterns
+        table = np.zeros((j, k, k, len(cells)), dtype=bool)
+        act = np.zeros((j, k, k, len(cells)), dtype=np.float64)
+        wa = rows[:, :, None, :]  # (j, k, 1, w)
+        wb = rows[:, None, :, :]  # (j, 1, k, w)
+        if rows_next is not None:
+            na = rows_next[:, :, None, :]
+            nb = rows_next[:, None, :, :]
+        va_b = va[:, None, None, :]
+        obs_b = obs[:, None, None, :]
+        done: dict[int, tuple[np.ndarray, int]] = {}
+        full_words = total == 64 * self.sim.nwords
+        for ci, cell in enumerate(cells):
+            bits = cell.function.bits
+            mate = done.get(~bits & 0b1111)
+            if mate is not None:
+                d_mate, mi = mate
+                table[:, :, :, ci] = ~((d_mate ^ obs_b).any(axis=3))
+                if rows_next is not None or full_words:
+                    act[:, :, :, ci] = act[:, :, :, mi]
+                else:
+                    word = _two_input_word(bits, wa, wb)
+                    p = popcount_lastaxis(word) / total
+                    act[:, :, :, ci] = 2.0 * p * (1.0 - p)
+                continue
+            word = _two_input_word(bits, wa, wb)
+            if word is not None:
+                d = (word ^ va_b) & obs_b
+                table[:, :, :, ci] = ~(d.any(axis=3))
+                if rows_next is not None:
+                    word_next = _two_input_word(bits, na, nb)
+                    act[:, :, :, ci] = (
+                        popcount_lastaxis(word ^ word_next) / total
+                    )
+                else:
+                    p = popcount_lastaxis(word) / total
+                    act[:, :, :, ci] = 2.0 * p * (1.0 - p)
+                done[bits] = (d, ci)
+                continue
+            # Odd cell without a broadcast fast path: per-pair fallback.
+            for ji in range(j):
+                for ai in range(k):
+                    for bi in range(ai + 1, k):
+                        w = evaluate_cell(
+                            cell,
+                            [rows[ji, ai], rows[ji, bi]],
+                            self.sim.nwords,
+                        )
+                        table[ji, ai, bi, ci] = not (
+                            (w ^ va[ji]) & obs[ji]
+                        ).any()
+                        if rows_next is not None:
+                            w_next = evaluate_cell(
+                                cell,
+                                [rows_next[ji, ai], rows_next[ji, bi]],
+                                self.sim.nwords,
+                            )
+                            act[ji, ai, bi, ci] = (
+                                popcount(w ^ w_next) / total
+                            )
+                        else:
+                            p = popcount(w) / total
+                            act[ji, ai, bi, ci] = 2.0 * p * (1.0 - p)
+        return table, act
 
     # ------------------------------------------------------------------
     def generate(
@@ -269,6 +554,12 @@ class CandidateWorkspace:
         """All simulation-compatible substitutions, best quick gain first."""
         options = options or CandidateOptions()
         self._refresh_round()
+        self._fresh.clear()
+        if options.enable_os3 or options.enable_is3:
+            self._round_cells = _two_input_cells(self.netlist, options)
+            self._precompute_pair_tables(options)
+        else:
+            self._round_cells = None
         collected: list[Candidate] = []
 
         if options.enable_os2 or options.enable_os3:
@@ -310,7 +601,12 @@ def _two_input_cells(netlist: Netlist, options: CandidateOptions):
 
 def _rank_key(candidate: Candidate) -> tuple[float, str]:
     """Best quick gain first; equal gains in canonical candidate-ID order."""
-    return (-candidate.quick, candidate.substitution.candidate_id())
+    key = candidate._key
+    if key is None:
+        key = candidate._key = (
+            -candidate.quick, candidate.substitution.candidate_id()
+        )
+    return key
 
 
 def _keep_best(
@@ -342,11 +638,24 @@ def _stem_candidates(
 ) -> list[Candidate]:
     """OS2/OS3 candidates for one stem."""
     estimator = workspace.estimator
+    netlist = workspace.netlist
     obs = workspace.maps.stem[target.name]
     va = workspace.sim.value(target.name)
     source_mask = workspace.legal_sources(target, target)
-    sources = np.nonzero(source_mask)[0]
     direct, inverted = workspace.compatible_rows(va, obs)
+
+    # Output substitutions from sources outside the dying region all share
+    # the region, its released power, and the moved load — computed once
+    # per target and reused across OS2 singles and the OS3 pair table.
+    region = dominated_region(netlist, target)
+    pg_a = region_power(estimator, region)
+    moved = netlist.load_of(target)
+    area_base = -sum(g.cell.area for g in region if not g.is_input)
+    region_ids = {id(g) for g in region}
+    dying = [g.name for g in region]
+    region_info = (region, pg_a, moved, area_base, region_ids, dying)
+    library = netlist.library
+    inverter = library.inverter() if library is not None else None
 
     found: list[Candidate] = []
     if options.constant_substitution:
@@ -354,27 +663,58 @@ def _stem_candidates(
             workspace, target, None, va, obs, options, found
         )
     if options.enable_os2:
-        for i in sources:
-            name = workspace.stems[i].name
-            if direct[i]:
-                _try_candidate(
-                    estimator,
-                    Substitution(OS2, target.name, name),
-                    found,
-                    options.min_quick_gain,
+        # Compatible sources are sparse: enumerate just the hits instead
+        # of testing every legal stem.  (Emission order differs from the
+        # per-index walk, but _keep_best re-sorts deterministically.)
+        hits: list[tuple[np.ndarray, bool]] = [
+            (np.nonzero(source_mask & direct)[0], False)
+        ]
+        if options.allow_inversion:
+            hits.append(
+                (np.nonzero(source_mask & inverted & ~direct)[0], True)
+            )
+        for indices, invert in hits:
+            for i in indices:
+                gate_i = workspace.stems[i]
+                substitution = Substitution(
+                    OS2, target.name, gate_i.name, invert1=invert
                 )
-            elif options.allow_inversion and inverted[i]:
-                _try_candidate(
-                    estimator,
-                    Substitution(OS2, target.name, name, invert1=True),
-                    found,
-                    options.min_quick_gain,
+                if id(gate_i) in region_ids or (
+                    invert and inverter is None
+                ):
+                    # A source inside the region reshapes it: exact path.
+                    _try_candidate(
+                        estimator, substitution, found,
+                        options.min_quick_gain,
+                    )
+                    continue
+                act_src = workspace.activity[i]
+                if invert:
+                    pg_b = -(
+                        inverter.pins[0].load * act_src + moved * act_src
+                    )
+                    area_delta = area_base + inverter.area
+                else:
+                    pg_b = -(moved * act_src)
+                    area_delta = area_base
+                gain = GainBreakdown(
+                    pg_a=pg_a,
+                    pg_b=pg_b,
+                    area_delta=area_delta,
+                    dying=list(dying),
                 )
+                if (
+                    options.min_quick_gain is not None
+                    and gain.quick < options.min_quick_gain
+                ):
+                    continue
+                found.append(Candidate(substitution, gain))
 
     if options.enable_os3:
         found.extend(
             _pair_candidates(
-                workspace, target, None, va, obs, source_mask, options
+                workspace, target, None, va, obs, source_mask, options,
+                region_info,
             )
         )
     return _keep_best(found, options.max_per_target)
@@ -389,12 +729,21 @@ def _branch_candidates(
 ) -> list[Candidate]:
     """IS2/IS3 candidates for one branch of ``target``."""
     estimator = workspace.estimator
+    netlist = workspace.netlist
     obs = workspace.maps.branch(sink, pin)
     va = workspace.sim.value(target.name)
     source_mask = workspace.legal_sources(sink, target)
-    sources = np.nonzero(source_mask)[0]
     direct, inverted = workspace.compatible_rows(va, obs)
     branch = (sink.name, pin)
+
+    # The target keeps its other fanouts (the caller guarantees >= 2), so
+    # the dying region is empty for every branch substitution: the gain
+    # scalars are shared across IS2 singles and the IS3 pair table.
+    moved = sink.cell.pins[pin].load
+    pg_a = moved * estimator.activity(target)
+    region_info = (None, pg_a, moved, 0, set(), [])
+    library = netlist.library
+    inverter = library.inverter() if library is not None else None
 
     found: list[Candidate] = []
     if options.constant_substitution:
@@ -402,32 +751,67 @@ def _branch_candidates(
             workspace, target, branch, va, obs, options, found
         )
     if options.enable_is2:
-        for i in sources:
-            name = workspace.stems[i].name
-            if direct[i]:
-                _try_candidate(
-                    estimator,
-                    Substitution(IS2, target.name, name, branch=branch),
-                    found,
-                    options.min_quick_gain,
+        hits: list[tuple[np.ndarray, bool]] = [
+            (np.nonzero(source_mask & direct)[0], False)
+        ]
+        if options.allow_inversion:
+            hits.append(
+                (np.nonzero(source_mask & inverted & ~direct)[0], True)
+            )
+        for indices, invert in hits:
+            for i in indices:
+                name = workspace.stems[i].name
+                substitution = Substitution(
+                    IS2, target.name, name, invert1=invert, branch=branch
                 )
-            elif options.allow_inversion and inverted[i]:
-                _try_candidate(
-                    estimator,
-                    Substitution(
-                        IS2, target.name, name, invert1=True, branch=branch
-                    ),
-                    found,
-                    options.min_quick_gain,
+                if invert and inverter is None:
+                    _try_candidate(
+                        estimator, substitution, found,
+                        options.min_quick_gain,
+                    )
+                    continue
+                act_src = workspace.activity[i]
+                if invert:
+                    pg_b = -(
+                        inverter.pins[0].load * act_src + moved * act_src
+                    )
+                    area_delta = inverter.area
+                else:
+                    pg_b = -(moved * act_src)
+                    area_delta = 0
+                gain = GainBreakdown(
+                    pg_a=pg_a, pg_b=pg_b, area_delta=area_delta, dying=[]
                 )
+                if (
+                    options.min_quick_gain is not None
+                    and gain.quick < options.min_quick_gain
+                ):
+                    continue
+                found.append(Candidate(substitution, gain))
 
     if options.enable_is3:
         found.extend(
             _pair_candidates(
-                workspace, target, branch, va, obs, source_mask, options
+                workspace, target, branch, va, obs, source_mask, options,
+                region_info,
             )
         )
     return _keep_best(found, options.max_per_target)
+
+
+#: Read-only ``k × k`` strict-upper-triangle masks, shared across targets
+#: (every target with the same ranked-list length uses the same mask).
+_UPPER_CACHE: dict[int, np.ndarray] = {}
+
+
+def _upper_mask(k: int) -> np.ndarray:
+    mask = _UPPER_CACHE.get(k)
+    if mask is None:
+        mask = np.zeros((k, k), dtype=bool)
+        if k >= 2:
+            mask[np.triu_indices(k, 1)] = True
+        _UPPER_CACHE[k] = mask
+    return mask
 
 
 def _two_input_word(bits: int, wa: np.ndarray, wb: np.ndarray):
@@ -484,45 +868,93 @@ def _pair_candidates(
     obs: np.ndarray,
     source_mask: np.ndarray,
     options: CandidateOptions,
+    region_info: Optional[tuple] = None,
 ) -> list[Candidate]:
     """OS3/IS3: insert a new 2-input gate over a short source list."""
     estimator = workspace.estimator
     netlist = workspace.netlist
-    cells = _two_input_cells(netlist, options)
+    cells = workspace._round_cells
+    if cells is None:
+        cells = _two_input_cells(netlist, options)
     if not cells:
         return []
     # Rank sources by activity: low-activity signals make cheap drivers.
     # The round's stable activity order restricted to the legal sources is
     # exactly what sorting them per target would give.
-    ranked: list[int] = []
-    for i in workspace.act_order:
-        if source_mask[i]:
-            ranked.append(i)
-            if len(ranked) == options.pair_source_limit:
-                break
+    ranked = workspace._ranked_sources(source_mask, options.pair_source_limit)
     kind = OS3 if branch is None else IS3
-    table = workspace.pair_compat((target.name, branch), ranked, va, obs, cells)
+    table, act = workspace.pair_tables(
+        (target.name, branch), ranked, va, obs, cells
+    )
+
+    # Per-target gain scalars: every surviving tuple shares the dying
+    # region (sources are ranked from *outside* it — see below), the PG_A
+    # sum, and the moved load, so the whole gain table is one broadcast
+    # per cell instead of one quick_gain per tuple.
+    if branch is None:
+        if region_info is not None:
+            region, pg_a, moved, area_base, region_ids, dying = region_info
+        else:
+            region = dominated_region(netlist, target)
+            pg_a = region_power(estimator, region)
+            moved = netlist.load_of(target)
+            dying = [g.name for g in region]
+            area_base = -sum(g.cell.area for g in region if not g.is_input)
+            region_ids = {id(g) for g in region}
+    elif region_info is not None:
+        _region, pg_a, moved, area_base, region_ids, dying = region_info
+    else:
+        sink = netlist.gate(branch[0])
+        moved = sink.cell.pins[branch[1]].load
+        pg_a = moved * estimator.activity(target)
+        dying = []
+        area_base = 0  # -sum over the empty region
+        region_ids = set()
+    # A source inside the unconstrained region would reshape it (the keep
+    # set binds); those rare tuples take the exact per-candidate path.
+    in_region = [id(workspace.stems[i]) in region_ids for i in ranked]
+    act_src = [workspace.activity[i] for i in ranked]
+
     found: list[Candidate] = []
     # argwhere yields (ai, bi, cell) in lexicographic order — identical to
     # the nested  for ai / for bi > ai / for cell  enumeration.
-    k = len(ranked)
-    upper = np.zeros((k, k), dtype=bool)
-    if k >= 2:
-        upper[np.triu_indices(k, 1)] = True
+    upper = _upper_mask(len(ranked))
     for ai, bi, ci in np.argwhere(table & upper[:, :, None]):
-        _try_candidate(
-            estimator,
-            Substitution(
-                kind,
-                target.name,
-                workspace.stems[ranked[ai]].name,
-                branch=branch,
-                source2=workspace.stems[ranked[bi]].name,
-                new_cell=cells[ci].name,
-            ),
-            found,
-            options.min_quick_gain,
+        substitution = Substitution(
+            kind,
+            target.name,
+            workspace.stems[ranked[ai]].name,
+            branch=branch,
+            source2=workspace.stems[ranked[bi]].name,
+            new_cell=cells[ci].name,
         )
+        if in_region[ai] or in_region[bi]:
+            _try_candidate(
+                estimator, substitution, found, options.min_quick_gain
+            )
+            continue
+        cell = cells[ci]
+        # Same grouping as the broadcast table this replaces, so the
+        # float is bit-identical to the vectorized computation.
+        pg_b = -(
+            (
+                cell.pins[0].load * act_src[ai]
+                + cell.pins[1].load * act_src[bi]
+            )
+            + moved * act[ai, bi, ci]
+        )
+        gain = GainBreakdown(
+            pg_a=pg_a,
+            pg_b=float(pg_b),
+            area_delta=area_base + cell.area,
+            dying=list(dying),
+        )
+        if (
+            options.min_quick_gain is not None
+            and gain.quick < options.min_quick_gain
+        ):
+            continue
+        found.append(Candidate(substitution, gain))
     return found
 
 

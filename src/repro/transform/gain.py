@@ -25,7 +25,8 @@ import numpy as np
 
 from repro.errors import TransformError
 from repro.netlist.netlist import Gate, Netlist
-from repro.netlist.simulate import SimState, evaluate_cell, popcount
+from repro.kernels.words import popcount
+from repro.netlist.simulate import SimState, evaluate_cell
 from repro.netlist.traverse import region_inputs
 from repro.power.estimate import PowerEstimator, transition_probability
 from repro.power.probability import SimulationProbability
@@ -72,7 +73,21 @@ def predict_dying_region(
         return []
 
     keep_ids = {id(netlist.gate(s)) for s in substitution.source_names()}
+    region = _grow_region(netlist, target, keep_ids)
+    # Sources must really be outside: if a source ended up dominated by the
+    # target the substitution is self-referential and invalid.
+    region_ids = {id(g) for g in region}
+    for source in substitution.source_names():
+        if id(netlist.gate(source)) in region_ids:
+            raise TransformError(
+                f"substitution source {source!r} lies in the dying region"
+            )
+    return region
 
+
+def _grow_region(
+    netlist: Netlist, target: Gate, keep_ids: set[int]
+) -> list[Gate]:
     region: list[Gate] = [target]
     region_ids = {id(target)}
     changed = True
@@ -94,14 +109,21 @@ def predict_dying_region(
                 region.append(gate)
                 region_ids.add(id(gate))
                 changed = True
-    # Sources must really be outside: if a source ended up dominated by the
-    # target the substitution is self-referential and invalid.
-    for source in substitution.source_names():
-        if id(netlist.gate(source)) in region_ids:
-            raise TransformError(
-                f"substitution source {source!r} lies in the dying region"
-            )
     return region
+
+
+def dominated_region(netlist: Netlist, target: Gate) -> list[Gate]:
+    """The unconstrained dying region of an output substitution of ``target``.
+
+    Equal to :func:`predict_dying_region` for any output substitution none
+    of whose sources lies inside this region (the keep set then never
+    binds, so the growth is identical step for step).  Candidate
+    generation computes it once per target and shares it across the whole
+    OS3 pair table.
+    """
+    if target.is_input:
+        return []
+    return _grow_region(netlist, target, set())
 
 
 def _branch_load(netlist: Netlist, substitution: Substitution) -> float:
@@ -131,6 +153,13 @@ def _pg_a(
         # Pure branch rewiring: only the branch load leaves the target stem.
         target = netlist.gate(substitution.target)
         return _branch_load(netlist, substitution) * estimator.activity(target)
+    return region_power(estimator, region)
+
+
+def region_power(estimator: PowerEstimator, region: list[Gate]) -> float:
+    """Power released when ``region`` dies: its own contributions plus the
+    load its gates present to surviving fanins (the ``PG_A`` sum)."""
+    netlist = estimator.netlist
     total = 0.0
     for gate in region:
         total += estimator.contribution(gate)

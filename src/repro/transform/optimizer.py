@@ -56,6 +56,7 @@ from repro.transform.gain import full_gain
 from repro.transform.permissible import (
     ABORTED,
     NOT_PERMISSIBLE,
+    PERMISSIBLE,
     check_candidate,
 )
 from repro.transform.report import MoveRecord, format_class_table
@@ -98,6 +99,14 @@ class OptimizeOptions:
     input_temporal_specs: Optional[dict] = None
     #: ATPG decision budget per permissibility check.
     backtrack_limit: int = 20000
+    #: Permissibility engine: ``"triage"`` (simulation counterexamples on
+    #: the live netlist first, then an incremental-SAT cone miter, with
+    #: the legacy PODEM+BDD oracle as fallback on budget exhaustion),
+    #: ``"podem"`` (the legacy staged oracle alone), or ``"both"`` (run
+    #: both engines on every candidate, tally agreement in the triage
+    #: counters, and raise on any hard disagreement — the cross-check
+    #: mode for tests and bring-up).
+    permissibility: str = "triage"
     #: Short-list size for the PG_C re-estimation during selection.
     preselect: int = 10
     #: Minimum accepted power gain (the paper stops at "no reduction").
@@ -165,6 +174,11 @@ class OptimizeOptions:
             raise ValueError(
                 "delay_limit and delay_slack_percent are mutually "
                 "exclusive; set at most one"
+            )
+        if self.permissibility not in ("triage", "podem", "both"):
+            raise ValueError(
+                f"unknown permissibility engine {self.permissibility!r}; "
+                f"choose 'triage', 'podem', or 'both'"
             )
 
 
@@ -421,15 +435,50 @@ class PowerOptimizer:
             <= self.constraint.limit + 1e-9
         )
 
+    @property
+    def triage_checker(self):
+        """The triage permissibility engine, ``None`` until first built."""
+        return self.ctx.peek("triage")
+
     def check_candidate(self, substitution: Substitution) -> str:
-        result = check_candidate(
+        mode = self.options.permissibility
+        if mode == "podem":
+            result = check_candidate(
+                self.netlist,
+                substitution,
+                backtrack_limit=self.options.backtrack_limit,
+            )
+        else:
+            triage = self.ctx.get("triage")
+            result = triage.check(substitution)
+            if mode == "both":
+                result = self._cross_check_permissibility(
+                    triage, substitution, result
+                )
+        if self.tracer is not None:
+            self.tracer.record_atpg(result)
+        return result.status
+
+    def _cross_check_permissibility(self, triage, substitution, result):
+        """``permissibility="both"``: confirm triage against the legacy oracle."""
+        legacy = check_candidate(
             self.netlist,
             substitution,
             backtrack_limit=self.options.backtrack_limit,
         )
-        if self.tracer is not None:
-            self.tracer.record_atpg(result)
-        return result.status
+        decided = (PERMISSIBLE, NOT_PERMISSIBLE)
+        if result.status in decided and legacy.status in decided:
+            if result.status != legacy.status:
+                triage.counters["podem_disagree"] += 1
+                raise TransformError(
+                    f"permissibility engines disagree on {substitution}: "
+                    f"triage says {result.status} (stage {result.stage!r}), "
+                    f"PODEM says {legacy.status} (stage {legacy.stage!r})"
+                )
+            triage.counters["podem_agree"] += 1
+            return result
+        # One engine aborted: the decided verdict (if any) wins.
+        return result if result.status in decided else legacy
 
     def perform_substitution(self, candidate: Candidate) -> MoveRecord:
         power_before = self.estimator.total()

@@ -3,11 +3,27 @@
 A substitution is permissible iff the modified circuit computes the same
 primary-output functions as the original — equivalently, iff the global
 function of the substituting signal lies in the permissible-function set of
-the substituted signal (§3.2).  The check:
+the substituted signal (§3.2).  The legacy check:
 
 1. applies the substitution to a scratch copy,
 2. runs the equivalence oracle (simulation counterexample hunt, then the
    ATPG justifier on the miter).
+
+:class:`TriageChecker` is the fast front-end the optimizer uses by
+default (``OptimizeOptions.permissibility="triage"``).  It decides the
+same question without ever copying the netlist:
+
+1. **Simulation triage** — the substituting signal's value word is forced
+   over a cached fresh-pattern simulation of the *current* netlist and
+   propagated through the fanout cone; any differing primary-output word
+   yields an immediate counterexample (stage ``"sim"``),
+2. **SAT proof** — survivors go to an incremental CDCL miter: the base
+   Tseitin encoding of the current netlist is shared across candidates,
+   only the substitution's fanout cone is duplicated against the
+   substituting literal, and the per-candidate goal clause is activated
+   through an assumption literal (stage ``"sat"``),
+3. **Fallback** — a SAT budget exhaustion falls back to the legacy
+   copy-and-compare oracle, so verdicts never get *weaker* than before.
 
 Return values follow the paper exactly: ``PERMISSIBLE`` only on a *proof*;
 a counterexample yields ``NOT_PERMISSIBLE``; an ATPG abort also yields
@@ -19,10 +35,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from repro.atpg.podem import DEFAULT_BACKTRACK_LIMIT
 from repro.equiv.checker import EQUAL, NOT_EQUAL, check_equivalent
 from repro.errors import NetlistError, TransformError
 from repro.netlist.netlist import Netlist
+from repro.netlist.simulate import SimState, evaluate_cell, random_patterns
+from repro.netlist.traverse import topological_order, transitive_fanout
+from repro.sat.cnf import CnfFormula, cell_templates, tseitin_encode
+from repro.sat.dpll import SAT as SAT_STATUS
+from repro.sat.dpll import UNSAT as UNSAT_STATUS
+from repro.sat.incremental import IncrementalSolver
 from repro.transform.substitution import Substitution, apply_to_copy
 
 PERMISSIBLE = "permissible"
@@ -82,3 +106,283 @@ def check_candidate(
     return PermissibilityResult(
         ABORTED, stage=verdict.stage, backtracks=verdict.backtracks
     )
+
+
+class TriageChecker:
+    """Simulation-first, SAT-second permissibility for one netlist.
+
+    One instance serves every check against one (mutating) netlist: the
+    fresh-pattern simulation state and the base CNF + CDCL solver are
+    cached per structural state and rebuilt automatically after edits
+    (validated against the identity of the netlist's cached topological
+    order, the same coherence protocol as the packed simulation view).
+
+    ``counters`` tallies triage effectiveness for telemetry:
+    ``sim_kills`` (candidates rejected by the simulation stage),
+    ``sat_calls`` / ``sat_proofs`` / ``sat_cex``, ``fallbacks`` (SAT
+    budget exhausted, legacy oracle consulted), and — under the optimizer's
+    ``permissibility="both"`` cross-check — ``podem_agree`` /
+    ``podem_disagree``.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        backtrack_limit: int = DEFAULT_BACKTRACK_LIMIT,
+        num_patterns: int = 512,
+        seed: int = 7,
+        conflict_limit: int = 20_000,
+        bdd_node_limit: int = 200_000,
+    ):
+        self.netlist = netlist
+        self.backtrack_limit = backtrack_limit
+        self.num_patterns = num_patterns
+        self.seed = seed
+        self.conflict_limit = conflict_limit
+        self.bdd_node_limit = bdd_node_limit
+        self.counters = {
+            "sim_kills": 0,
+            "sat_calls": 0,
+            "sat_proofs": 0,
+            "sat_cex": 0,
+            "fallbacks": 0,
+            "podem_agree": 0,
+            "podem_disagree": 0,
+        }
+        self._sim_cache: Optional[tuple] = None
+        self._sat_cache: Optional[tuple] = None
+
+    # ------------------------------------------------------------------
+    # Per-netlist-state caches
+    # ------------------------------------------------------------------
+    def _state_key(self):
+        # The cached topo order is dropped on every structural edit, so
+        # its list identity names the netlist's structural state.
+        return topological_order(self.netlist)
+
+    def _sim_state(self) -> SimState:
+        key = self._state_key()
+        if self._sim_cache is None or self._sim_cache[0] is not key:
+            patterns = random_patterns(
+                self.netlist.input_names, self.num_patterns, self.seed
+            )
+            self._sim_cache = (key, SimState(self.netlist, patterns))
+        return self._sim_cache[1]
+
+    def _sat_state(self) -> tuple[CnfFormula, IncrementalSolver]:
+        key = self._state_key()
+        if self._sat_cache is None or self._sat_cache[0] is not key:
+            formula = tseitin_encode(self.netlist)
+            self._sat_cache = (key, formula, IncrementalSolver(formula))
+        return self._sat_cache[1], self._sat_cache[2]
+
+    # ------------------------------------------------------------------
+    def check(self, substitution: Substitution) -> PermissibilityResult:
+        """Decide whether ``substitution`` preserves the I/O behaviour."""
+        netlist = self.netlist
+        if not substitution.validate_against(netlist):
+            return PermissibilityResult(NOT_PERMISSIBLE, stage="apply")
+        if (substitution.invert1 or substitution.invert2) and (
+            netlist.library is None
+        ):
+            return PermissibilityResult(NOT_PERMISSIBLE, stage="apply")
+        if (
+            substitution.new_cell is not None
+            and netlist.library[substitution.new_cell].num_inputs != 2
+        ):
+            return PermissibilityResult(NOT_PERMISSIBLE, stage="apply")
+        if substitution.is_output_substitution():
+            root = netlist.gate(substitution.target)
+            affected = transitive_fanout(netlist, [root])
+        else:
+            root = netlist.gate(substitution.branch[0])
+            affected = [root] + transitive_fanout(netlist, [root])
+        # Rewiring a source inside its own fanout cone would create a
+        # combinational cycle; ``apply`` rejects that, so must we.
+        affected_names = {g.name for g in affected}
+        if any(s in affected_names for s in substitution.source_names()):
+            return PermissibilityResult(NOT_PERMISSIBLE, stage="apply")
+
+        if netlist.input_names and self.num_patterns:
+            cex = self._simulation_cex(substitution)
+            if cex is not None:
+                self.counters["sim_kills"] += 1
+                return PermissibilityResult(NOT_PERMISSIBLE, cex, stage="sim")
+        verdict = self._sat_verdict(substitution, affected)
+        if verdict is not None:
+            return verdict
+        # SAT budget exhausted: fall back to the legacy staged oracle.
+        self.counters["fallbacks"] += 1
+        return check_candidate(
+            netlist,
+            substitution,
+            backtrack_limit=self.backtrack_limit,
+            num_patterns=self.num_patterns,
+            seed=self.seed,
+            bdd_node_limit=self.bdd_node_limit,
+        )
+
+    # ------------------------------------------------------------------
+    # Stage 1: forced-overlay simulation on the current netlist
+    # ------------------------------------------------------------------
+    def _simulation_cex(
+        self, substitution: Substitution
+    ) -> Optional[dict[str, int]]:
+        from repro.transform.gain import _new_signal_word
+
+        netlist = self.netlist
+        sim = self._sim_state()
+        new_word = _new_signal_word(sim, netlist, substitution)
+        if substitution.is_output_substitution():
+            forced = {substitution.target: new_word}
+        else:
+            sink_name, pin = substitution.branch
+            sink = netlist.gate(sink_name)
+            fanin_words = [
+                new_word if i == pin else sim.value(f.name)
+                for i, f in enumerate(sink.fanins)
+            ]
+            forced = {
+                sink.name: evaluate_cell(sink.cell, fanin_words, sim.nwords)
+            }
+        overlay = sim.propagate_forced(forced)
+        for po in netlist.outputs:
+            driver = netlist.outputs[po].name
+            word = overlay.get(driver)
+            if word is None:
+                continue
+            diff = word ^ sim.value(driver)
+            nz = np.nonzero(diff)[0]
+            if nz.size:
+                index = int(nz[0])
+                bit = int(diff[index]).bit_length() - 1
+                return {
+                    name: int((int(sim.values[name][index]) >> bit) & 1)
+                    for name in netlist.input_names
+                }
+        return None
+
+    # ------------------------------------------------------------------
+    # Stage 2: incremental cone-duplicated SAT miter
+    # ------------------------------------------------------------------
+    def _new_signal_literal(
+        self, formula: CnfFormula, solver: IncrementalSolver, substitution
+    ) -> int:
+        """CNF literal computing the substituting signal."""
+        if substitution.is_constant:
+            var = formula.new_var()
+            solver.ensure_vars(formula.num_vars)
+            solver.add_clause(var if substitution.constant else -var)
+            return var
+        literal = formula.var_of[substitution.source1]
+        if substitution.invert1:
+            literal = -literal
+        if substitution.source2 is None:
+            return literal
+        literal2 = formula.var_of[substitution.source2]
+        if substitution.invert2:
+            literal2 = -literal2
+        cell = self.netlist.library[substitution.new_cell]
+        out = formula.new_var()
+        solver.ensure_vars(formula.num_vars)
+        _encode_function(solver, out, [literal, literal2], cell)
+        return out
+
+    def _sat_verdict(
+        self, substitution: Substitution, affected: list
+    ) -> Optional[PermissibilityResult]:
+        """PERMISSIBLE / NOT_PERMISSIBLE, or None when the budget ran out.
+
+        The miter shares the whole base encoding between the two sides:
+        only the gates in ``affected`` (the fanout cone of the rewired
+        point, in topological order) are duplicated, reading the
+        substituting literal in place of the rewired fanin.  Exact in
+        both directions — every side input is constrained by the base
+        netlist's clauses, never left free.
+        """
+        netlist = self.netlist
+        formula, solver = self._sat_state()
+        var_of = formula.var_of
+        new_literal = self._new_signal_literal(formula, solver, substitution)
+        output_sub = substitution.is_output_substitution()
+        target_name = substitution.target
+        branch = substitution.branch
+        copies: dict[str, int] = {}
+        for gate in affected:
+            literals = []
+            for pin, fanin in enumerate(gate.fanins):
+                copied = copies.get(fanin.name)
+                if copied is not None:
+                    literals.append(copied)
+                elif output_sub and fanin.name == target_name:
+                    literals.append(new_literal)
+                elif (
+                    not output_sub
+                    and gate.name == branch[0]
+                    and pin == branch[1]
+                ):
+                    literals.append(new_literal)
+                else:
+                    literals.append(var_of[fanin.name])
+            out = formula.new_var()
+            solver.ensure_vars(formula.num_vars)
+            _encode_function(solver, out, literals, gate.cell)
+            copies[gate.name] = out
+        activation = formula.new_var()
+        solver.ensure_vars(formula.num_vars)
+        diff_vars = []
+        for po in sorted(netlist.outputs):
+            driver = netlist.outputs[po]
+            new_side = copies.get(driver.name)
+            if new_side is None and output_sub and driver.name == target_name:
+                new_side = new_literal
+            if new_side is None:
+                continue  # this output's cone is untouched
+            old_side = var_of[driver.name]
+            diff = formula.new_var()
+            solver.ensure_vars(formula.num_vars)
+            solver.add_clause(-diff, old_side, new_side)
+            solver.add_clause(-diff, -old_side, -new_side)
+            solver.add_clause(diff, -old_side, new_side)
+            solver.add_clause(diff, old_side, -new_side)
+            diff_vars.append(diff)
+        if not diff_vars:
+            # No primary output depends on the rewired point.
+            return PermissibilityResult(PERMISSIBLE, stage="sat")
+        solver.add_clause(-activation, *diff_vars)
+        self.counters["sat_calls"] += 1
+        result = solver.solve([activation], conflict_limit=self.conflict_limit)
+        if result.status == UNSAT_STATUS:
+            self.counters["sat_proofs"] += 1
+            return PermissibilityResult(
+                PERMISSIBLE, stage="sat", backtracks=result.conflicts
+            )
+        if result.status == SAT_STATUS:
+            self.counters["sat_cex"] += 1
+            cex = {
+                name: int(result.model.get(var_of[name], False))
+                for name in netlist.input_names
+            }
+            return PermissibilityResult(
+                NOT_PERMISSIBLE, cex, stage="sat", backtracks=result.conflicts
+            )
+        return None
+
+
+def _encode_function(
+    solver: IncrementalSolver, out: int, fanin_literals: list[int], cell
+) -> None:
+    """Clauses forcing ``out <-> cell(fanin_literals)`` (signed literals)."""
+    onset, offset = cell_templates(cell)
+    for cube in onset:
+        clause = [out]
+        for var, polarity in cube:
+            literal = fanin_literals[var]
+            clause.append(-literal if polarity else literal)
+        solver.add_clause(*clause)
+    for cube in offset:
+        clause = [-out]
+        for var, polarity in cube:
+            literal = fanin_literals[var]
+            clause.append(-literal if polarity else literal)
+        solver.add_clause(*clause)

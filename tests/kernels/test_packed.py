@@ -1,0 +1,162 @@
+"""Parity of the packed flat-array kernels against per-gate evaluation.
+
+Every kernel in :mod:`repro.kernels.packed` must be bit-identical to the
+reference dict-walk (one :func:`evaluate_cell` per gate in topological
+order) — that is the contract that lets the hot paths swap in the packed
+view without perturbing a single move of the optimizer.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.packed import PackedCircuit, packed_view
+from repro.library.standard import standard_library
+from repro.netlist.simulate import evaluate_cell, random_patterns
+from repro.netlist.traverse import topological_order
+from tests.conftest import make_random_netlist
+
+LIB = standard_library()
+NWORDS = 4
+
+
+def reference_values(netlist, patterns, nwords):
+    """The per-gate dict-walk simulation the kernels must reproduce."""
+    values = {}
+    for gate in topological_order(netlist):
+        if gate.is_input:
+            values[gate.name] = np.asarray(patterns[gate.name], dtype=np.uint64)
+        else:
+            values[gate.name] = evaluate_cell(
+                gate.cell, [values[f.name] for f in gate.fanins], nwords
+            )
+    return values
+
+
+def build(seed, num_gates=20):
+    netlist = make_random_netlist(LIB, 5, num_gates, 3, seed=seed)
+    patterns = random_patterns(
+        netlist.input_names, NWORDS * 64, seed=seed + 1
+    )
+    return netlist, patterns
+
+
+class TestSimulateParity:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_matches_dict_walk(self, seed):
+        netlist, patterns = build(seed)
+        packed = PackedCircuit(netlist)
+        matrix = packed.simulate(patterns, NWORDS)
+        expected = reference_values(netlist, patterns, NWORDS)
+        for i, name in enumerate(packed.names):
+            assert np.array_equal(matrix[i], expected[name]), name
+
+    def test_inputs_copied_into_rows(self):
+        netlist, patterns = build(3)
+        packed = PackedCircuit(netlist)
+        matrix = packed.simulate(patterns, NWORDS)
+        for i in packed.input_idx:
+            assert np.array_equal(matrix[i], patterns[packed.names[i]])
+
+
+class TestOverlayParity:
+    """propagate_overlay == full resimulation with the stem pinned."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), pick=st.integers(0, 10**6))
+    def test_forced_complement(self, seed, pick):
+        netlist, patterns = build(seed)
+        packed = PackedCircuit(netlist)
+        matrix = packed.simulate(patterns, NWORDS)
+        logic = [
+            i for i, g in enumerate(packed.order) if not g.is_input
+        ]
+        root = logic[pick % len(logic)]
+        forced_word = ~matrix[root]
+        overlay = packed.propagate_overlay(matrix, {root: forced_word})
+
+        # Reference: dict walk with the root's value pinned.
+        pinned = {}
+        for gate in topological_order(netlist):
+            i = packed.index[gate.name]
+            if i == root:
+                pinned[gate.name] = forced_word
+            elif gate.is_input:
+                pinned[gate.name] = np.asarray(
+                    patterns[gate.name], dtype=np.uint64
+                )
+            else:
+                pinned[gate.name] = evaluate_cell(
+                    gate.cell,
+                    [pinned[f.name] for f in gate.fanins],
+                    NWORDS,
+                )
+        for i, name in enumerate(packed.names):
+            composed = overlay.get(i, matrix[i])
+            assert np.array_equal(composed, pinned[name]), name
+
+    def test_empty_forced_is_empty(self):
+        netlist, patterns = build(11)
+        packed = PackedCircuit(netlist)
+        matrix = packed.simulate(patterns, NWORDS)
+        assert packed.propagate_overlay(matrix, {}) == {}
+
+    def test_overlay_never_mutates_matrix(self):
+        netlist, patterns = build(5)
+        packed = PackedCircuit(netlist)
+        matrix = packed.simulate(patterns, NWORDS)
+        before = matrix.copy()
+        logic = [i for i, g in enumerate(packed.order) if not g.is_input]
+        packed.propagate_overlay(matrix, {logic[0]: ~matrix[logic[0]]})
+        assert np.array_equal(matrix, before)
+
+
+class TestFlipMaskParity:
+    """flip_mask == OR over PO drivers of the pinned-resim XOR committed."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), pick=st.integers(0, 10**6))
+    def test_matches_brute_force(self, seed, pick):
+        netlist, patterns = build(seed)
+        packed = PackedCircuit(netlist)
+        matrix = packed.simulate(patterns, NWORDS)
+        logic = [i for i, g in enumerate(packed.order) if not g.is_input]
+        root = logic[pick % len(logic)]
+        mask = packed.flip_mask(matrix, root, NWORDS)
+
+        pinned = {}
+        for gate in topological_order(netlist):
+            i = packed.index[gate.name]
+            if i == root:
+                pinned[gate.name] = ~matrix[root]
+            elif gate.is_input:
+                pinned[gate.name] = np.asarray(
+                    patterns[gate.name], dtype=np.uint64
+                )
+            else:
+                pinned[gate.name] = evaluate_cell(
+                    gate.cell,
+                    [pinned[f.name] for f in gate.fanins],
+                    NWORDS,
+                )
+        expected = np.zeros(NWORDS, dtype=np.uint64)
+        for driver in {g.name for g in netlist.outputs.values()}:
+            expected |= pinned[driver] ^ matrix[packed.index[driver]]
+        assert np.array_equal(mask, expected)
+
+
+class TestPackedViewCoherence:
+    def test_view_is_shared(self):
+        netlist, _ = build(7)
+        assert packed_view(netlist) is packed_view(netlist)
+
+    def test_rebuilt_after_structural_edit(self):
+        netlist, _ = build(9)
+        view = packed_view(netlist)
+        # Every structural edit drops the cached topological order, which
+        # keys the packed view's validity.
+        netlist._invalidate()
+        fresh = packed_view(netlist)
+        assert fresh is not view
+        assert fresh.names == view.names

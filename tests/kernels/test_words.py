@@ -1,0 +1,79 @@
+"""Word-width validation and popcount backend agreement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NetlistError
+from repro.kernels.words import (
+    ALL_ONES,
+    WORD_BITS,
+    WORD_DTYPE,
+    _popcount_bigint,
+    _popcount_lut,
+    popcount,
+    popcount_lastaxis,
+    validate_num_patterns,
+)
+
+words = st.lists(
+    st.integers(0, 2**WORD_BITS - 1), min_size=0, max_size=12
+).map(lambda xs: np.asarray(xs, dtype=WORD_DTYPE))
+
+
+class TestValidateNumPatterns:
+    def test_word_counts(self):
+        assert validate_num_patterns(WORD_BITS) == 1
+        assert validate_num_patterns(8 * WORD_BITS) == 8
+
+    @pytest.mark.parametrize("bad", [0, -WORD_BITS, 1, WORD_BITS - 1, WORD_BITS + 1])
+    def test_rejects_non_multiples(self, bad):
+        with pytest.raises(NetlistError, match=str(WORD_BITS)):
+            validate_num_patterns(bad)
+
+    def test_context_in_message(self):
+        with pytest.raises(NetlistError, match="num_patterns"):
+            validate_num_patterns(7, context="num_patterns")
+
+    def test_constants_consistent(self):
+        assert np.dtype(WORD_DTYPE).itemsize * 8 == WORD_BITS
+        assert int(ALL_ONES) == 2**WORD_BITS - 1
+
+
+class TestPopcountBackends:
+    """Every backend totals the same bits, always."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(arr=words)
+    def test_backends_agree(self, arr):
+        expected = sum(int(w).bit_count() for w in arr)
+        assert popcount(arr) == expected
+        assert _popcount_lut(arr) == expected
+        assert _popcount_bigint(arr) == expected
+
+    def test_extremes(self):
+        zeros = np.zeros(5, dtype=WORD_DTYPE)
+        ones = np.full(5, ALL_ONES, dtype=WORD_DTYPE)
+        assert popcount(zeros) == 0
+        assert popcount(ones) == 5 * WORD_BITS
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_lastaxis_matches_scalar(self, data):
+        a = data.draw(st.integers(1, 4))
+        b = data.draw(st.integers(1, 4))
+        w = data.draw(st.integers(1, 3))
+        flat = data.draw(
+            st.lists(
+                st.integers(0, 2**WORD_BITS - 1),
+                min_size=a * b * w,
+                max_size=a * b * w,
+            )
+        )
+        arr = np.asarray(flat, dtype=WORD_DTYPE).reshape(a, b, w)
+        per_entry = popcount_lastaxis(arr)
+        assert per_entry.shape == (a, b)
+        for i in range(a):
+            for j in range(b):
+                assert per_entry[i, j] == popcount(arr[i, j])

@@ -152,13 +152,15 @@ class TestCorruptionDetection:
         workspace = h.optimizer._workspace
         assert workspace._pair_cache, "expected cached OS3/IS3 tables"
         key, entry = next(iter(workspace._pair_cache.items()))
-        names, cells, va, obs, rows, table = entry
+        names, cells, va, obs, rows, rows_next, table, act = entry
         if not table.any():
             table = table.copy()
             table.flat[0] = True
         else:
             table = ~table
-        workspace._pair_cache[key] = (names, cells, va, obs, rows, table)
+        workspace._pair_cache[key] = (
+            names, cells, va, obs, rows, rows_next, table, act,
+        )
         h.expect(X_PAIR_TABLE)
 
     def test_x002_value_for_dead_gate(self):

@@ -190,7 +190,7 @@ class TestPopcount:
         assert popcount(words) == 3 + 64
 
     def test_lut_fallback_matches(self):
-        from repro.netlist.simulate import _popcount_lut
+        from repro.kernels.words import _popcount_lut
 
         rng = np.random.default_rng(11)
         words = rng.integers(0, 2**64, size=257, dtype=np.uint64)
@@ -199,7 +199,7 @@ class TestPopcount:
         assert popcount(words) == expected
 
     def test_lut_fallback_edge_words(self):
-        from repro.netlist.simulate import _popcount_lut
+        from repro.kernels.words import _popcount_lut
 
         words = np.array([0, 0xFFFFFFFFFFFFFFFF, 1 << 63, 0xF0F0], dtype=np.uint64)
         assert _popcount_lut(words) == 0 + 64 + 1 + 8

@@ -276,7 +276,7 @@ class TestTracedRuns:
         for move in result.trace.moves:
             assert move.candidate_id in replayed
             assert move.atpg_status == "permissible"
-            assert move.atpg_stage in ("simulation", "atpg", "bdd")
+            assert move.atpg_stage in ("simulation", "atpg", "bdd", "sim", "sat")
             assert move.atpg_backtracks >= 0
 
     def test_candidate_class_counts_cover_the_pool(self, lib):

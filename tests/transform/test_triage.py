@@ -1,0 +1,169 @@
+"""The triage permissibility front-end agrees with the legacy oracle.
+
+The whole point of ``permissibility="triage"`` is that it is a pure
+performance change: same verdicts, same move sequences, same final
+netlists.  These tests pin that equivalence from three angles — verdict
+agreement per substitution, counter consistency, and end-to-end move
+sequence equality — plus the option-validation and cross-check plumbing.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.power.estimate import PowerEstimator
+from repro.power.probability import SimulationProbability
+from repro.transform.candidates import CandidateWorkspace
+from repro.transform.optimizer import (
+    OptimizeOptions,
+    PowerOptimizer,
+    power_optimize,
+)
+from repro.transform.permissible import (
+    NOT_PERMISSIBLE,
+    PERMISSIBLE,
+    TriageChecker,
+    check_candidate,
+)
+from repro.transform.substitution import IS2, OS2, OS3, Substitution
+from tests.conftest import make_random_netlist
+
+
+def workspace_for(netlist, num_patterns=256, seed=3):
+    engine = SimulationProbability(
+        netlist, num_patterns=num_patterns, seed=seed
+    )
+    return CandidateWorkspace(PowerEstimator(netlist, engine))
+
+
+class TestTriageVerdicts:
+    def test_paper_move_is_permissible(self, figure2):
+        d = figure2.gate("d")
+        pin = [i for i, g in enumerate(d.fanins) if g.name == "a"][0]
+        sub = Substitution(IS2, "a", "e", branch=("d", pin))
+        result = TriageChecker(figure2).check(sub)
+        assert result.status == PERMISSIBLE
+        assert result.stage == "sat"
+
+    def test_wrong_move_killed_by_simulation(self, figure2):
+        result = TriageChecker(figure2).check(Substitution(OS2, "d", "e"))
+        assert result.status == NOT_PERMISSIBLE
+        assert result.stage == "sim"
+        assert result.counterexample is not None
+
+    def test_stale_target_rejected_at_apply(self, figure2):
+        result = TriageChecker(figure2).check(
+            Substitution(OS2, "nonexistent", "e")
+        )
+        assert result.status == NOT_PERMISSIBLE
+        assert result.stage == "apply"
+
+    def test_cycle_rejected_at_apply(self, builder):
+        a, b = builder.inputs("a", "b")
+        g1 = builder.and_(a, b, name="g1")
+        g2 = builder.not_(g1, name="g2")
+        builder.output("o", g2)
+        nl = builder.build()
+        result = TriageChecker(nl).check(Substitution(OS2, "g1", "g2"))
+        assert result.status == NOT_PERMISSIBLE
+        assert result.stage == "apply"
+
+    def test_os3_permissible(self, figure2):
+        sub = Substitution(OS3, "e", "a", source2="b", new_cell="and2")
+        assert TriageChecker(figure2).check(sub).status == PERMISSIBLE
+
+    def test_counterexample_names_every_input(self, figure2):
+        result = TriageChecker(figure2).check(Substitution(OS2, "d", "e"))
+        assert set(result.counterexample) == set(figure2.input_names)
+        assert all(v in (0, 1) for v in result.counterexample.values())
+
+
+class TestAgreementWithLegacyOracle:
+    """Per-substitution verdicts match ``check_candidate`` exactly."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_generated_candidates_agree(self, lib, seed):
+        netlist = make_random_netlist(lib, 5, 14, 3, seed=seed)
+        pool = workspace_for(netlist).generate()
+        triage = TriageChecker(netlist)
+        for candidate in pool[:12]:
+            sub = candidate.substitution
+            fast = triage.check(sub)
+            exact = check_candidate(netlist, sub)
+            assert fast.status == exact.status, sub
+        counters = triage.counters
+        assert counters["sat_calls"] == (
+            counters["sat_proofs"] + counters["sat_cex"]
+        )
+        assert counters["fallbacks"] == 0
+
+    def test_counters_tally_stages(self, figure2):
+        triage = TriageChecker(figure2)
+        triage.check(Substitution(OS2, "d", "e"))  # sim kill
+        d = figure2.gate("d")
+        pin = [i for i, g in enumerate(d.fanins) if g.name == "a"][0]
+        triage.check(Substitution(IS2, "a", "e", branch=("d", pin)))  # proof
+        assert triage.counters["sim_kills"] == 1
+        assert triage.counters["sat_proofs"] == 1
+
+
+class TestEndToEndEquivalence:
+    """Same moves, same final power, whichever engine decides."""
+
+    @settings(max_examples=4, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_move_sequences_identical(self, lib, seed):
+        results = {}
+        for mode in ("podem", "triage"):
+            netlist = make_random_netlist(lib, 6, 20, 3, seed=seed)
+            options = OptimizeOptions(
+                num_patterns=256, max_rounds=3, permissibility=mode
+            )
+            results[mode] = power_optimize(netlist, options)
+        podem, triage = results["podem"], results["triage"]
+        assert [
+            m.substitution.candidate_id() for m in podem.moves
+        ] == [m.substitution.candidate_id() for m in triage.moves]
+        assert podem.final_power == triage.final_power
+        assert podem.final_area == triage.final_area
+
+    def test_both_mode_cross_checks_cleanly(self, lib):
+        netlist = make_random_netlist(lib, 6, 20, 3, seed=17)
+        options = OptimizeOptions(
+            num_patterns=256, max_rounds=2, permissibility="both"
+        )
+        optimizer = PowerOptimizer(netlist, options)
+        optimizer.run()
+        counters = optimizer.triage_checker.counters
+        assert counters["podem_disagree"] == 0
+        assert counters["podem_agree"] > 0
+
+
+class TestOptionValidation:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="permissibility"):
+            OptimizeOptions(permissibility="bogus")
+
+    @pytest.mark.parametrize("mode", ["triage", "podem", "both"])
+    def test_known_engines_accepted(self, mode):
+        assert OptimizeOptions(permissibility=mode).permissibility == mode
+
+
+class TestBatchPairTables:
+    """The batched precompute yields the same pool as per-target compute."""
+
+    def test_pool_identical_without_precompute(self, lib):
+        netlist = make_random_netlist(lib, 6, 22, 3, seed=29)
+
+        batched = workspace_for(netlist).generate()
+
+        lazy_ws = workspace_for(netlist)
+        lazy_ws._precompute_pair_tables = lambda options: None
+        lazy = lazy_ws.generate()
+
+        assert len(batched) == len(lazy)
+        for a, b in zip(batched, lazy):
+            assert a.substitution.candidate_id() == b.substitution.candidate_id()
+            assert a.quick == b.quick
+            assert a.gain.area_delta == b.gain.area_delta
