@@ -1,0 +1,72 @@
+"""Benchmarks of the dataflow analysis framework and analysis_prune.
+
+Three layers, matching the claims recorded in ``BENCH_analysis.json``:
+
+- fact-base construction cost per golden circuit (what ``LintPass``
+  and the S-rules pay up front),
+- soundness-check cost (the CI gate's budget),
+- the end-to-end question ``analysis_prune`` exists to answer: how many
+  full-gain evaluations does fact-driven memoisation avoid across a
+  whole optimisation, and does the move sequence stay bit-identical.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.analysis import AnalysisSuite
+from repro.analysis.soundness import check_soundness
+from repro.netlist.blif import parse_blif_file
+from repro.telemetry import Tracer
+from repro.transform.optimizer import OptimizeOptions, power_optimize
+
+BLIF_DIR = Path(__file__).resolve().parent / "blif"
+GOLDEN = ("rd53", "misex1", "sqrt8", "ttt2")
+
+
+@pytest.fixture(params=GOLDEN)
+def golden(request, lib):
+    return request.param, parse_blif_file(
+        BLIF_DIR / f"{request.param}.blif", lib
+    )
+
+
+def test_fact_base_construction(benchmark, golden):
+    """Full AnalysisSuite fact build (dataflow + SAT confirmation)."""
+    _name, netlist = golden
+    benchmark(lambda: AnalysisSuite(netlist).refresh(force=True))
+
+
+def test_soundness_check(benchmark, golden):
+    """Independent re-derivation of every fact (the CI gate)."""
+    _name, netlist = golden
+    facts = AnalysisSuite(netlist).facts
+
+    def run():
+        report = check_soundness(netlist, facts)
+        assert report.ok
+        return report
+
+    once(benchmark, run)
+
+
+@pytest.mark.parametrize("analysis_prune", (False, True))
+def test_end_to_end_optimize(benchmark, lib, analysis_prune):
+    """power_optimize on ttt2 with and without analysis_prune.
+
+    The paired runs behind BENCH_analysis.json's ``end_to_end`` block:
+    identical move sequence, fewer full-gain evaluations.
+    """
+    netlist = parse_blif_file(BLIF_DIR / "ttt2.blif", lib)
+    tracer = Tracer()
+    options = OptimizeOptions(
+        num_patterns=512, trace=tracer, analysis_prune=analysis_prune
+    )
+    result = once(benchmark, power_optimize, netlist, options)
+    assert result.moves
+    if analysis_prune:
+        counters = result.trace.counters
+        assert counters["prune_constant_sources"] > 0

@@ -1,0 +1,67 @@
+"""Ternary constant propagation.
+
+Forward analysis over :class:`~repro.analysis.lattice.TernaryLattice`:
+primary inputs are ``TOP`` (free), tie cells are their constant, and a
+gate is a constant when *every* completion of its unknown fanins
+produces the same output bit — evaluated by enumerating the cell's
+truth table over the free inputs (cells are tiny; at most ``2**nvars``
+probes with an early exit once both output values appear).
+
+The dataflow pass alone misses constants that need Boolean reasoning
+across reconvergent paths (``AND(x, INV(x))`` is 0, but both fanins are
+``TOP``).  The suite closes that gap with the second tier: any gate
+whose simulation signature is all-zeros or all-ones — and that dataflow
+did not already prove — is handed to the SAT oracle, and only
+UNSAT-confirmed candidates become facts.  Both tiers are sound;
+dataflow facts carry ``proof="dataflow"``, oracle facts ``proof="sat"``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+from repro.netlist.netlist import Gate
+
+from repro.analysis.engine import DataflowAnalysis
+from repro.analysis.lattice import BOTTOM, TOP, TernaryLattice
+
+
+class ConstantAnalysis(DataflowAnalysis):
+    """Forward ternary constant propagation."""
+
+    name = "constants"
+    direction = "forward"
+    lattice = TernaryLattice()
+
+    def transfer(self, gate: Gate, values: Mapping[str, Hashable]) -> Hashable:
+        if gate.is_input:
+            return TOP
+        cell = gate.cell
+        nvars = cell.function.nvars
+        if nvars == 0:
+            return cell.function.bits & 1
+        bits = cell.function.bits
+        # Ternary fanin vector: 0/1 when proven, None when free.  An
+        # unresolved (bottom) fanin reads as free too — enlarging the
+        # completion set only weakens the claim, never unsounds it.
+        pins = []
+        for fanin in gate.fanins:
+            value = values.get(fanin.name, BOTTOM)
+            pins.append(value if value in (0, 1) else None)
+        seen0 = False
+        seen1 = False
+        for assignment in range(1 << nvars):
+            consistent = True
+            for var, pin in enumerate(pins):
+                if pin is not None and ((assignment >> var) & 1) != pin:
+                    consistent = False
+                    break
+            if not consistent:
+                continue
+            if (bits >> assignment) & 1:
+                seen1 = True
+            else:
+                seen0 = True
+            if seen0 and seen1:
+                return TOP
+        return 1 if seen1 else 0

@@ -1,0 +1,104 @@
+"""Explicit lattices for the dataflow engine.
+
+A lattice supplies the engine with the four operations fixed-point
+iteration needs: the least element (``bottom``), the least upper bound
+(``join``), the partial order (``leq``, used by tests to state
+monotonicity), and ``widen`` — an upper-bound accelerator applied after
+a node has been revisited more than the engine's ``widen_after``
+threshold.  Mapped netlists are DAGs, so a level-ordered pass converges
+without widening; the widening hook is the termination guarantee for
+analyses whose transfer functions are not strictly monotone (or for
+callers feeding the engine cyclic graphs) — see ALGORITHMS.md §18.
+
+Values are required to be hashable and comparable with ``==``; the
+engine detects convergence by value equality, not by ``leq``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+
+class _Sentinel:
+    """A named singleton that survives ``repr`` in test failures."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+#: The least element: "not yet computed / unreachable".
+BOTTOM = _Sentinel("BOTTOM")
+#: The greatest element: "no static information".
+TOP = _Sentinel("TOP")
+
+
+class Lattice:
+    """Base lattice protocol.  Subclasses override the four operations."""
+
+    def bottom(self) -> Hashable:
+        return BOTTOM
+
+    def top(self) -> Hashable:
+        return TOP
+
+    def is_bottom(self, value: Hashable) -> bool:
+        return value is BOTTOM
+
+    def leq(self, a: Hashable, b: Hashable) -> bool:
+        raise NotImplementedError
+
+    def join(self, a: Hashable, b: Hashable) -> Hashable:
+        raise NotImplementedError
+
+    def widen(self, old: Hashable, new: Hashable) -> Hashable:
+        """Default widening jumps straight to ``TOP`` on oscillation."""
+        if old == new:
+            return old
+        return TOP
+
+    def join_all(self, values: Iterable[Hashable]) -> Hashable:
+        result: Hashable = self.bottom()
+        for value in values:
+            result = self.join(result, value)
+        return result
+
+
+class FlatLattice(Lattice):
+    """The flat (three-level) lattice: BOTTOM < constants < TOP.
+
+    Any two distinct non-extremal values are incomparable and join to
+    ``TOP``.  This is the shape every builtin analysis uses: the value
+    domain carries the fact, the lattice structure only encodes "known /
+    unknown / conflicting".
+    """
+
+    def leq(self, a: Hashable, b: Hashable) -> bool:
+        return a is BOTTOM or b is TOP or a == b
+
+    def join(self, a: Hashable, b: Hashable) -> Hashable:
+        if a is BOTTOM:
+            return b
+        if b is BOTTOM:
+            return a
+        if a == b:
+            return a
+        return TOP
+
+
+class TernaryLattice(FlatLattice):
+    """Flat lattice over {0, 1}: the constant-propagation domain.
+
+    ``TOP`` reads as "not statically constant"; 0/1 read as "provably
+    that constant for every input assignment".
+    """
+
+    ZERO = 0
+    ONE = 1
+
+    def from_bool(self, value: bool) -> int:
+        return self.ONE if value else self.ZERO

@@ -1,0 +1,104 @@
+"""Static observability don't-care approximation.
+
+Backward analysis computing, per gate, whether any path to a primary
+output can still propagate a value change — ``True`` ("may be
+observable", the sound default) or ``False`` ("statically blocked").
+A gate driving a PO is observable; otherwise it is observable iff some
+fanout edge is, and an edge into sink pin ``p`` is blocked when the
+sink's function is insensitive to ``p`` once the *proven-constant*
+sibling pins are fixed at their constants (for every completion of the
+remaining free pins).  Proven constants come from the constant analysis
+and are parameters of the transfer function, not part of the lattice.
+
+**The dataflow verdict is a candidate, not a fact.**  "Unobservable"
+facts promise that flipping the gate's output never changes any PO —
+but a proven-constant side input that lies in the gate's own transitive
+fanout can change *under the flip*: with ``s = OR(g, INV(g))``, ``s``
+is constant 1 and blocks nothing usefully, yet flipping ``g`` rewrites
+``s`` itself.  The suite therefore promotes a blocked candidate to a
+fact only after the SAT flip-miter (the PR-6 cone-duplication encoding
+with the gate's literal inverted) returns UNSAT — except for **dead
+cones**, gates with no structural path to any PO, where the flip
+provably reaches nothing and the fact is structural
+(ALGORITHMS.md §18).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Set
+
+from repro.library.cell import Cell
+from repro.netlist.netlist import Gate, Netlist
+from repro.netlist.traverse import transitive_fanin
+
+from repro.analysis.engine import DataflowAnalysis
+from repro.analysis.lattice import FlatLattice
+
+
+def pin_blocked(cell: Cell, pin: int, fixed: Mapping[int, int]) -> bool:
+    """Is ``cell``'s output insensitive to ``pin`` given ``fixed`` pins?
+
+    ``fixed`` maps pin index -> proven constant.  Checks every
+    completion of the unfixed pins; sensitivity anywhere means the edge
+    may propagate.
+    """
+    bits = cell.function.bits
+    nvars = cell.function.nvars
+    for assignment in range(1 << nvars):
+        if (assignment >> pin) & 1:
+            continue
+        consistent = True
+        for index, value in fixed.items():
+            if index != pin and ((assignment >> index) & 1) != value:
+                consistent = False
+                break
+        if not consistent:
+            continue
+        flipped = assignment | (1 << pin)
+        if ((bits >> assignment) & 1) != ((bits >> flipped) & 1):
+            return False
+    return True
+
+
+class ObservabilityAnalysis(DataflowAnalysis):
+    """Backward blocked-path propagation over proven constants."""
+
+    name = "observability"
+    direction = "backward"
+    lattice = FlatLattice()
+
+    def __init__(self, constants: Mapping[str, Hashable]):
+        #: name -> 0/1 for every gate proven constant (both tiers).
+        self.constants = {
+            name: value
+            for name, value in constants.items()
+            if value in (0, 1)
+        }
+
+    def transfer(self, gate: Gate, values: Mapping[str, Hashable]) -> Hashable:
+        if gate.po_names:
+            return True
+        for sink, pin in gate.fanouts:
+            # An unresolved sink reads as observable: the claim must
+            # over-approximate, and the worklist revisits on resolution.
+            if values.get(sink.name) is False:
+                continue
+            if sink.cell is None:  # pragma: no cover - sinks are gates
+                return True
+            fixed: Dict[int, int] = {}
+            for index, fanin in enumerate(sink.fanins):
+                constant = self.constants.get(fanin.name)
+                if constant is not None:
+                    fixed[index] = constant
+            if not pin_blocked(sink.cell, pin, fixed):
+                return True
+        return False
+
+
+def po_reachable(netlist: Netlist) -> Set[str]:
+    """Names of gates with a structural path to some primary output."""
+    drivers = {gate.name: gate for gate in netlist.outputs.values()}
+    region = transitive_fanin(netlist, list(drivers.values()))
+    reachable = set(drivers)
+    reachable.update(gate.name for gate in region)
+    return reachable

@@ -1,0 +1,187 @@
+"""The SAT confirmation oracle behind the analysis facts.
+
+One :class:`FactOracle` owns a Tseitin encoding of the netlist plus an
+incremental CDCL solver (the same pair the PR-6 triage engine keeps per
+structural state) and answers the three queries the analyses need:
+
+- ``prove_constant(name, value)`` — UNSAT of the opposite literal,
+- ``prove_equivalent(a, b, parity)`` — UNSAT of an XOR difference
+  variable (reused per pair, so the antiphase query is one more
+  ``solve`` on the same clauses),
+- ``prove_unobservable(name)`` — the flip miter: the gate's transitive
+  fanout cone is duplicated with the gate's literal *inverted* at the
+  rewired point, per-PO XOR difference variables are ORed under an
+  activation assumption, and UNSAT means no input assignment lets the
+  flip reach any output.
+
+Every query runs under a conflict limit; UNKNOWN means "not proven" and
+the caller must drop the candidate — budget exhaustion can only lose
+facts, never fabricate them.  All proofs are against the netlist state
+the oracle was built on; the suite rebuilds the oracle whenever the
+structural state key changes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.netlist.netlist import Netlist
+from repro.netlist.traverse import topological_order, transitive_fanout
+from repro.sat.cnf import CnfFormula, cell_templates, tseitin_encode
+from repro.sat.incremental import IncrementalSolver
+
+
+def encode_cell(
+    solver: IncrementalSolver,
+    formula: CnfFormula,
+    out: int,
+    fanin_literals: Iterable[int],
+    cell,
+) -> None:
+    """Add the Tseitin clauses tying ``out`` to ``cell(fanins)``."""
+    literals = list(fanin_literals)
+    onset, offset = cell_templates(cell)
+    for cube in onset:
+        clause = [out]
+        for var, polarity in cube:
+            literal = literals[var]
+            clause.append(-literal if polarity else literal)
+        solver.add_clause(*clause)
+    for cube in offset:
+        clause = [-out]
+        for var, polarity in cube:
+            literal = literals[var]
+            clause.append(-literal if polarity else literal)
+        solver.add_clause(*clause)
+
+
+class FactOracle:
+    """Incremental SAT queries over one structural netlist state."""
+
+    def __init__(self, netlist: Netlist, conflict_limit: int = 50_000):
+        self.netlist = netlist
+        self.conflict_limit = conflict_limit
+        self.formula = tseitin_encode(netlist)
+        self.solver = IncrementalSolver(self.formula)
+        #: query tallies for telemetry / reports.
+        self.counters: Dict[str, int] = {
+            "solve_calls": 0,
+            "proofs": 0,
+            "refuted": 0,
+            "unknown": 0,
+        }
+        self._diff_vars: Dict[Tuple[str, str], int] = {}
+        self._flip_vars: Dict[str, Optional[int]] = {}
+
+    # ------------------------------------------------------------------
+    def _solve(self, assumptions) -> Optional[bool]:
+        """True = proven (UNSAT), False = refuted (SAT), None = budget."""
+        self.counters["solve_calls"] += 1
+        result = self.solver.solve(
+            assumptions, conflict_limit=self.conflict_limit
+        )
+        if result.status == "unsat":
+            self.counters["proofs"] += 1
+            return True
+        if result.status == "sat":
+            self.counters["refuted"] += 1
+            return False
+        self.counters["unknown"] += 1
+        return None
+
+    def var(self, name: str) -> int:
+        return self.formula.var_of[name]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def prove_constant(self, name: str, value: int) -> Optional[bool]:
+        """Is ``name`` equal to ``value`` for every input assignment?"""
+        literal = self.var(name)
+        return self._solve([-literal if value else literal])
+
+    def prove_equivalent(
+        self, a: str, b: str, parity: int
+    ) -> Optional[bool]:
+        """Is ``a == b`` (parity 0) / ``a == not b`` (parity 1) always?"""
+        key = (a, b) if a <= b else (b, a)
+        diff = self._diff_vars.get(key)
+        if diff is None:
+            diff = self.formula.new_var()
+            self.solver.ensure_vars(self.formula.num_vars)
+            va, vb = self.var(key[0]), self.var(key[1])
+            # diff <-> va XOR vb
+            self.solver.add_clause(-diff, va, vb)
+            self.solver.add_clause(-diff, -va, -vb)
+            self.solver.add_clause(diff, -va, vb)
+            self.solver.add_clause(diff, va, -vb)
+            self._diff_vars[key] = diff
+        # Equality is "diff never 1"; antiphase is "diff never 0".
+        return self._solve([diff if parity == 0 else -diff])
+
+    def prove_unobservable(self, name: str) -> Optional[bool]:
+        """Can flipping ``name``'s value ever change a primary output?
+
+        Encodes the flip miter once per gate (cached): every gate in
+        the transitive fanout is re-encoded reading ``-var(name)`` at
+        the flipped point, and the per-PO differences are ORed under an
+        activation literal so refutations stay incremental.
+        """
+        if name in self._flip_vars:
+            activation = self._flip_vars[name]
+        else:
+            activation = self._encode_flip_miter(name)
+            self._flip_vars[name] = activation
+        if activation is None:
+            # No PO structurally depends on the gate: the flip reaches
+            # nothing, which is a (stronger, structural) proof.
+            return True
+        return self._solve([activation])
+
+    # ------------------------------------------------------------------
+    def _encode_flip_miter(self, name: str) -> Optional[int]:
+        netlist = self.netlist
+        gate = netlist.gates[name]
+        affected = transitive_fanout(netlist, [gate])
+        affected_names = {sink.name for sink in affected}
+        flipped = -self.var(name)
+        copies: Dict[str, int] = {}
+        order = [
+            g for g in topological_order(netlist) if g.name in affected_names
+        ]
+        for sink in order:
+            literals = []
+            for fanin in sink.fanins:
+                if fanin.name == name:
+                    literals.append(flipped)
+                elif fanin.name in copies:
+                    literals.append(copies[fanin.name])
+                else:
+                    literals.append(self.var(fanin.name))
+            out = self.formula.new_var()
+            self.solver.ensure_vars(self.formula.num_vars)
+            encode_cell(self.solver, self.formula, out, literals, sink.cell)
+            copies[sink.name] = out
+        diff_vars = []
+        for po_name in sorted(netlist.outputs):
+            driver = netlist.outputs[po_name]
+            if driver.name == name:
+                new_literal = flipped
+            elif driver.name in copies:
+                new_literal = copies[driver.name]
+            else:
+                continue
+            old = self.var(driver.name)
+            diff = self.formula.new_var()
+            self.solver.ensure_vars(self.formula.num_vars)
+            self.solver.add_clause(-diff, old, new_literal)
+            self.solver.add_clause(-diff, -old, -new_literal)
+            self.solver.add_clause(diff, -old, new_literal)
+            self.solver.add_clause(diff, old, -new_literal)
+            diff_vars.append(diff)
+        if not diff_vars:
+            return None
+        activation = self.formula.new_var()
+        self.solver.ensure_vars(self.formula.num_vars)
+        self.solver.add_clause(-activation, *diff_vars)
+        return activation

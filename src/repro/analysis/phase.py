@@ -1,0 +1,53 @@
+"""Phase/parity tracking through buffer and inverter chains.
+
+Forward analysis whose value is ``(root, parity, depth)``: the nearest
+non-buffer/non-inverter ancestor driving this signal, whether the
+signal equals that root (parity 0) or its complement (parity 1), and
+how many BUF/INV hops separate them.  Every signal that is not itself a
+buffer or inverter is its own root at parity 0 / depth 0, so the facts
+are sound *by construction* — a BUF output equals its fanin, an INV
+output equals its fanin's complement, and composition telescopes the
+chain (ALGORITHMS.md §18).
+
+Consumers: the S004 lint rule flags chains of depth >= 2 (a superset
+generalisation of Q003's adjacent double inverter), and the optimizer's
+equivalence classes absorb the parity so an inverter chain lands in the
+same class as its root.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Tuple
+
+from repro.netlist.netlist import Gate
+
+from repro.analysis.engine import DataflowAnalysis
+from repro.analysis.lattice import FlatLattice
+
+#: (root name, parity relative to the root, BUF/INV hops to the root)
+PhaseValue = Tuple[str, int, int]
+
+
+class PhaseAnalysis(DataflowAnalysis):
+    """Forward root/parity propagation through BUF/INV cells."""
+
+    name = "phase"
+    direction = "forward"
+    lattice = FlatLattice()
+
+    def transfer(self, gate: Gate, values: Mapping[str, Hashable]) -> Hashable:
+        if gate.is_input or gate.cell is None:
+            return (gate.name, 0, 0)
+        cell = gate.cell
+        if not (cell.is_buffer() or cell.is_inverter()):
+            return (gate.name, 0, 0)
+        fanin = gate.fanins[0]
+        value = values.get(fanin.name)
+        if not isinstance(value, tuple):
+            # Unresolved fanin (mid-iteration): the fanin itself is a
+            # sound root for now; the worklist revisits once it lands.
+            value = (fanin.name, 0, 0)
+        root, parity, depth = value
+        if cell.is_inverter():
+            parity ^= 1
+        return (root, parity, depth + 1)

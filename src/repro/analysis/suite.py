@@ -1,0 +1,222 @@
+"""The analysis facade consumers hold: facts + incremental upkeep.
+
+An :class:`AnalysisSuite` binds one netlist to the dataflow engine, a
+shared packed simulation state (the signature seed), and the SAT
+oracle, and exposes one product — :attr:`facts`, the current
+:class:`~repro.analysis.facts.NetlistFacts` — under the same
+structural-state protocol the triage checker and packed views use: the
+identity of ``topological_order(netlist)`` names the state, so facts
+are recomputed exactly when the structure changed.
+
+Between refreshes the optimizer reports edits via
+:meth:`update_after_edit` (the observability-maps dirty contract).  The
+next ``facts`` access then repairs the dataflow value maps
+incrementally — re-seeding the engine's worklist with the dirty region
+instead of starting from bottom — and re-runs only the cheap seeded
+tiers plus SAT confirmation on the (typically tiny) candidate sets.
+The oracle itself is rebuilt per state: a proof against the old
+structure says nothing about the new one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.netlist.netlist import Netlist
+from repro.netlist.simulate import SimState, random_patterns
+from repro.netlist.traverse import topological_order
+
+from repro.analysis.constants import ConstantAnalysis
+from repro.analysis.engine import DataflowEngine
+from repro.analysis.equivalence import find_equivalences
+from repro.analysis.facts import (
+    ConstantFact,
+    NetlistFacts,
+    PhaseFact,
+    UnobservableFact,
+)
+from repro.analysis.observability import ObservabilityAnalysis, po_reachable
+from repro.analysis.oracle import FactOracle
+from repro.analysis.phase import PhaseAnalysis
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+class AnalysisSuite:
+    """Whole-netlist static facts with incremental re-analysis."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        num_patterns: int = 256,
+        seed: int = 11,
+        conflict_limit: int = 50_000,
+        use_sat: bool = True,
+    ):
+        self.netlist = netlist
+        self.num_patterns = num_patterns
+        self.seed = seed
+        self.use_sat = use_sat
+        self.conflict_limit = conflict_limit
+        self.engine = DataflowEngine(netlist)
+        self.oracle: Optional[FactOracle] = None
+        #: refresh tallies: full vs incremental recomputations.
+        self.counters: Dict[str, int] = {"full": 0, "incremental": 0}
+        self._constant_analysis = ConstantAnalysis()
+        self._phase_analysis = PhaseAnalysis()
+        self._sim: Optional[SimState] = None
+        self._state_key: Optional[list] = None
+        self._pending: Dict[str, None] = {}
+        self._facts: Optional[NetlistFacts] = None
+        self._const_values: Dict[str, object] = {}
+        self._phase_values: Dict[str, object] = {}
+        self._obs_values: Dict[str, object] = {}
+        self._const_map: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # The dirty-region protocol (mirrors ObservabilityMaps)
+    # ------------------------------------------------------------------
+    def update_after_edit(self, dirty_gates: Iterable[str]) -> None:
+        """Report gates whose cell/fanins/fanouts changed since the last
+        refresh.  Cheap: work happens on the next ``facts`` access."""
+        for name in dirty_gates:
+            self._pending[name] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def facts(self) -> NetlistFacts:
+        return self.refresh()
+
+    def refresh(self, force: bool = False) -> NetlistFacts:
+        key = topological_order(self.netlist)
+        if not force and self._facts is not None and key is self._state_key:
+            return self._facts
+        netlist = self.netlist
+        gates = netlist.gates
+        incremental = (
+            not force
+            and self._facts is not None
+            and self._sim is not None
+            and bool(self._pending)
+        )
+        if incremental:
+            self.counters["incremental"] += 1
+            live_dirty = [n for n in self._pending if n in gates]
+            self._sim.resimulate_fanout([gates[n] for n in live_dirty])
+            self.engine.update_after_edit(
+                self._constant_analysis, self._const_values, live_dirty
+            )
+            self.engine.update_after_edit(
+                self._phase_analysis, self._phase_values, live_dirty
+            )
+        else:
+            self.counters["full"] += 1
+            self._sim = SimState(
+                netlist,
+                random_patterns(
+                    netlist.input_names, self.num_patterns, self.seed
+                ),
+            )
+            self._const_values = self.engine.run(self._constant_analysis)
+            self._phase_values = self.engine.run(self._phase_analysis)
+            live_dirty = []
+        self.oracle = (
+            FactOracle(netlist, self.conflict_limit) if self.use_sat else None
+        )
+
+        const_map, constants = self._constant_facts()
+        obs_dirty = set(live_dirty)
+        # The observability transfer reads proven constants at sink side
+        # pins; every sink of a gate whose constant status changed must
+        # be re-transferred along with the structural dirty region.
+        for name in set(self._const_map) | set(const_map):
+            if self._const_map.get(name) != const_map.get(name):
+                self._mark_const_dirty(name, obs_dirty)
+        obs_analysis = ObservabilityAnalysis(const_map)
+        if incremental:
+            self.engine.update_after_edit(
+                obs_analysis, self._obs_values, obs_dirty
+            )
+        else:
+            self._obs_values = self.engine.run(obs_analysis)
+
+        facts = NetlistFacts(netlist_name=netlist.name)
+        facts.constants = constants
+        facts.unobservables = self._unobservable_facts()
+        facts.phases = self._phase_facts()
+        facts.equivalences = find_equivalences(
+            netlist, self._sim.values, self.oracle
+        )
+        self._const_map = const_map
+        self._facts = facts
+        self._state_key = key
+        self._pending.clear()
+        return facts
+
+    # ------------------------------------------------------------------
+    # Fact assembly
+    # ------------------------------------------------------------------
+    def _mark_const_dirty(self, name: str, obs_dirty: set) -> None:
+        gate = self.netlist.gates.get(name)
+        if gate is None:
+            return
+        obs_dirty.add(name)
+        obs_dirty.update(sink.name for sink, _pin in gate.fanouts)
+
+    def _constant_facts(self):
+        const_map: Dict[str, int] = {}
+        constants: list = []
+        sim = self._sim
+        oracle = self.oracle
+        for gate in topological_order(self.netlist):
+            name = gate.name
+            value = self._const_values.get(name)
+            if value in (0, 1):
+                const_map[name] = int(value)  # type: ignore[arg-type]
+                constants.append(ConstantFact(name, int(value), "dataflow"))
+                continue
+            if oracle is None or gate.is_input:
+                continue
+            # Second tier: a flat simulation signature nominates the
+            # gate; only an UNSAT answer promotes it to a fact.
+            word = sim.values.get(name) if sim is not None else None
+            if word is None:
+                continue
+            if not word.any():
+                candidate = 0
+            elif bool((word == _ALL_ONES).all()):
+                candidate = 1
+            else:
+                continue
+            if oracle.prove_constant(name, candidate) is True:
+                const_map[name] = candidate
+                constants.append(ConstantFact(name, candidate, "sat"))
+        return const_map, constants
+
+    def _unobservable_facts(self):
+        netlist = self.netlist
+        reachable = po_reachable(netlist)
+        oracle = self.oracle
+        unobservables = []
+        for name in sorted(netlist.gates):
+            if name not in reachable:
+                unobservables.append(
+                    UnobservableFact(name, "dead", "structural")
+                )
+                continue
+            if self._obs_values.get(name) is not False or oracle is None:
+                continue
+            if oracle.prove_unobservable(name) is True:
+                unobservables.append(UnobservableFact(name, "blocked", "sat"))
+        return unobservables
+
+    def _phase_facts(self):
+        phases = []
+        for name in sorted(self.netlist.gates):
+            value = self._phase_values.get(name)
+            if isinstance(value, tuple) and value[2] >= 1:
+                root, parity, depth = value
+                phases.append(PhaseFact(name, root, parity, depth))
+        return phases

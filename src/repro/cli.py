@@ -15,8 +15,13 @@ Commands:
 - ``atpg`` — fault coverage and redundancy report,
 - ``glitch`` — glitch-aware power analysis,
 - ``stats`` — netlist metrics and cell mix,
-- ``lint`` — static analysis of a mapped BLIF (``--format text|json``,
-  ``--fail-on <severity>``, rule selection/suppression by stable ID),
+- ``lint`` — rule-based findings on a mapped BLIF (``--format
+  text|json``, ``--fail-on <severity>``, rule selection/suppression by
+  stable ID, ``--explain <rule-id>``, ``--facts`` for the proof-backed
+  S-series),
+- ``analyze`` — the static fact base itself: proven constants,
+  unobservable cones, phase chains, SAT-confirmed equivalence classes
+  (``--check-soundness`` re-proves every fact independently),
 - ``fuzz`` — differential fuzzing of the optimizer: generate seeded random
   mapped netlists, optimize, verify equivalence three independent ways,
   check metamorphic properties, and shrink failures to reproducers
@@ -352,7 +357,8 @@ def _split_rule_ids(values):
 
 
 def _cmd_lint(args) -> int:
-    from repro.lint import Severity, lint_netlist, rule_catalog
+    from repro.errors import LintError
+    from repro.lint import Severity, get_rule, lint_netlist, rule_catalog
     from repro.power.probability import SimulationProbability
 
     if args.list_rules:
@@ -360,8 +366,25 @@ def _cmd_lint(args) -> int:
         for rule_id, severity, category, title in rule_catalog():
             print(f"{rule_id:5s} {severity:8s} {category:9s}  {title}")
         return 0
+    if args.explain:
+        import inspect
+
+        try:
+            rule = get_rule(args.explain)
+        except LintError as error:
+            print(f"error: {error}")
+            return 2
+        print(f"{rule.id}: {rule.title}")
+        print(f"severity: {rule.severity}   category: {rule.category}")
+        doc = type(rule).__doc__
+        print()
+        print(inspect.cleandoc(doc) if doc else "(no documentation)")
+        return 0
     if args.netlist is None:
-        print("error: a mapped BLIF input is required (or --list-rules)")
+        print(
+            "error: a mapped BLIF input is required "
+            "(or --list-rules / --explain)"
+        )
         return 2
     netlist, _library = _load_mapped_netlist(args)
     probabilities = None
@@ -372,18 +395,53 @@ def _cmd_lint(args) -> int:
         probabilities = {
             name: engine.probability(name) for name in netlist.gates
         }
-    report = lint_netlist(
-        netlist,
-        select=_split_rule_ids(args.select),
-        ignore=_split_rule_ids(args.ignore),
-        probabilities=probabilities,
-    )
+    facts = None
+    if args.facts:
+        from repro.analysis import AnalysisSuite
+
+        facts = AnalysisSuite(netlist).facts
+    try:
+        report = lint_netlist(
+            netlist,
+            select=_split_rule_ids(args.select),
+            ignore=_split_rule_ids(args.ignore),
+            probabilities=probabilities,
+            facts=facts,
+        )
+    except LintError as error:  # unknown rule ID in --select/--ignore
+        print(f"error: {error}")
+        return 2
     if args.format == "json":
         print(report.format_json())
     else:
         print(report.format_text())
     threshold = Severity.from_name(args.fail_on)
     return 1 if report.at_least(threshold) else 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analysis import AnalysisSuite
+    from repro.analysis.soundness import check_soundness
+
+    netlist, _library = _load_mapped_netlist(args)
+    suite = AnalysisSuite(netlist, num_patterns=args.patterns, seed=args.seed)
+    facts = suite.facts
+    soundness = None
+    if args.check_soundness:
+        soundness = check_soundness(netlist, facts)
+    if args.format == "json":
+        import json
+
+        payload = facts.to_dict()
+        if soundness is not None:
+            payload["soundness"] = soundness.to_dict()
+        print(json.dumps(payload, indent=2))
+    else:
+        print(facts.format_text())
+        if soundness is not None:
+            print()
+            print(soundness.format_text())
+    return 1 if soundness is not None and not soundness.ok else 0
 
 
 def _cmd_fuzz(args) -> int:
@@ -636,10 +694,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip probability estimation (disables the P0xx rules)",
     )
     p.add_argument(
+        "--facts", action="store_true",
+        help="run the analysis suite first and enable the proof-backed "
+        "S0xx rules",
+    )
+    p.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalog and exit",
     )
+    p.add_argument(
+        "--explain", default=None, metavar="RULE_ID",
+        help="print one rule's documentation and severity, then exit",
+    )
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "analyze",
+        help="static fact base: proven constants, unobservable cones, "
+        "phase chains, and equivalence classes",
+    )
+    p.add_argument("netlist", help="mapped BLIF input")
+    p.add_argument("--library", help="genlib file (default: built-in)")
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default text)",
+    )
+    p.add_argument(
+        "--patterns", type=int, default=256,
+        help="simulation patterns seeding the analyses, multiple of 64 "
+        "(default 256)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=11,
+        help="pattern seed (default 11)",
+    )
+    p.add_argument(
+        "--check-soundness", action="store_true",
+        help="re-derive every fact by exhaustive simulation or a fresh "
+        "SAT instance; exit 1 if any fact is unsound",
+    )
+    p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser(
         "fuzz",

@@ -41,6 +41,14 @@ _LOAD_EPS = 1e-9
 # ----------------------------------------------------------------------
 @register
 class GateRegistrationRule(Rule):
+    """The registry key and the gate's own name must agree.
+
+    ``Netlist.gates`` maps names to gates; every lookup, rewiring helper,
+    and serializer assumes ``gates[n].name == n``.  A mismatch means some
+    mutation bypassed ``add_gate``/``rename`` and the two views of the
+    netlist have already diverged.
+    """
+
     id = "N001"
     title = "gate registered under a name different from its own"
 
@@ -56,6 +64,14 @@ class GateRegistrationRule(Rule):
 
 @register
 class PrimaryInputRule(Rule):
+    """Input gates, and only input gates, appear in the input list.
+
+    Three invariants in one pass: primary inputs have no fanins, every
+    input gate is listed in ``netlist.input_names``, and every list
+    entry names a registered input gate exactly once.  Simulation
+    pattern order and BLIF port order both derive from this list.
+    """
+
     id = "N002"
     title = "primary-input bookkeeping broken"
 
@@ -95,6 +111,13 @@ class PrimaryInputRule(Rule):
 
 @register
 class PinArityRule(Rule):
+    """Every cell pin has exactly one driver.
+
+    A gate's fanin list must be as long as its cell's input count —
+    shorter means a floating pin, longer means a phantom connection.
+    Either way the cell function cannot be evaluated as mapped.
+    """
+
     id = "N003"
     title = "fanin count disagrees with the cell's pin count"
 
@@ -113,6 +136,14 @@ class PinArityRule(Rule):
 
 @register
 class ForeignReferenceRule(Rule):
+    """Fanin/fanout edges must stay inside the netlist.
+
+    A connection to a gate object that is not the registered gate of
+    that name (deleted, replaced, or from another netlist) keeps stale
+    structure alive and silently decouples simulation from the graph
+    the traversals see.
+    """
+
     id = "N004"
     title = "fanin/fanout references a gate outside the netlist"
 
@@ -139,6 +170,14 @@ class ForeignReferenceRule(Rule):
 
 @register
 class FanoutBookkeepingRule(Rule):
+    """Fanin lists and fanout lists are two views of the same edges.
+
+    For every fanin edge ``driver -> (gate, pin)`` the driver's fanout
+    list must hold the matching branch, and vice versa.  The power
+    estimator walks fanouts while simulation walks fanins; if the views
+    disagree, load and activity are computed on different circuits.
+    """
+
     id = "N005"
     title = "fanin and fanout lists disagree"
 
@@ -170,6 +209,13 @@ class FanoutBookkeepingRule(Rule):
 
 @register
 class OutputBindingRule(Rule):
+    """Primary-output ports and their drivers must agree both ways.
+
+    A gate claiming a port in ``po_names`` must be the driver recorded
+    in ``netlist.outputs`` and vice versa, and every port needs a load
+    entry — output load is part of the driver's power and delay.
+    """
+
     id = "N006"
     title = "primary-output binding broken"
 
@@ -207,6 +253,13 @@ class OutputBindingRule(Rule):
 
 @register
 class MultiDrivenOutputRule(Rule):
+    """Each primary output port has exactly one driver.
+
+    Two gates claiming the same port is electrical contention; which
+    one a writer or simulator picks is arbitrary, so the netlist has no
+    well-defined function.
+    """
+
     id = "N007"
     title = "primary output claimed by more than one driver"
 
@@ -227,6 +280,14 @@ class MultiDrivenOutputRule(Rule):
 
 @register
 class CombinationalCycleRule(Rule):
+    """The gate graph must be acyclic.
+
+    Topological order, simulation, timing, and every dataflow analysis
+    assume a DAG.  The DFS here is deliberately fresh (not the cached
+    topological order, which may itself be stale on a corrupt netlist)
+    and reports one representative gate per detected cycle.
+    """
+
     id = "N008"
     title = "combinational cycle"
 
@@ -266,6 +327,13 @@ class CombinationalCycleRule(Rule):
 # ----------------------------------------------------------------------
 @register
 class DanglingGateRule(Rule):
+    """A logic gate drives neither another gate nor a primary output.
+
+    Dead logic still switches and still burns area.  Usually left over
+    from a rewiring that forgot to sweep; ``Netlist.sweep_dead()``
+    removes the whole dead cone safely.
+    """
+
     id = "Q001"
     title = "logic gate with no fanout (dead logic)"
     severity = Severity.WARNING
@@ -285,6 +353,14 @@ class DanglingGateRule(Rule):
 
 @register
 class ConstantFoldableRule(Rule):
+    """A gate's output is constant by construction.
+
+    Either the mapped cell function itself ignores its inputs, or every
+    fanin is a constant tie cell.  Both shapes are local and syntactic —
+    the SAT-backed S001 catches the non-obvious ones — and both fold
+    away to a tie cell plus rewiring.
+    """
+
     id = "Q002"
     title = "gate computes a constant or is fed only by constants"
     severity = Severity.WARNING
@@ -315,6 +391,14 @@ class ConstantFoldableRule(Rule):
 
 @register
 class DoubleInverterRule(Rule):
+    """Back-to-back inverters cancel.
+
+    INV(INV(x)) == x, so sinks of the second inverter can read the root
+    directly; both inverters often die after the rewire.  Kept as a
+    syntactic check; S004 generalizes it to arbitrary-depth phase
+    chains via the phase analysis.
+    """
+
     id = "Q003"
     title = "inverter driven by another inverter"
     severity = Severity.WARNING
@@ -344,6 +428,14 @@ class DoubleInverterRule(Rule):
 # ----------------------------------------------------------------------
 @register
 class UnknownCellRule(Rule):
+    """Every mapped gate must instantiate a cell of the bound library.
+
+    A cell name the library does not know — or a lookalike object
+    shadowing the library's cell — means area/power/delay numbers come
+    from data the library never vouched for.  Skipped when no library
+    is bound.
+    """
+
     id = "L001"
     title = "gate instantiates a cell absent from the bound library"
     category = CATEGORY_LIBRARY
@@ -374,6 +466,13 @@ class UnknownCellRule(Rule):
 
 @register
 class DriveLimitRule(Rule):
+    """A stem's total load must respect its cell's drive limit.
+
+    Load is the sum of sink pin loads plus output-port loads; the limit
+    is the weakest ``max_load`` over the cell's pins.  Exceeding it
+    stretches transition times in the delay model and invites glitches.
+    """
+
     id = "L002"
     title = "stem load exceeds the cell's drive limit"
     severity = Severity.WARNING
@@ -400,6 +499,14 @@ class DriveLimitRule(Rule):
 # ----------------------------------------------------------------------
 @register
 class ProbabilityRangeRule(Rule):
+    """Measured switching probabilities must lie in [0, 1].
+
+    The power rules and the estimator both consume the caller-supplied
+    probability map; a value outside the unit interval (or NaN) means
+    the estimation upstream is broken.  Skipped when the caller did not
+    attach probabilities.
+    """
+
     id = "P001"
     title = "switching probability outside [0, 1]"
     category = CATEGORY_POWER

@@ -26,6 +26,7 @@ CATEGORY_STRUCTURE = "structure"
 CATEGORY_QUALITY = "quality"
 CATEGORY_LIBRARY = "library"
 CATEGORY_POWER = "power"
+CATEGORY_ANALYSIS = "analysis"
 
 
 class LintContext:
@@ -35,10 +36,14 @@ class LintContext:
         self,
         netlist: Netlist,
         probabilities: Optional[Mapping[str, float]] = None,
+        facts=None,
     ):
         self.netlist = netlist
         #: Signal name -> P(signal = 1), when the caller measured them.
         self.probabilities = probabilities
+        #: A :class:`repro.analysis.NetlistFacts` for the ``S0xx`` rules,
+        #: when the caller ran the analysis suite (``None`` skips them).
+        self.facts = facts
 
 
 class Rule:
@@ -127,9 +132,9 @@ def resolve_rules(
 
 
 def _ensure_builtin() -> None:
-    # The builtin pack registers on import; import lazily to avoid a cycle
+    # The builtin packs register on import; import lazily to avoid a cycle
     # (builtin rules use netlist helpers that may import this module).
-    from repro.lint import builtin  # noqa: F401
+    from repro.lint import analysis_rules, builtin  # noqa: F401
 
 
 def run_rules(ctx: LintContext, rules: Iterable[Rule]) -> list[Diagnostic]:
@@ -157,18 +162,21 @@ def lint_netlist(
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
     probabilities: Optional[Mapping[str, float]] = None,
+    facts=None,
 ) -> LintReport:
     """Run the configured rule set over ``netlist``; collect all findings.
 
     ``rules`` overrides the registry entirely; otherwise ``select`` /
     ``ignore`` narrow the registered set by ID.  ``probabilities`` feeds
-    the power rules (``P0xx``); without it they are skipped silently.
+    the power rules (``P0xx``) and ``facts`` (a
+    :class:`repro.analysis.NetlistFacts`) the analysis rules (``S0xx``);
+    without them those packs are skipped silently.
     """
     if rules is None:
         rule_list = resolve_rules(select, ignore)
     else:
         rule_list = list(rules)
-    ctx = LintContext(netlist, probabilities=probabilities)
+    ctx = LintContext(netlist, probabilities=probabilities, facts=facts)
     return LintReport(netlist.name, run_rules(ctx, rule_list))
 
 

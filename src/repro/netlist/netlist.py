@@ -83,6 +83,9 @@ class Netlist:
         self._uid_counter = 0
         self._name_counter = 0
         self._topo_cache: Optional[list[Gate]] = None
+        #: Bumped on every structural edit; lets observers (the pipeline
+        #: contract checker) detect mutation without hashing the graph.
+        self.structural_version = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -199,6 +202,7 @@ class Netlist:
     # ------------------------------------------------------------------
     def _invalidate(self) -> None:
         self._topo_cache = None
+        self.structural_version += 1
 
     def would_create_cycle(self, driver: Gate, sink: Gate) -> bool:
         """True if connecting driver -> sink closes a combinational loop."""

@@ -28,8 +28,14 @@ Quickstart::
     print(outcome.optimize_result.summary())
 """
 
+from repro.errors import PipelineError
 from repro.pipeline.context import ALL_ANALYSES, OptimizationContext
-from repro.pipeline.manager import PassManager, PipelineResult, run_pipeline
+from repro.pipeline.manager import (
+    PassContract,
+    PassManager,
+    PipelineResult,
+    run_pipeline,
+)
 from repro.pipeline.passes import (
     DedupePass,
     LintPass,
@@ -56,7 +62,9 @@ from repro.pipeline.spec import (
 __all__ = [
     "ALL_ANALYSES",
     "OptimizationContext",
+    "PassContract",
     "PassManager",
+    "PipelineError",
     "PipelineResult",
     "run_pipeline",
     "Pass",

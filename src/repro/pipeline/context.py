@@ -20,6 +20,8 @@ The dependency graph (an edge means "is built from"):
     constraint  -> timing
     triage      (self-contained: permissibility caches keyed on the
                  netlist's structural state)
+    analysis    (self-contained: the static fact base, keyed on the
+                 netlist's structural state with its own dirty hooks)
 
 Every analysis also depends on the netlist structure; passes that edit
 the netlist without maintaining the analyses incrementally declare
@@ -42,6 +44,7 @@ ALL_ANALYSES = (
     "timing",
     "workspace",
     "triage",
+    "analysis",
 )
 
 #: analysis -> analyses built *from* it (invalidated along with it).
@@ -52,6 +55,7 @@ _DEPENDENTS = {
     "timing": (),
     "workspace": (),
     "triage": (),
+    "analysis": (),
 }
 
 _UNBUILT = object()
@@ -75,18 +79,32 @@ class OptimizationContext:
         self._analyses: dict[str, object] = {}
         #: analysis name -> number of times it was constructed.
         self.build_counts: dict[str, int] = {}
+        #: Active :class:`~repro.pipeline.manager.PassContract`, installed
+        #: by the manager around each pass run when ``options.sanitize``
+        #: is set; ``None`` means access is unchecked.
+        self._contract = None
+        # Builders fetch their prerequisites through ``get`` too; those
+        # nested reads are the context's own, not the pass's, so the
+        # contract only audits depth-0 calls.
+        self._build_depth = 0
 
     # ------------------------------------------------------------------
     # Build / invalidate protocol
     # ------------------------------------------------------------------
     def get(self, name: str):
         """The analysis ``name``, building it (and prerequisites) lazily."""
+        if self._contract is not None and self._build_depth == 0:
+            self._contract.check_read(name)
         value = self._analyses.get(name, _UNBUILT)
         if value is _UNBUILT:
             builder = getattr(self, f"_build_{name}", None)
             if builder is None:
                 raise PipelineError(f"unknown analysis {name!r}")
-            value = builder()
+            self._build_depth += 1
+            try:
+                value = builder()
+            finally:
+                self._build_depth -= 1
             self._analyses[name] = value
             self.build_counts[name] = self.build_counts.get(name, 0) + 1
         return value
@@ -100,6 +118,8 @@ class OptimizationContext:
         """Install a pass-maintained instance (e.g. a rebuilt STA)."""
         if name not in ALL_ANALYSES:
             raise PipelineError(f"unknown analysis {name!r}")
+        if self._contract is not None:
+            self._contract.check_write(name)
         self._analyses[name] = value
 
     def is_built(self, name: str) -> bool:
@@ -107,11 +127,19 @@ class OptimizationContext:
 
     def invalidate(self, *names: str) -> None:
         """Drop the named analyses and, transitively, their dependents."""
+        if self._contract is not None:
+            # Only the named roots are audited: declaring an invalidation
+            # implies its dependents, which cascade below unchecked.
+            for name in names:
+                self._contract.check_write(name)
+        self._drop(*names)
+
+    def _drop(self, *names: str) -> None:
         for name in names:
             if name not in _DEPENDENTS:
                 raise PipelineError(f"unknown analysis {name!r}")
             self._analyses.pop(name, None)
-            self.invalidate(*_DEPENDENTS[name])
+            self._drop(*_DEPENDENTS[name])
 
     def invalidate_all(self) -> None:
         self.invalidate(*ALL_ANALYSES)
@@ -177,6 +205,15 @@ class OptimizationContext:
             self.netlist, backtrack_limit=self.options.backtrack_limit
         )
 
+    def _build_analysis(self):
+        from repro.analysis.suite import AnalysisSuite
+
+        # Deliberately independent of the run's pattern/seed options:
+        # every emitted fact is proven (SAT or exhaustively), so the
+        # fact *content* does not depend on the simulation seed — only
+        # which candidates get nominated for confirmation does.
+        return AnalysisSuite(self.netlist)
+
     # ------------------------------------------------------------------
     # Convenience accessors (lazy-building)
     # ------------------------------------------------------------------
@@ -199,3 +236,8 @@ class OptimizationContext:
     @property
     def workspace(self):
         return self.get("workspace")
+
+    @property
+    def analysis(self):
+        """The static fact base (:class:`repro.analysis.AnalysisSuite`)."""
+        return self.get("analysis")

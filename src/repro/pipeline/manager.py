@@ -8,6 +8,12 @@ graph).  Each pass runs under its own telemetry phase — a
 ``pass.<name>`` timer on the manager's
 :class:`~repro.telemetry.metrics.Metrics` — so pipeline hot spots show
 up per stage, not as one opaque total.
+
+When the context's options carry ``sanitize=True``, each pass also runs
+under a :class:`PassContract`: reading an analysis it never declared, or
+dirtying state without declaring ``invalidates``/``maintains``, raises a
+``[contract]``-tagged :class:`~repro.errors.PipelineError` instead of
+silently computing over (or handing the next pass) stale analyses.
 """
 
 from __future__ import annotations
@@ -16,11 +22,70 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
+from repro.errors import PipelineError
 from repro.netlist.netlist import Netlist
 from repro.pipeline.context import OptimizationContext
 from repro.pipeline.passes import Pass, PassResult
 from repro.telemetry.metrics import Metrics
 from repro.transform.optimizer import OptimizeOptions
+
+
+class PassContract:
+    """Declared-dependency audit for one pass run (``sanitize`` mode).
+
+    Installed on the context around ``stage.run``.  Three checks:
+
+    - a depth-0 ``ctx.get`` of an analysis outside ``requires`` or
+      ``maintains`` (prerequisites fetched by the context's own builders
+      are exempt — they are the context's reads, not the pass's),
+    - a ``ctx.put``/``ctx.invalidate`` of an analysis outside
+      ``maintains`` or ``invalidates`` (cascaded dependents of a
+      declared invalidation are exempt),
+    - a structural netlist edit by a pass declaring neither
+      ``invalidates`` nor ``maintains`` — the one way to hand every
+      later pass silently-stale analyses.
+
+    Violations raise a ``[contract]``-tagged
+    :class:`~repro.errors.PipelineError` naming the pass, the access,
+    and the declaration that would legalize it.
+    """
+
+    def __init__(self, stage: Pass):
+        self.stage = stage
+        self._reads = set(stage.requires) | set(stage.maintains)
+        self._writes = set(stage.maintains) | set(stage.invalidates)
+
+    def _fail(self, what: str, fix: str) -> None:
+        stage = self.stage
+        raise PipelineError(
+            f"[contract] pass {stage.name!r} {what} without declaring it; "
+            f"{fix} (requires={list(stage.requires)}, "
+            f"maintains={list(stage.maintains)}, "
+            f"invalidates={list(stage.invalidates)})"
+        )
+
+    def check_read(self, name: str) -> None:
+        if name not in self._reads:
+            self._fail(
+                f"read analysis {name!r}",
+                "add it to the pass's requires (or maintains)",
+            )
+
+    def check_write(self, name: str) -> None:
+        if name not in self._writes:
+            self._fail(
+                f"dirtied analysis {name!r}",
+                "add it to the pass's invalidates (or maintains)",
+            )
+
+    def check_netlist(self, before: tuple, context: OptimizationContext) -> None:
+        after = (id(context.netlist), context.netlist.structural_version)
+        if after != before and not self._writes:
+            self._fail(
+                "edited the netlist",
+                "declare invalidates (or maintain the analyses "
+                "incrementally and declare maintains)",
+            )
 
 
 @dataclass
@@ -74,9 +139,19 @@ class PassManager:
             stage.configure(context)
             for analysis in stage.requires:
                 context.get(analysis)
+            contract = None
+            if getattr(context.options, "sanitize", False):
+                contract = PassContract(stage)
+            before = (id(context.netlist), context.netlist.structural_version)
             tick = time.perf_counter()
-            with self.metrics.timer(f"pass.{stage.name}"):
-                result = stage.run(context)
+            context._contract = contract
+            try:
+                with self.metrics.timer(f"pass.{stage.name}"):
+                    result = stage.run(context)
+            finally:
+                context._contract = None
+            if contract is not None:
+                contract.check_netlist(before, context)
             result.seconds = time.perf_counter() - tick
             context.invalidate(*stage.invalidates)
             outcome.passes.append(result)

@@ -90,6 +90,12 @@ class Pass:
     requires: tuple[str, ...] = ()
     #: Analyses dropped after :meth:`run` (dependents cascade).
     invalidates: tuple[str, ...] = ()
+    #: Analyses the pass reads or updates *itself* — lazily, optionally,
+    #: or incrementally — without the manager's pre-build/invalidate
+    #: help.  Purely a contract declaration (see
+    #: :class:`~repro.pipeline.manager.PassContract`); the manager never
+    #: acts on it.
+    maintains: tuple[str, ...] = ()
 
     def __init__(self, **params):
         #: The constructor kwargs, kept for spec round-tripping.
@@ -155,6 +161,10 @@ class PowderPass(Pass):
     name = "powder"
     requires = ("estimator", "timing")
     invalidates = ()
+    # The engine builds, reads, and incrementally updates every context
+    # analysis itself (workspace, triage, the fact base...), so the full
+    # set is contract-legal without manager involvement.
+    maintains = ALL_ANALYSES
 
     def __init__(self, **overrides):
         valid = {f.name for f in fields(OptimizeOptions)}
@@ -199,9 +209,10 @@ class LintPass(Pass):
     """Gate the pipeline on the :mod:`repro.lint` rule pack.
 
     Parameters: ``fail_on`` severity (``error``/``warning``/``info``),
-    ``select``/``ignore`` comma-separated rule IDs, and
+    ``select``/``ignore`` comma-separated rule IDs,
     ``probabilities=true`` to also run the probability rules against the
-    context's engine.
+    context's engine, and ``facts=true`` to build the context's static
+    fact base and run the proof-backed ``S0xx`` rules.
     """
 
     name = "lint"
@@ -212,12 +223,14 @@ class LintPass(Pass):
         select: Optional[str] = None,
         ignore: Optional[str] = None,
         probabilities: bool = False,
+        facts: bool = False,
     ):
         super().__init__(
             fail_on=fail_on,
             select=select,
             ignore=ignore,
             probabilities=probabilities,
+            facts=facts,
         )
         from repro.lint import Severity
 
@@ -225,8 +238,14 @@ class LintPass(Pass):
         self.select = self._split(select)
         self.ignore = self._split(ignore)
         self.probabilities = probabilities
+        self.facts = facts
+        requires = []
         if probabilities:
-            self.requires = ("probability",)
+            requires.append("probability")
+        if facts:
+            requires.append("analysis")
+        if requires:
+            self.requires = tuple(requires)
 
     @staticmethod
     def _split(ids: Optional[str]) -> Optional[list[str]]:
@@ -243,11 +262,13 @@ class LintPass(Pass):
             probabilities = {
                 name: engine.probability(name) for name in ctx.netlist.gates
             }
+        facts = ctx.analysis.facts if self.facts else None
         report = lint_netlist(
             ctx.netlist,
             select=self.select,
             ignore=self.ignore,
             probabilities=probabilities,
+            facts=facts,
         )
         if report.at_least(self.threshold):
             raise LintError(
@@ -300,6 +321,9 @@ class SanitizePass(Pass):
     """
 
     name = "sanitize"
+    # Read-only over whatever happens to be built; the checks themselves
+    # decide what to inspect, so the whole set is contract-legal.
+    maintains = ALL_ANALYSES
 
     def run(self, ctx: OptimizationContext) -> PassResult:
         from repro.lint.diagnostics import LintReport
@@ -417,7 +441,7 @@ register_pass(
     LintPass,
     "gate the pipeline on the static-analysis rule pack",
     "fail_on=error|warning|info, select=IDS, ignore=IDS, "
-    "probabilities=true|false",
+    "probabilities=true|false, facts=true|false",
 )
 register_pass(
     "sanitize",

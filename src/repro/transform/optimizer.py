@@ -52,7 +52,11 @@ from repro.transform.candidates import (
     generate_candidates,
 )
 from repro.transform.cost import COST_MODELS, CostModel, resolve_cost_model
-from repro.transform.gain import full_gain
+from repro.transform.gain import (
+    GainBreakdown,
+    full_gain,
+    predict_dying_region,
+)
 from repro.transform.permissible import (
     ABORTED,
     NOT_PERMISSIBLE,
@@ -67,6 +71,11 @@ from repro.transform.substitution import (
     apply_substitution,
     apply_to_copy,
 )
+
+#: Virtual equivalence-class root for proven-constant signals: a
+#: constant-``v`` source normalises to (``_CONST_ROOT``, parity ``v``).
+#: The NUL prefix keeps it disjoint from every legal gate name.
+_CONST_ROOT = "\x00const"
 
 
 @dataclass
@@ -151,6 +160,21 @@ class OptimizeOptions:
     #: by default: the paper's protocol starts from the mapped netlist
     #: as-is.
     dedupe_first: bool = False
+    #: Prune candidate work with the static fact base
+    #: (:class:`repro.analysis.AnalysisSuite`, shared via the context's
+    #: ``analysis`` slot): drop pool candidates sourced from proven-
+    #: unobservable gates, and collapse pointwise-identical candidates
+    #: during selection — equivalence-class twins and constant-source
+    #: duplicates reuse the first twin's full-gain breakdown (same dying
+    #: region required) instead of paying the PG_C overlay simulation
+    #: again.  The collapse keeps chunk membership intact and reproduces
+    #: the exact gain floats a fresh evaluation would compute, so the
+    #: selected move sequence stays bit-identical to a prune-off run
+    #: (the golden-trace identity suite pins this on the four bundled
+    #: benchmarks).  Collapsing is disabled under a delay constraint,
+    #: where equivalent signals may differ in arrival time.  Work-avoided
+    #: tallies land in the telemetry counters (``prune_*``).
+    analysis_prune: bool = False
 
     def __post_init__(self):
         """Reject configurations that would otherwise fail deep in the run."""
@@ -295,6 +319,15 @@ class PowerOptimizer:
         self.rejected_not_permissible = 0
         self.rejected_aborted = 0
         self.rejected_stale = 0
+        #: ``analysis_prune`` work avoided, by reason: pool candidates
+        #: dropped over unobservable sources, and full-gain evaluations
+        #: skipped by the selection-time collapse (constant-source twins
+        #: and equivalence-class duplicates, tallied separately).
+        self.prune_counters = {
+            "constant_sources": 0,
+            "unobservable_sources": 0,
+            "equiv_duplicates": 0,
+        }
         self._round = 0
         #: Telemetry hooks; every call site is guarded by ``is not None``
         #: so the untraced path (the default) pays nothing.
@@ -337,9 +370,104 @@ class PowerOptimizer:
     # Figure-5 primitives
     # ------------------------------------------------------------------
     def get_candidate_substitutions(self) -> list[Candidate]:
-        if not self.options.incremental:
-            return generate_candidates(self.estimator, self.options.candidates)
-        return self.ctx.workspace.generate(self.options.candidates)
+        opts = self.options
+        facts = None
+        if opts.analysis_prune:
+            facts = self.ctx.get("analysis").facts
+        if not opts.incremental:
+            pool = generate_candidates(self.estimator, opts.candidates)
+        else:
+            pool = self.ctx.workspace.generate(opts.candidates)
+        if facts is not None:
+            pool = self._prune_pool(pool, facts)
+        return pool
+
+    def _prune_pool(self, pool: list[Candidate], facts) -> list[Candidate]:
+        """Drop candidates sourced from proven-unobservable gates.
+
+        Runs *after* full generation (post-filter): masking sources
+        before the per-target ``max_per_target`` / ``max_total``
+        truncation would backfill new candidates into the pool and
+        change the move sequence.  Every drop is counted.
+
+        Unobservable sources are dead logic the substitution would wire
+        back to life; proven-*constant* sources are deliberately NOT
+        dropped here — a constant signal is a genuinely cheap driver the
+        baseline loop happily selects, so they are collapsed during
+        selection instead (one evaluation per constant value, see
+        :meth:`_selection_tokens`).
+        """
+        counters = self.prune_counters
+        unobservable = facts.unobservable_names()
+        if not unobservable:
+            return pool
+        kept: list[Candidate] = []
+        for candidate in pool:
+            sub = candidate.substitution
+            sources = [s for s in (sub.source1, sub.source2) if s]
+            if any(s in unobservable for s in sources):
+                counters["unobservable_sources"] += 1
+                continue
+            kept.append(candidate)
+        return kept
+
+    def _selection_tokens(self) -> Optional[dict]:
+        """Current signal-identity tokens for selection-time collapsing.
+
+        Equivalence-class tokens plus one virtual class for every
+        proven-constant gate: a constant-``v`` source is pointwise
+        ``<const> ^ v`` (``<const>`` being the all-zero virtual root),
+        so *all* constant-source candidates of one shape share a single
+        evaluation regardless of which constant gate they read.
+
+        ``None`` unless ``analysis_prune`` is on and no delay constraint
+        binds (equivalent signals may differ in arrival time).  Read per
+        selection call: the suite refreshes incrementally after each
+        applied move, and a token is only trusted for the *current*
+        structural state.
+        """
+        if not self.options.analysis_prune or self.constraint is not None:
+            return None
+        facts = self.ctx.get("analysis").facts
+        tokens = dict(facts.equiv_tokens())
+        for name, value in facts.constant_values().items():
+            tokens[name] = (_CONST_ROOT, value)
+        return tokens
+
+    @staticmethod
+    def _twin_key(sub: Substitution, tokens: dict) -> Optional[tuple]:
+        """Evaluation-sharing key: equal keys mean the substituting
+        signals are pointwise-identical.
+
+        Each source is normalised to (class representative, effective
+        inversion): a parity-1 class member read uninverted equals the
+        representative read inverted, so both collapse onto one key.
+        ``None`` when no source carries a token — distinct candidates
+        can then never collide (the key would pin the exact sources).
+        """
+        if sub.is_constant:
+            return None
+        token1 = tokens.get(sub.source1)
+        token2 = tokens.get(sub.source2) if sub.source2 else None
+        if token1 is None and token2 is None:
+            return None
+        root1, parity1 = token1 if token1 else (sub.source1, 0)
+        eff1 = bool(sub.invert1) ^ bool(parity1)
+        if sub.source2:
+            root2, parity2 = token2 if token2 else (sub.source2, 0)
+            eff2 = bool(sub.invert2) ^ bool(parity2)
+        else:
+            root2, eff2 = None, False
+        return (
+            sub.kind,
+            sub.target,
+            sub.branch,
+            sub.new_cell,
+            root1,
+            eff1,
+            root2,
+            eff2,
+        )
 
     def _objective_score(self, candidate: Candidate) -> float:
         """How much the configured objective improves (> floor = accept)."""
@@ -356,8 +484,19 @@ class PowerOptimizer:
         Examines candidates in quick-gain order, chunk by chunk: the first
         chunk whose best score clears the floor wins.  Examined losers are
         dropped from the pool, guaranteeing progress.
+
+        With ``analysis_prune``, full-gain evaluations are shared between
+        equivalence-class twins within this call (the netlist is fixed
+        here, so a memoised breakdown stays exact): a twin reuses the
+        evaluated breakdown only when its own dying region matches, the
+        one place the source's *position* — not its value — enters the
+        gain.  Chunk membership is untouched, and a reused breakdown
+        reproduces the exact floats a fresh evaluation would produce, so
+        selection is bit-identical to the unpruned loop.
         """
         opts = self.options
+        tokens = self._selection_tokens()
+        memo: dict[tuple, GainBreakdown] = {}
         while pool:
             chunk: list[tuple[int, Candidate]] = []
             index = 0
@@ -378,8 +517,8 @@ class PowerOptimizer:
             best: Optional[tuple[int, Candidate, float]] = None
             for position, candidate in chunk:
                 try:
-                    candidate.gain = full_gain(
-                        self.estimator, candidate.substitution
+                    candidate.gain = self._evaluate_gain(
+                        candidate.substitution, tokens, memo
                     )
                 except TransformError:
                     self.rejected_stale += 1
@@ -396,6 +535,49 @@ class PowerOptimizer:
             for position, _candidate in sorted(chunk, reverse=True):
                 pool.pop(position)
         return None
+
+    def _evaluate_gain(
+        self,
+        substitution: Substitution,
+        tokens: Optional[dict],
+        memo: dict,
+    ) -> GainBreakdown:
+        """``full_gain``, sharing evaluations between proven twins.
+
+        A memo hit is honoured only when the candidate's own dying
+        region (recomputed — it can raise exactly where ``full_gain``
+        would) equals the evaluated twin's: regions diverge when one
+        source lies inside the target's fanout-free cone, and with them
+        PG_A, PG_C, and the area delta.  On a match the twin's
+        breakdown is cloned — the PG_C overlay simulation, the dominant
+        cost here, is skipped.
+        """
+        key = (
+            self._twin_key(substitution, tokens)
+            if tokens is not None
+            else None
+        )
+        if key is not None:
+            entry = memo.get(key)
+            if entry is not None:
+                region = predict_dying_region(self.netlist, substitution)
+                if [gate.name for gate in region] == entry.dying:
+                    if _CONST_ROOT in (key[4], key[6]):
+                        self.prune_counters["constant_sources"] += 1
+                    else:
+                        self.prune_counters["equiv_duplicates"] += 1
+                    return GainBreakdown(
+                        pg_a=entry.pg_a,
+                        pg_b=entry.pg_b,
+                        pg_c=entry.pg_c,
+                        includes_pg_c=entry.includes_pg_c,
+                        area_delta=entry.area_delta,
+                        dying=list(entry.dying),
+                    )
+        gain = full_gain(self.estimator, substitution)
+        if key is not None:
+            memo[key] = gain
+        return gain
 
     def check_delay(self, substitution: Substitution) -> bool:
         """True when the move respects the delay constraint (§3.4)."""
@@ -501,6 +683,9 @@ class PowerOptimizer:
             workspace = self._workspace
             if workspace is not None:
                 workspace.invalidate(dirty_gates)
+            analysis = self.ctx.peek("analysis")
+            if analysis is not None:
+                analysis.update_after_edit(dirty)
         else:
             self.ctx.put(
                 "timing",

@@ -1,0 +1,171 @@
+"""The four builtin analyses on hand-built circuits with known answers."""
+
+import numpy as np
+
+from repro.analysis import AnalysisSuite
+from repro.analysis.constants import ConstantAnalysis
+from repro.analysis.engine import DataflowEngine
+from repro.analysis.lattice import TOP
+from repro.analysis.observability import pin_blocked, po_reachable
+from repro.analysis.phase import PhaseAnalysis
+from repro.netlist.build import NetlistBuilder
+
+
+class TestConstantAnalysis:
+    def test_tie_cells_and_propagation(self, lib):
+        b = NetlistBuilder(lib, "const")
+        x = b.input("x")
+        zero = b.cell_gate("zero", name="k0")
+        g = b.and_(x, zero, name="g")     # AND(x, 0) == 0
+        h = b.xor_(g, zero, name="h")     # XOR(0, 0) == 0
+        b.output("z", h)
+        values = DataflowEngine(b.build()).run(ConstantAnalysis())
+        assert values["k0"] == 0
+        assert values["g"] == 0
+        assert values["h"] == 0
+        assert values["x"] is TOP
+
+    def test_reconvergent_constant_needs_the_sat_tier(self, lib):
+        # OR(x, INV(x)) == 1, invisible to the dataflow pass (both
+        # fanins are TOP) — the suite's SAT tier must close the gap.
+        b = NetlistBuilder(lib, "reconv")
+        x = b.input("x")
+        inv = b.not_(x, name="nx")
+        g = b.or_(x, inv, name="g")
+        b.output("z", g)
+        netlist = b.build()
+        dataflow = DataflowEngine(netlist).run(ConstantAnalysis())
+        assert dataflow["g"] is TOP
+        facts = AnalysisSuite(netlist).facts
+        assert facts.constant_values() == {"g": 1}
+        [fact] = facts.constants
+        assert fact.proof == "sat"
+
+    def test_no_sat_means_no_second_tier(self, lib):
+        b = NetlistBuilder(lib, "reconv")
+        x = b.input("x")
+        g = b.or_(x, b.not_(x, name="nx"), name="g")
+        b.output("z", g)
+        facts = AnalysisSuite(b.build(), use_sat=False).facts
+        # The signature nominates g, but without the oracle no proof
+        # exists and no fact may be emitted.
+        assert facts.constant_values() == {}
+
+
+class TestPhaseAnalysis:
+    def test_chain_roots_parity_and_depth(self, lib):
+        b = NetlistBuilder(lib, "phase")
+        x = b.input("x")
+        g = b.and_(x, x, name="g")
+        n1 = b.not_(g, name="n1")
+        n2 = b.not_(n1, name="n2")
+        n3 = b.cell_gate("buf1", n2, name="n3")
+        b.output("z", n3)
+        values = DataflowEngine(b.build()).run(PhaseAnalysis())
+        assert values["g"] == ("g", 0, 0)      # non-chain gate: own root
+        assert values["n1"] == ("g", 1, 1)
+        assert values["n2"] == ("g", 0, 2)     # double inversion cancels
+        assert values["n3"] == ("g", 0, 3)     # buffer keeps parity
+
+    def test_suite_emits_only_chain_facts(self, lib):
+        b = NetlistBuilder(lib, "phase")
+        x = b.input("x")
+        n1 = b.not_(x, name="n1")
+        b.output("z", b.and_(n1, x, name="g"))
+        facts = AnalysisSuite(b.build()).facts
+        assert facts.phase_roots() == {"n1": ("x", 1)}
+
+
+class TestObservability:
+    def test_pin_blocked_by_controlling_constant(self, lib):
+        and2 = lib["and2"]
+        # Pin 1 held at 0 makes the output 0 regardless of pin 0.
+        assert pin_blocked(and2, 0, {1: 0})
+        # Held at 1 the AND is transparent in pin 0.
+        assert not pin_blocked(and2, 0, {1: 1})
+        # No constants: every pin is live.
+        assert not pin_blocked(and2, 0, {})
+
+    def test_dead_cone_is_structural(self, lib):
+        b = NetlistBuilder(lib, "dead")
+        x = b.input("x")
+        b.not_(x, name="dead1")
+        b.output("z", b.and_(x, x, name="live"))
+        netlist = b.build()
+        assert po_reachable(netlist) == {"x", "live"}
+        facts = AnalysisSuite(netlist).facts
+        [fact] = facts.unobservables
+        assert (fact.name, fact.reason, fact.proof) == (
+            "dead1", "dead", "structural"
+        )
+
+    def test_blocked_cone_is_sat_confirmed(self, lib):
+        # g is ANDed against a proven 0, so g never reaches the PO.
+        b = NetlistBuilder(lib, "blocked")
+        x, y = b.inputs("x", "y")
+        zero = b.cell_gate("zero", name="k0")
+        g = b.xor_(x, y, name="g")
+        masked = b.and_(g, zero, name="masked")
+        b.output("z", b.or_(masked, x, name="out"))
+        facts = AnalysisSuite(b.build()).facts
+        blocked = {
+            fact.name: (fact.reason, fact.proof)
+            for fact in facts.unobservables
+        }
+        assert blocked["g"] == ("blocked", "sat")
+
+    def test_reconvergence_counterexample_is_not_promoted(self, lib):
+        # The ALGORITHMS.md §18 counterexample: s = OR(g, INV(g)) is
+        # constant 1, but flipping g rewrites s itself, so g must NOT
+        # be called unobservable just because its sink is constant.
+        b = NetlistBuilder(lib, "trap")
+        x, y = b.inputs("x", "y")
+        g = b.and_(x, y, name="g")
+        s = b.or_(g, b.not_(g, name="ng"), name="s")
+        # s is constant 1, and g also feeds the PO through s only.
+        b.output("z", s)
+        out = b.and_(g, x, name="keep")
+        b.output("z2", out)
+        facts = AnalysisSuite(b.build()).facts
+        assert "g" not in facts.unobservable_names()
+
+
+class TestEquivalence:
+    def test_duplicate_and_complement_classes(self, lib):
+        b = NetlistBuilder(lib, "equiv")
+        x, y = b.inputs("x", "y")
+        g1 = b.and_(x, y, name="g1")
+        g2 = b.and_(x, y, name="g2")           # structural duplicate
+        g3 = b.nand_(x, y, name="g3")          # complement cone
+        b.output("z1", b.or_(g1, g2, name="o1"))
+        b.output("z2", g3)
+        facts = AnalysisSuite(b.build()).facts
+        tokens = facts.equiv_tokens()
+        assert tokens["g1"] == tokens["g2"] == ("g1", 0)
+        assert tokens["g3"] == ("g1", 1)
+        cls = facts.class_of("g2")
+        assert cls.representative == "g1"
+        assert cls.proofs["g2"] == "structural"
+        assert cls.proofs["g3"] == "sat"
+
+    def test_without_oracle_only_structural_merges(self, lib):
+        b = NetlistBuilder(lib, "equiv")
+        x, y = b.inputs("x", "y")
+        g1 = b.and_(x, y, name="g1")
+        g2 = b.and_(x, y, name="g2")
+        g3 = b.nand_(x, y, name="g3")
+        b.output("z1", b.or_(g1, g2, name="o1"))
+        b.output("z2", g3)
+        facts = AnalysisSuite(b.build(), use_sat=False).facts
+        tokens = facts.equiv_tokens()
+        assert tokens["g1"] == tokens["g2"]
+        assert "g3" not in tokens  # signature alone is never trusted
+
+    def test_tokens_are_pointwise_identical_signals(self, lib, figure2):
+        suite = AnalysisSuite(figure2)
+        facts = suite.facts
+        sim_values = suite._sim.values
+        ones = np.uint64(0xFFFFFFFFFFFFFFFF)
+        for name, (root, parity) in facts.equiv_tokens().items():
+            expected = sim_values[root] ^ (ones if parity else np.uint64(0))
+            assert (sim_values[name] == expected).all()

@@ -1,0 +1,151 @@
+"""The fixed-point worklist solver: convergence, incrementality, guards."""
+
+import pytest
+
+from repro.analysis.constants import ConstantAnalysis
+from repro.analysis.engine import DataflowAnalysis, DataflowEngine
+from repro.analysis.lattice import BOTTOM, TOP, FlatLattice
+from repro.analysis.observability import ObservabilityAnalysis
+from repro.netlist.build import NetlistBuilder
+
+
+class CountingConstants(ConstantAnalysis):
+    """Constant propagation that tallies transfer evaluations."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def transfer(self, gate, values):
+        self.calls += 1
+        return super().transfer(gate, values)
+
+
+def chain_netlist(lib, length=5):
+    b = NetlistBuilder(lib, "chain")
+    signal = b.input("x")
+    for index in range(length):
+        signal = b.not_(signal, name=f"n{index}")
+    b.output("z", signal)
+    return b.build()
+
+
+class TestFullRun:
+    def test_every_gate_gets_a_value(self, lib, figure2):
+        values = DataflowEngine(figure2).run(ConstantAnalysis())
+        assert set(values) == set(figure2.gates)
+        assert all(v is not BOTTOM for v in values.values())
+
+    def test_dag_converges_in_one_ordered_sweep(self, lib):
+        # The level-prioritised heap visits each node exactly once on a
+        # DAG: one transfer call per gate, no chaotic re-iteration.
+        netlist = chain_netlist(lib, length=8)
+        analysis = CountingConstants()
+        DataflowEngine(netlist).run(analysis)
+        assert analysis.calls == len(netlist.gates)
+
+    def test_constants_flow_through_tie_cells(self, lib):
+        b = NetlistBuilder(lib, "tied")
+        x = b.input("x")
+        one = b.cell_gate("one", name="k1")
+        g = b.and_(x, one, name="g")       # AND(x, 1) = x: not constant
+        h = b.or_(x, one, name="h")        # OR(x, 1) = 1: constant
+        b.output("zg", g)
+        b.output("zh", h)
+        values = DataflowEngine(b.build()).run(ConstantAnalysis())
+        assert values["k1"] == 1
+        assert values["h"] == 1
+        assert values["g"] is TOP
+
+    def test_backward_analysis_runs(self, lib, figure2):
+        values = DataflowEngine(figure2).run(ObservabilityAnalysis({}))
+        # Everything in figure2 reaches a PO, so nothing is blocked.
+        assert all(values[name] is True for name in figure2.gates)
+
+    def test_unknown_direction_rejected(self, lib, figure2):
+        class Sideways(DataflowAnalysis):
+            direction = "sideways"
+            lattice = FlatLattice()
+
+        with pytest.raises(ValueError, match="direction"):
+            DataflowEngine(figure2).run(Sideways())
+
+    def test_widen_after_validated(self, figure2):
+        with pytest.raises(ValueError, match="widen_after"):
+            DataflowEngine(figure2, widen_after=0)
+
+
+class TestIncremental:
+    def swap_cell(self, netlist, name, cell_name):
+        gate = netlist.gates[name]
+        gate.cell = netlist.library[cell_name]
+        netlist._invalidate()
+
+    def test_incremental_equals_fresh_after_cell_swap(self, lib):
+        netlist = chain_netlist(lib, length=6)
+        engine = DataflowEngine(netlist)
+        analysis = ConstantAnalysis()
+        values = engine.run(analysis)
+        # Turn the middle inverter into a buffer: downstream parity of
+        # every value flips, upstream is untouched.
+        self.swap_cell(netlist, "n3", "buf1")
+        engine.update_after_edit(analysis, values, ["n3"])
+        fresh = DataflowEngine(netlist).run(ConstantAnalysis())
+        assert values == fresh
+
+    def test_incremental_repairs_only_the_fanout_region(self, lib):
+        netlist = chain_netlist(lib, length=6)
+        engine = DataflowEngine(netlist)
+        analysis = CountingConstants()
+        values = engine.run(analysis)
+        analysis.calls = 0
+        self.swap_cell(netlist, "n3", "buf1")
+        engine.update_after_edit(analysis, values, ["n3"])
+        # n3 plus its transitive fanout (n4, n5) — never x/n0/n1/n2.
+        assert analysis.calls <= 3
+
+    def test_removed_gates_are_dropped_from_values(self, lib):
+        b = NetlistBuilder(lib, "dead")
+        x = b.input("x")
+        b.not_(x, name="dead1")  # no fanout, no PO: legally removable
+        b.output("z", b.and_(x, x, name="live"))
+        netlist = b.build()
+        engine = DataflowEngine(netlist)
+        analysis = ConstantAnalysis()
+        values = engine.run(analysis)
+        netlist.remove_gate(netlist.gates["dead1"])
+        engine.update_after_edit(analysis, values, ["dead1"])
+        assert "dead1" not in values
+        assert set(values) == set(netlist.gates)
+
+    def test_changed_set_reported(self, lib):
+        netlist = chain_netlist(lib, length=4)
+        engine = DataflowEngine(netlist)
+
+        class PinZero(DataflowAnalysis):
+            """Everything is 0 — until the edit flips the verdict."""
+
+            direction = "forward"
+            lattice = FlatLattice()
+
+            def __init__(self):
+                self.flipped = set()
+
+            def transfer(self, gate, values):
+                return 1 if gate.name in self.flipped else 0
+
+        analysis = PinZero()
+        values = engine.run(analysis)
+        analysis.flipped = {"n2"}
+        changed = engine.update_after_edit(analysis, values, ["n2"])
+        assert "n2" in changed
+        assert values["n2"] == 1
+
+    def test_levels_cache_follows_structural_state(self, lib):
+        netlist = chain_netlist(lib, length=3)
+        engine = DataflowEngine(netlist)
+        first = engine.levels()
+        assert engine.levels() is first  # cached per structural state
+        b_gate = netlist.gates["n2"]
+        b_gate.cell = netlist.library["buf1"]
+        netlist._invalidate()
+        assert engine.levels() is not first

@@ -1,0 +1,102 @@
+"""Lattice laws the dataflow engine's convergence argument rests on."""
+
+import itertools
+
+import pytest
+
+from repro.analysis.lattice import (
+    BOTTOM,
+    TOP,
+    FlatLattice,
+    Lattice,
+    TernaryLattice,
+)
+
+#: The whole flat-lattice carrier over {0, 1} — small enough to check
+#: every law exhaustively instead of sampling.
+CARRIER = (BOTTOM, 0, 1, TOP)
+
+
+class TestFlatLattice:
+    lattice = FlatLattice()
+
+    def test_bottom_is_identity_of_join(self):
+        for value in CARRIER:
+            assert self.lattice.join(BOTTOM, value) == value
+            assert self.lattice.join(value, BOTTOM) == value
+
+    def test_top_absorbs(self):
+        for value in CARRIER:
+            assert self.lattice.join(TOP, value) is TOP
+            assert self.lattice.join(value, TOP) is TOP
+
+    def test_join_idempotent_and_commutative(self):
+        for a, b in itertools.product(CARRIER, repeat=2):
+            assert self.lattice.join(a, a) == a
+            assert self.lattice.join(a, b) == self.lattice.join(b, a)
+
+    def test_join_associative(self):
+        for a, b, c in itertools.product(CARRIER, repeat=3):
+            left = self.lattice.join(self.lattice.join(a, b), c)
+            right = self.lattice.join(a, self.lattice.join(b, c))
+            assert left == right
+
+    def test_distinct_constants_join_to_top(self):
+        assert self.lattice.join(0, 1) is TOP
+
+    def test_join_is_least_upper_bound(self):
+        # a <= a|b, b <= a|b, and a|b <= any other upper bound.
+        for a, b in itertools.product(CARRIER, repeat=2):
+            joined = self.lattice.join(a, b)
+            assert self.lattice.leq(a, joined)
+            assert self.lattice.leq(b, joined)
+            for upper in CARRIER:
+                if self.lattice.leq(a, upper) and self.lattice.leq(b, upper):
+                    assert self.lattice.leq(joined, upper)
+
+    def test_leq_partial_order(self):
+        for a, b in itertools.product(CARRIER, repeat=2):
+            if self.lattice.leq(a, b) and self.lattice.leq(b, a):
+                assert a == b
+        for a in CARRIER:
+            assert self.lattice.leq(a, a)
+
+    def test_widen_stable_value_is_kept(self):
+        assert self.lattice.widen(1, 1) == 1
+
+    def test_widen_oscillation_jumps_to_top(self):
+        # The engine's termination backstop: any disagreement widens
+        # straight to "no information" rather than iterating.
+        assert self.lattice.widen(0, 1) is TOP
+        assert self.lattice.widen(1, 0) is TOP
+        assert self.lattice.widen(BOTTOM, 0) is TOP
+
+    def test_join_all(self):
+        assert self.lattice.join_all([]) is BOTTOM
+        assert self.lattice.join_all([0, 0]) == 0
+        assert self.lattice.join_all([0, 1]) is TOP
+
+
+class TestTernaryLattice:
+    def test_from_bool(self):
+        lattice = TernaryLattice()
+        assert lattice.from_bool(True) == 1
+        assert lattice.from_bool(False) == 0
+
+    def test_is_flat(self):
+        assert isinstance(TernaryLattice(), FlatLattice)
+
+
+class TestBaseLattice:
+    def test_base_operations_abstract(self):
+        base = Lattice()
+        assert base.bottom() is BOTTOM
+        assert base.top() is TOP
+        assert base.is_bottom(BOTTOM)
+        assert not base.is_bottom(0)
+        with pytest.raises(NotImplementedError):
+            base.join(0, 1)
+
+    def test_sentinels_have_readable_repr(self):
+        assert repr(BOTTOM) == "BOTTOM"
+        assert repr(TOP) == "TOP"

@@ -1,0 +1,156 @@
+"""The ``sanitize=True`` pass-contract checker.
+
+Under sanitize the manager audits every pass against its own
+declarations: analysis reads must be covered by ``requires`` (or
+``maintains``), analysis writes/invalidations by ``invalidates`` (or
+``maintains``), and any netlist mutation requires at least one declared
+write.  Violations raise :class:`PipelineError` tagged ``[contract]``
+naming the pass and the missing declaration; without sanitize the same
+passes run unaudited.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline import (
+    OptimizationContext,
+    Pass,
+    PassManager,
+    PassResult,
+    PipelineError,
+)
+from repro.pipeline.passes import DedupePass, LintPass, PowderPass, SweepPass
+from repro.transform.optimizer import OptimizeOptions
+from tests.conftest import make_random_netlist
+
+
+class BadReader(Pass):
+    """Reads the estimator without declaring it."""
+
+    name = "bad-reader"
+
+    def run(self, ctx):
+        ctx.get("estimator")
+        return PassResult(self.name, changed=False)
+
+
+class BadMutator(Pass):
+    """Edits the netlist with no declared invalidates/maintains."""
+
+    name = "bad-mutator"
+
+    def run(self, ctx):
+        ctx.netlist._invalidate()
+        return PassResult(self.name, changed=True)
+
+
+class BadInvalidator(Pass):
+    """Invalidates an analysis it never declared."""
+
+    name = "bad-invalidator"
+
+    def run(self, ctx):
+        ctx.invalidate("probability")
+        return PassResult(self.name, changed=False)
+
+
+class HonestReader(Pass):
+    """Same read as BadReader, but declared."""
+
+    name = "honest-reader"
+    requires = ("estimator",)
+
+    def run(self, ctx):
+        ctx.get("estimator")
+        return PassResult(self.name, changed=False)
+
+
+class MaintainingMutator(Pass):
+    """Edits the netlist but declares it maintains the analyses."""
+
+    name = "maintaining-mutator"
+    maintains = ("probability", "estimator")
+
+    def run(self, ctx):
+        ctx.netlist._invalidate()
+        return PassResult(self.name, changed=True)
+
+
+def fresh_context(lib, **options):
+    netlist = make_random_netlist(lib, 5, 14, 2, seed=72)
+    return OptimizationContext(
+        netlist, OptimizeOptions(num_patterns=256, **options)
+    )
+
+
+class TestViolations:
+    def test_undeclared_read_is_rejected(self, lib):
+        ctx = fresh_context(lib, sanitize=True)
+        with pytest.raises(PipelineError, match=r"\[contract\].*bad-reader"):
+            PassManager().run(ctx, [BadReader()])
+
+    def test_undeclared_mutation_is_rejected(self, lib):
+        ctx = fresh_context(lib, sanitize=True)
+        with pytest.raises(
+            PipelineError, match=r"\[contract\].*bad-mutator.*edited"
+        ):
+            PassManager().run(ctx, [BadMutator()])
+
+    def test_undeclared_invalidate_is_rejected(self, lib):
+        ctx = fresh_context(lib, sanitize=True)
+        with pytest.raises(
+            PipelineError, match=r"\[contract\].*bad-invalidator"
+        ):
+            PassManager().run(ctx, [BadInvalidator()])
+
+    def test_error_names_the_missing_declaration(self, lib):
+        ctx = fresh_context(lib, sanitize=True)
+        with pytest.raises(PipelineError, match="requires"):
+            PassManager().run(ctx, [BadReader()])
+
+
+class TestLegalUse:
+    def test_declared_read_passes(self, lib):
+        ctx = fresh_context(lib, sanitize=True)
+        PassManager().run(ctx, [HonestReader()])
+
+    def test_maintains_legalises_reads_and_writes(self, lib):
+        ctx = fresh_context(lib, sanitize=True)
+        PassManager().run(ctx, [MaintainingMutator()])
+
+    def test_builder_internal_reads_are_exempt(self, lib):
+        # Building the estimator pulls the probability model through
+        # ctx.get internally; only the pass's own depth-0 calls are
+        # audited, so HonestReader needs "estimator", not "probability".
+        ctx = fresh_context(lib, sanitize=True)
+        PassManager().run(ctx, [HonestReader()])
+        assert ctx.is_built("probability")
+
+    def test_real_pipeline_is_contract_clean(self, lib):
+        ctx = fresh_context(lib, sanitize=True, max_moves=2)
+        PassManager().run(
+            ctx,
+            [
+                DedupePass(),
+                PowderPass(),
+                SweepPass(),
+                LintPass(select="S001,S002", facts=True),
+            ],
+        )
+
+    def test_contract_cleared_after_each_pass(self, lib):
+        ctx = fresh_context(lib, sanitize=True)
+        with pytest.raises(PipelineError):
+            PassManager().run(ctx, [BadReader()])
+        # The failed pass must not leave its contract installed.
+        assert ctx._contract is None
+        ctx.get("estimator")  # direct use outside a pass stays legal
+
+
+class TestUnsanitized:
+    def test_no_audit_without_sanitize(self, lib):
+        ctx = fresh_context(lib)
+        PassManager().run(
+            ctx, [BadReader(), BadInvalidator(), BadMutator()]
+        )

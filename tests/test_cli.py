@@ -486,3 +486,102 @@ class TestPipelineCommand:
         for stage in ("dedupe", "powder", "sweep", "total"):
             assert stage in out
         assert out_blif.exists() and trace.exists()
+
+
+class TestLintAnalysisFlags:
+    @pytest.fixture
+    def mapped_blif(self, tmp_path):
+        pla = tmp_path / "maj.pla"
+        pla.write_text(
+            ".i 3\n.o 1\n.ilb a b c\n.ob f\n11- 1\n1-1 1\n-11 1\n.e\n"
+        )
+        out = tmp_path / "maj.blif"
+        assert main(["synth", str(pla), "-o", str(out)]) == 0
+        return out
+
+    def test_unknown_rule_id_exits_two(self, mapped_blif, capsys):
+        assert (
+            main(["lint", str(mapped_blif), "--select", "S003,BOGUS"]) == 2
+        )
+        out = capsys.readouterr().out
+        assert "unknown rule ID 'BOGUS'" in out
+
+    def test_explain_prints_docstring_and_severity(self, capsys):
+        assert main(["lint", "--explain", "S003"]) == 0
+        out = capsys.readouterr().out
+        assert "S003" in out
+        assert "severity:" in out
+        # The rule docstring, not a one-liner: the exemptions paragraph.
+        assert "phase" in out.lower()
+
+    def test_explain_covers_builtin_rules_too(self, capsys):
+        assert main(["lint", "--explain", "N005"]) == 0
+        assert "N005" in capsys.readouterr().out
+
+    def test_explain_unknown_rule_exits_two(self, capsys):
+        assert main(["lint", "--explain", "S999"]) == 2
+        assert "unknown rule ID" in capsys.readouterr().out
+
+    def test_facts_flag_enables_s_rules(self, mapped_blif, capsys):
+        assert (
+            main(
+                [
+                    "lint", str(mapped_blif), "--facts",
+                    "--select", "S001,S002,S003,S004",
+                    "--patterns", "256",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+
+
+class TestAnalyzeCommand:
+    @pytest.fixture
+    def mapped_blif(self, tmp_path):
+        pla = tmp_path / "maj.pla"
+        pla.write_text(
+            ".i 3\n.o 1\n.ilb a b c\n.ob f\n11- 1\n1-1 1\n-11 1\n.e\n"
+        )
+        out = tmp_path / "maj.blif"
+        assert main(["synth", str(pla), "-o", str(out)]) == 0
+        return out
+
+    def test_text_report(self, mapped_blif, capsys):
+        assert main(["analyze", str(mapped_blif)]) == 0
+        out = capsys.readouterr().out
+        assert "facts" in out
+
+    def test_json_report(self, mapped_blif, capsys):
+        import json
+
+        assert main(["analyze", str(mapped_blif), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["netlist"] == "maj"
+        assert "soundness" not in payload
+
+    def test_check_soundness_exit_zero_when_sound(self, mapped_blif, capsys):
+        assert main(["analyze", str(mapped_blif), "--check-soundness"]) == 0
+        out = capsys.readouterr().out
+        assert "0 unsound" in out
+
+    def test_check_soundness_json_payload(self, mapped_blif, capsys):
+        import json
+
+        assert (
+            main(
+                [
+                    "analyze", str(mapped_blif),
+                    "--check-soundness", "--format", "json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["soundness"]["ok"] is True
+        assert payload["soundness"]["unsound"] == []
+
+    def test_missing_netlist_raises_like_other_commands(self, tmp_path):
+        missing = tmp_path / "nope.blif"
+        with pytest.raises(FileNotFoundError):
+            main(["analyze", str(missing)])

@@ -1,0 +1,90 @@
+"""``analysis_prune`` must be a pure evaluation-saver.
+
+The option's contract is bit-identical move sequences: turning it on may
+skip redundant full-gain evaluations (constant sources collapse to one
+virtual class, SAT-proven duplicates share a memoised gain) but must
+never change which candidate the selector picks, in what order, or the
+power arithmetic behind it.  These tests replay the four golden circuits
+with the option off and on and compare the applied-move traces
+field-by-field.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.library.standard import standard_library
+from repro.netlist.blif import parse_blif_file
+from repro.telemetry import Tracer
+from repro.transform.optimizer import OptimizeOptions, power_optimize
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BLIF_DIR = REPO_ROOT / "benchmarks" / "blif"
+GOLDEN_BENCHMARKS = ("rd53", "misex1", "sqrt8", "ttt2")
+
+#: Fields of :class:`~repro.telemetry.trace.MoveTrace` that define the
+#: behavioural identity of a move.  Everything except wall-time.
+MOVE_FIELDS = (
+    "index",
+    "round",
+    "candidate_id",
+    "kind",
+    "pg_a",
+    "pg_b",
+    "pg_c",
+    "predicted_total",
+    "measured_power_gain",
+    "measured_area_delta",
+    "circuit_delay_after",
+    "atpg_status",
+)
+
+
+def run(name: str, analysis_prune: bool):
+    netlist = parse_blif_file(BLIF_DIR / f"{name}.blif", standard_library())
+    tracer = Tracer()
+    options = OptimizeOptions(
+        num_patterns=512, trace=tracer, analysis_prune=analysis_prune
+    )
+    result = power_optimize(netlist, options)
+    return result, result.trace
+
+
+@pytest.mark.parametrize("name", GOLDEN_BENCHMARKS)
+def test_move_sequence_is_bit_identical(name):
+    baseline, base_trace = run(name, analysis_prune=False)
+    pruned, prune_trace = run(name, analysis_prune=True)
+
+    assert len(base_trace.moves) == len(prune_trace.moves)
+    for base, fast in zip(base_trace.moves, prune_trace.moves):
+        for field in MOVE_FIELDS:
+            assert getattr(base, field) == getattr(fast, field), (
+                f"{name} move {base.index}: {field} diverged under "
+                f"analysis_prune"
+            )
+    assert pruned.final_power == baseline.final_power
+    assert pruned.final_area == baseline.final_area
+    assert pruned.final_delay == baseline.final_delay
+
+
+@pytest.mark.parametrize("name", GOLDEN_BENCHMARKS)
+def test_prune_counters_are_recorded(name):
+    _result, trace = run(name, analysis_prune=True)
+    assert "prune_constant_sources" in trace.counters
+    assert "prune_unobservable_sources" in trace.counters
+    assert "prune_equiv_duplicates" in trace.counters
+    # Every golden circuit has at least one provable redundancy; if
+    # pruning never fires the option is dead weight and this suite
+    # proves nothing.
+    saved = (
+        trace.counters["prune_constant_sources"]
+        + trace.counters["prune_equiv_duplicates"]
+    )
+    assert saved > 0
+
+
+def test_prune_counters_absent_when_option_off():
+    _result, trace = run("rd53", analysis_prune=False)
+    assert not any(key.startswith("prune_") for key in trace.counters)
