@@ -1,0 +1,85 @@
+"""Scale benches: flat vs. windowed optimizer throughput (gates/sec).
+
+The numbers recorded in ``BENCH_scale.json`` come from these benches run
+over ``large``-shape generator netlists (64 PIs, exact gate budget).  The
+flat optimizer's candidate rounds are super-linear in netlist size — it
+cannot finish 2 000 gates in ten minutes — so the baseline is measured at
+a size it can handle and the windowed flow carries the larger sizes.
+
+Worker-pool size comes from the harness ``--jobs`` option::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_scale.py --jobs 4 -s
+
+Pool spawn time is reported separately (``spawn_seconds``) and excluded
+from the throughput figure, so worker startup is never billed as
+optimizer time.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import once
+from repro.fuzz.generator import large_config, random_mapped_netlist
+from repro.library.standard import standard_library
+from repro.transform.optimizer import OptimizeOptions, PowerOptimizer
+from repro.transform.windowed import WindowedOptimizer
+
+#: The flat baseline is quadratic-ish; keep it at a size it finishes.
+SEQUENTIAL_GATES = 300
+WINDOWED_GATES = 600
+SCALE_SEED = 9
+
+
+def _large(num_gates):
+    lib = standard_library()
+    return random_mapped_netlist(large_config(SCALE_SEED, num_gates), lib)
+
+
+def _scale_options(**overrides):
+    base = dict(num_patterns=64, max_rounds=1)
+    base.update(overrides)
+    return OptimizeOptions(**base)
+
+
+def test_sequential_baseline(benchmark):
+    """Flat PowerOptimizer throughput at a size it can handle."""
+    netlist = _large(SEQUENTIAL_GATES)
+
+    def run():
+        tick = time.perf_counter()
+        result = PowerOptimizer(netlist.copy(), _scale_options()).run()
+        return result, time.perf_counter() - tick
+
+    result, seconds = once(benchmark, run)
+    benchmark.extra_info["gates"] = SEQUENTIAL_GATES
+    benchmark.extra_info["gates_per_sec"] = round(
+        SEQUENTIAL_GATES / seconds, 1
+    )
+    benchmark.extra_info["moves"] = len(result.moves)
+
+
+def test_windowed_throughput(benchmark, jobs):
+    """Windowed flow at the harness ``--jobs`` worker count."""
+    netlist = _large(WINDOWED_GATES)
+    options = _scale_options(
+        windowed=True, window_size=40, window_radius=3, jobs=jobs
+    )
+
+    def run():
+        optimizer = WindowedOptimizer(netlist.copy(), options)
+        tick = time.perf_counter()
+        result = optimizer.run()
+        wall = time.perf_counter() - tick
+        spawn = result.phase_seconds.get("spawn", 0.0)
+        return result, wall - spawn, spawn
+
+    result, work_seconds, spawn_seconds = once(benchmark, run)
+    benchmark.extra_info["gates"] = WINDOWED_GATES
+    benchmark.extra_info["jobs"] = jobs
+    benchmark.extra_info["spawn_seconds"] = round(spawn_seconds, 3)
+    benchmark.extra_info["gates_per_sec"] = round(
+        WINDOWED_GATES / work_seconds, 1
+    )
+    benchmark.extra_info["windows"] = result.rounds
+    benchmark.extra_info["moves"] = len(result.moves)

@@ -28,6 +28,24 @@ BENCH_CONFIG = ExperimentConfig(
 BENCH_CIRCUITS = ("rd53", "sqrt8", "misex1", "alu2", "rd84", "Z5xp1", "bw")
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker-pool size for the windowed benches (bench_scale); "
+            "pool spawn time is measured separately and never billed as "
+            "optimizer time"
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def jobs(request):
+    return request.config.getoption("--jobs")
+
+
 @pytest.fixture(scope="session")
 def lib():
     return standard_library()

@@ -43,6 +43,8 @@ __all__ = [
     "run_pipeline",
     "OptimizationContext",
     "PassManager",
+    "WindowedOptimizer",
+    "windowed_optimize",
     "__version__",
 ]
 
@@ -59,4 +61,8 @@ def __getattr__(name):
         import repro.pipeline as pipeline
 
         return getattr(pipeline, name)
+    if name in ("WindowedOptimizer", "windowed_optimize"):
+        from repro.transform import windowed
+
+        return getattr(windowed, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

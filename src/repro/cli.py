@@ -73,6 +73,10 @@ def _optimizer_option_kwargs(args) -> dict:
         max_moves=args.max_moves,
         delay_slack_percent=args.delay_slack,
         sanitize=getattr(args, "sanitize", False),
+        windowed=getattr(args, "windowed", False),
+        jobs=getattr(args, "jobs", 1),
+        window_size=getattr(args, "window_size", 80),
+        window_radius=getattr(args, "window_radius", 3),
     )
 
 
@@ -94,6 +98,30 @@ def _build_pipeline_from_args(args, spec=None):
     options = OptimizeOptions(trace=tracer, **_optimizer_option_kwargs(args))
     passes = build_pipeline(spec) if spec else default_pipeline(options)
     return netlist, options, tracer, passes
+
+
+def _add_window_arguments(parser: argparse.ArgumentParser) -> None:
+    """The windowed-optimization flags shared by ``optimize`` and ``fuzz``."""
+    parser.add_argument(
+        "--windowed", action="store_true",
+        help="partition into TFI/TFO windows, optimize each on a "
+        "multiprocessing pool, and merge non-conflicting moves "
+        "(for netlists too large for whole-netlist candidate rounds)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="windowed mode: pool worker count (1 = run windows inline; "
+        "default 1)",
+    )
+    parser.add_argument(
+        "--window-size", type=int, default=80, metavar="GATES",
+        help="windowed mode: max logic gates per window (default 80)",
+    )
+    parser.add_argument(
+        "--window-radius", type=int, default=3, metavar="STEPS",
+        help="windowed mode: extraction radius in fanin+fanout steps "
+        "(default 3)",
+    )
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -476,6 +504,10 @@ def _cmd_fuzz(args) -> int:
         check_engine_identity=not args.quick,
         check_pipeline_identity=not args.quick,
         mutator=cell_swap_mutator if args.self_test else None,
+        windowed=shared["windowed"],
+        jobs=shared["jobs"],
+        window_size=shared["window_size"],
+        window_radius=shared["window_radius"],
     )
     if args.replay:
         report = replay_corpus(Path(args.replay), options)
@@ -584,6 +616,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="record per-round/per-move telemetry and write the JSON "
         "run trace here (inspect with 'powder trace show')",
     )
+    _add_window_arguments(p)
     p.set_defaults(func=_cmd_optimize)
 
     p = sub.add_parser(
@@ -789,6 +822,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject a cell-swap corruption after each optimization and "
         "require the oracle to catch it (exit 0 = every case caught)",
     )
+    _add_window_arguments(p)
     p.set_defaults(func=_cmd_fuzz)
 
     p = sub.add_parser(

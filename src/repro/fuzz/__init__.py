@@ -23,9 +23,11 @@ across randomized circuits:
 """
 
 from repro.fuzz.generator import (
+    ALL_SHAPES,
     SHAPES,
     GeneratorConfig,
     batch_configs,
+    large_config,
     random_mapped_netlist,
 )
 from repro.fuzz.oracle import (
@@ -47,9 +49,11 @@ from repro.fuzz.harness import (
 )
 
 __all__ = [
+    "ALL_SHAPES",
     "SHAPES",
     "GeneratorConfig",
     "batch_configs",
+    "large_config",
     "random_mapped_netlist",
     "OracleReport",
     "check_equivalence_tiers",

@@ -35,8 +35,16 @@ from repro.library.cell import Cell, Library
 from repro.library.standard import standard_library
 from repro.netlist.netlist import Gate, Netlist
 
-#: Recognized circuit shapes, in batch rotation order.
+#: Recognized circuit shapes, in batch rotation order.  ``large`` is
+#: deliberately NOT in this tuple: batches rotate through these shapes by
+#: index, so adding one would silently reshuffle every fixed-seed CI
+#: batch, and a default-size campaign has no business generating 50k-gate
+#: circuits.  Request it explicitly (``shape="large"`` /
+#: :func:`large_config`).
 SHAPES = ("random", "reconvergent", "high_fanout", "inverter_chain")
+
+#: Every shape a :class:`GeneratorConfig` accepts, opt-in ones included.
+ALL_SHAPES = SHAPES + ("large",)
 
 
 @dataclass(frozen=True)
@@ -62,9 +70,9 @@ class GeneratorConfig:
     name: Optional[str] = None
 
     def __post_init__(self):
-        if self.shape not in SHAPES:
+        if self.shape not in ALL_SHAPES:
             raise ReproError(
-                f"unknown generator shape {self.shape!r}; pick from {SHAPES}"
+                f"unknown generator shape {self.shape!r}; pick from {ALL_SHAPES}"
             )
         if not 1 <= self.min_inputs <= self.max_inputs:
             raise ReproError("need 1 <= min_inputs <= max_inputs")
@@ -225,11 +233,66 @@ def _grow_inverter_chain(growth: _Growth, cells: list[Cell], budget: int) -> Non
             budget -= 1
 
 
+def _grow_large(growth: _Growth, cells: list[Cell], budget: int) -> None:
+    """Near-linear tiled growth for 50k-100k-gate circuits.
+
+    Fanins come from a sliding window of recent stems with occasional
+    longer-range taps, so TFI/TFO cones stay bounded (the structure the
+    windowed optimizer partitions) and no stem accumulates pathological
+    fanout.  The small shapes' unused-stem bookkeeping is quadratic in
+    circuit size, so this program appends straight to ``growth.signals``
+    and lets the generator's closing pass turn every fanout-free stem
+    into a primary output.
+    """
+    rng = growth.rng
+    netlist = growth.netlist
+    signals = growth.signals
+    for _ in range(budget):
+        cell = _pick_cell(growth, cells)
+        if cell.num_inputs > len(signals):
+            cell = _pick_cell(growth, cells, arity=2)
+        fanins: list[Gate] = []
+        for _ in range(cell.num_inputs):
+            pool = signals[-48:] if rng.random() < 0.9 else signals[-2048:]
+            choice = rng.choice(pool)
+            tries = 0
+            while any(choice is f for f in fanins) and tries < 6:
+                choice = rng.choice(pool)
+                tries += 1
+            if any(choice is f for f in fanins):
+                # A duplicate driver can survive only when the netlist
+                # holds fewer distinct signals than the cell has pins;
+                # the config minimums rule that out in practice.
+                for candidate in reversed(signals):
+                    if all(candidate is not f for f in fanins):
+                        choice = candidate
+                        break
+            fanins.append(choice)
+        signals.append(netlist.add_gate(cell, fanins, name=growth.fresh()))
+
+
+def large_config(
+    seed: int = 0, num_gates: int = 50_000, name: Optional[str] = None
+) -> GeneratorConfig:
+    """A ready-made ``large``-shape config: exactly ``num_gates`` gates
+    (generation adds one gate per budget unit) over 64 primary inputs."""
+    return GeneratorConfig(
+        seed=seed,
+        shape="large",
+        min_inputs=64,
+        max_inputs=64,
+        min_gates=num_gates,
+        max_gates=num_gates,
+        name=name,
+    )
+
+
 _SHAPE_PROGRAMS = {
     "random": _grow_random,
     "reconvergent": _grow_reconvergent,
     "high_fanout": _grow_high_fanout,
     "inverter_chain": _grow_inverter_chain,
+    "large": _grow_large,
 }
 
 

@@ -23,6 +23,7 @@ from typing import Optional
 
 from repro.errors import ReproError
 from repro.fuzz.generator import (
+    ALL_SHAPES,
     SHAPES,
     GeneratorConfig,
     batch_configs,
@@ -95,13 +96,24 @@ class FuzzOptions:
     check_pipeline_identity: bool = True
     #: Test-only fault injection (see :data:`Mutator`).
     mutator: Optional[Mutator] = None
+    #: Exercise the windowed optimizer instead of the flat engine (see
+    #: ``OptimizeOptions.windowed``).  Windowed cases skip the
+    #: power-monotone and engine/pipeline-identity properties: window-
+    #: local power estimates approximate the global estimator, and the
+    #: flat engines are by design not the windowed move sequence.
+    windowed: bool = False
+    jobs: int = 1
+    window_size: int = 80
+    window_radius: int = 3
 
     def __post_init__(self):
         if self.num_patterns <= 0 or self.num_patterns % 64:
             raise ReproError("num_patterns must be a positive multiple of 64")
         for shape in self.shapes:
-            if shape not in SHAPES:
-                raise ReproError(f"unknown shape {shape!r}; pick from {SHAPES}")
+            if shape not in ALL_SHAPES:
+                raise ReproError(
+                    f"unknown shape {shape!r}; pick from {ALL_SHAPES}"
+                )
 
 
 @dataclass
@@ -174,6 +186,10 @@ def optimizer_options(options: FuzzOptions) -> OptimizeOptions:
         max_rounds=options.max_rounds,
         max_moves=options.max_moves,
         delay_slack_percent=options.delay_slack_percent,
+        windowed=options.windowed,
+        jobs=options.jobs,
+        window_size=options.window_size,
+        window_radius=options.window_radius,
     )
 
 
@@ -219,8 +235,13 @@ def verify_netlist(
             result,
             opt,
             check_rerun=options.check_rerun,
-            check_engine_identity=options.check_engine_identity,
-            check_pipeline_identity=options.check_pipeline_identity,
+            check_engine_identity=(
+                options.check_engine_identity and not options.windowed
+            ),
+            check_pipeline_identity=(
+                options.check_pipeline_identity and not options.windowed
+            ),
+            check_power_monotone=not options.windowed,
         )
     )
     return failures, len(result.moves)

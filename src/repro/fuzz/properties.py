@@ -43,13 +43,24 @@ def run_properties(
     check_rerun: bool = True,
     check_engine_identity: bool = True,
     check_pipeline_identity: bool = True,
+    check_power_monotone: bool = True,
 ) -> list[str]:
-    """Evaluate every metamorphic property; returns failure descriptions."""
+    """Evaluate every metamorphic property; returns failure descriptions.
+
+    ``check_power_monotone=False`` drops the monotonicity checks (both
+    here and inside the rerun property): a windowed run accepts moves on
+    window-local power estimates, which approximate the global estimator,
+    so global power may occasionally rise — equivalence, not gain
+    accounting, is the windowed contract.
+    """
     failures: list[str] = []
-    failures.extend(power_monotone(result))
+    if check_power_monotone:
+        failures.extend(power_monotone(result))
     failures.extend(delay_constraint(result))
     if check_rerun:
-        failures.extend(idempotent_rerun(result, options))
+        failures.extend(
+            idempotent_rerun(result, options, check_power=check_power_monotone)
+        )
     if check_engine_identity:
         failures.extend(engine_identity(original, result, options))
     if check_pipeline_identity:
@@ -95,7 +106,7 @@ def delay_constraint(result: OptimizeResult) -> list[str]:
 
 
 def idempotent_rerun(
-    result: OptimizeResult, options: OptimizeOptions
+    result: OptimizeResult, options: OptimizeOptions, check_power: bool = True
 ) -> list[str]:
     """[idempotent-rerun] re-optimizing the output is safe and monotone."""
     from repro.fuzz.oracle import check_equivalence_tiers
@@ -104,7 +115,7 @@ def idempotent_rerun(
     rerun_input = optimized.copy(optimized.name + "_rerun")
     rerun = power_optimize(rerun_input, replace(options))
     failures = []
-    if rerun.final_power > result.final_power + _EPS:
+    if check_power and rerun.final_power > result.final_power + _EPS:
         failures.append(
             f"[idempotent-rerun] second run raised power "
             f"{result.final_power!r} -> {rerun.final_power!r}"

@@ -59,6 +59,12 @@ class TruthTable:
     def __setattr__(self, name, value):  # pragma: no cover - immutability guard
         raise AttributeError("TruthTable is immutable")
 
+    def __reduce__(self):
+        # __slots__ + the __setattr__ guard break pickle's default state
+        # restore; rebuild through the constructor instead (needed to ship
+        # a Library to multiprocessing pool workers).
+        return (TruthTable, (self.nvars, self.bits))
+
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------

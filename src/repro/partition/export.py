@@ -1,0 +1,112 @@
+"""Export a window as a self-contained sub-netlist plus boundary constraints.
+
+The exported sub-netlist keeps every name from the parent: boundary inputs
+become same-named primary inputs, members become same-named gates, and each
+window output is exposed through primary-output ports —
+
+- the member's real PO ports, with their original loads, and
+- when the member branches into external logic, one *synthetic* PO named
+  after the member itself (falling back to ``<name>__w`` on collision with
+  a real port), carrying the summed load of the external sink pins.
+
+That makes the window-local electrical view exact: for every member,
+``sub.load_of(gate) == parent.load_of(gate)``, so window-local power gains
+are computed against true capacitances.  The :class:`WindowBoundary`
+records the full PO-load map (BLIF carries no loads, so pool workers
+re-apply it after parsing) and optional boundary-input probability
+annotations taken from the parent's probability engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.errors import NetlistError
+from repro.netlist.netlist import Netlist
+from repro.partition.window import Window
+
+
+@dataclass
+class WindowBoundary:
+    """Constraints that accompany a window's sub-netlist across a pool."""
+
+    #: Index of the window this boundary belongs to.
+    window_index: int
+    #: Every sub-netlist PO port -> load capacitance (real ports keep the
+    #: parent's load; synthetic ports carry the external sink-pin sum).
+    po_loads: dict[str, float] = field(default_factory=dict)
+    #: Synthetic PO port -> member gate it observes.
+    synthetic_pos: dict[str, str] = field(default_factory=dict)
+    #: Boundary input -> signal probability from the parent's engine
+    #: (empty when the caller supplies no annotation).
+    input_probs: dict[str, float] = field(default_factory=dict)
+
+    def apply_loads(self, sub: Netlist) -> None:
+        """Re-attach PO loads after a BLIF round trip."""
+        for po, load in self.po_loads.items():
+            if po not in sub.outputs:
+                raise NetlistError(
+                    f"boundary names unknown PO port {po!r} of {sub.name!r}"
+                )
+            sub.output_loads[po] = load
+
+
+def export_window(
+    netlist: Netlist,
+    window: Window,
+    probabilities: Optional[Mapping[str, float]] = None,
+) -> tuple[Netlist, WindowBoundary]:
+    """Build the window's sub-netlist and its boundary constraints."""
+    members = set(window.members)
+    sub = Netlist(f"{netlist.name}__w{window.index}", netlist.library)
+    boundary = WindowBoundary(window_index=window.index)
+
+    mapping = {}
+    # PI creation order follows the *parent's* declaration order, not the
+    # window's first-use order: random_patterns draws one sequential RNG
+    # stream across input_names, so matching the parent's order is what
+    # lets a window whose inputs are all real PIs reproduce the parent's
+    # exact pattern set (an all-covering window then replays the flat
+    # optimizer bit for bit).
+    parent_order = {name: pos for pos, name in enumerate(netlist.gates)}
+    for name in sorted(window.inputs, key=parent_order.__getitem__):
+        mapping[name] = sub.add_input(name)
+    for name in window.members:
+        gate = netlist.gate(name)
+        sub_gate = sub.add_gate(
+            gate.cell,
+            [mapping[fanin.name] for fanin in gate.fanins],
+            name=name,
+        )
+        mapping[name] = sub_gate
+
+    for name in window.outputs:
+        gate = netlist.gate(name)
+        for po in gate.po_names:
+            load = netlist.output_loads[po]
+            sub.set_output(po, mapping[name], load)
+            boundary.po_loads[po] = load
+        external_load = 0.0
+        external_sinks = 0
+        for sink, pin in gate.fanouts:
+            if sink.name not in members:
+                external_sinks += 1
+                external_load += sink.cell.pins[pin].load
+        if external_sinks:
+            po = name if name not in sub.outputs else f"{name}__w"
+            if po in sub.outputs:
+                raise NetlistError(
+                    f"cannot name synthetic PO for {name!r}: "
+                    f"both {name!r} and {po!r} are taken"
+                )
+            sub.set_output(po, mapping[name], external_load)
+            boundary.po_loads[po] = external_load
+            boundary.synthetic_pos[po] = name
+
+    if probabilities is not None:
+        for name in window.inputs:
+            prob = probabilities.get(name)
+            if prob is not None:
+                boundary.input_probs[name] = float(prob)
+    return sub, boundary

@@ -205,6 +205,53 @@ class PowderPass(Pass):
         )
 
 
+class WindowPass(Pass):
+    """Windowed POWDER for large netlists (:mod:`repro.transform.windowed`).
+
+    Partitions the netlist into TFI/TFO windows, optimizes each on a
+    ``multiprocessing`` pool, and merges the non-conflicting move lists.
+    Keyword parameters override :class:`OptimizeOptions` fields, e.g.
+    ``window(jobs=4, window_size=120)``; ``windowed=True`` is implied.
+    The merge edits the netlist outside the context's incremental
+    machinery, so every analysis is invalidated afterwards.
+    """
+
+    name = "window"
+    invalidates = ALL_ANALYSES
+
+    def __init__(self, **overrides):
+        valid = {f.name for f in fields(OptimizeOptions)}
+        unknown = set(overrides) - valid
+        if unknown:
+            raise PipelineError(
+                f"unknown window option(s) {sorted(unknown)}; valid "
+                f"options are the OptimizeOptions fields"
+            )
+        super().__init__(**overrides)
+
+    def run(self, ctx: OptimizationContext) -> PassResult:
+        from repro.transform.windowed import WindowedOptimizer
+
+        options = replace(ctx.options, windowed=True, **self.params)
+        engine = WindowedOptimizer(ctx.netlist, options)
+        result = engine.run()
+        statuses: dict = {}
+        for outcome in engine.outcomes:
+            statuses[outcome.status] = statuses.get(outcome.status, 0) + 1
+        return PassResult(
+            self.name,
+            changed=bool(result.moves),
+            details={
+                "moves": len(result.moves),
+                "windows": result.rounds,
+                "jobs": options.jobs,
+                "power": round(result.final_power, 6),
+                **statuses,
+            },
+            optimize_result=result,
+        )
+
+
 class LintPass(Pass):
     """Gate the pipeline on the :mod:`repro.lint` rule pack.
 
@@ -432,6 +479,12 @@ register_pass(
     "any OptimizeOptions field, e.g. repeat=25, objective=power",
 )
 register_pass(
+    "window",
+    WindowPass,
+    "windowed POWDER: partition, optimize per-window on a pool, merge",
+    "any OptimizeOptions field, e.g. jobs=4, window_size=120",
+)
+register_pass(
     "sweep",
     SweepPass,
     "remove gates with no path to a primary output",
@@ -494,5 +547,8 @@ def default_pipeline(options: OptimizeOptions) -> list[Pass]:
     passes: list[Pass] = []
     if options.dedupe_first:
         passes.append(DedupePass())
-    passes.append(PowderPass())
+    if options.windowed:
+        passes.append(WindowPass())
+    else:
+        passes.append(PowderPass())
     return passes

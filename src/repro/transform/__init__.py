@@ -34,6 +34,11 @@ from repro.transform.optimizer import (
     power_optimize,
 )
 from repro.transform.report import MoveRecord, ClassStats, class_statistics
+from repro.transform.windowed import (
+    WindowedOptimizer,
+    WindowMove,
+    windowed_optimize,
+)
 from repro.transform.dedupe import count_duplicate_gates, merge_duplicate_gates
 from repro.transform.clauses import (
     Clause,
@@ -67,6 +72,9 @@ __all__ = [
     "MoveRecord",
     "ClassStats",
     "class_statistics",
+    "WindowedOptimizer",
+    "WindowMove",
+    "windowed_optimize",
     "Clause",
     "Literal",
     "SignalRelation",

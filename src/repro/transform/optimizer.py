@@ -175,6 +175,25 @@ class OptimizeOptions:
     #: where equivalent signals may differ in arrival time.  Work-avoided
     #: tallies land in the telemetry counters (``prune_*``).
     analysis_prune: bool = False
+    #: Windowed mode for large netlists: partition into radius-bounded
+    #: TFI/TFO windows (:mod:`repro.partition`), optimize each window on
+    #: a ``multiprocessing`` pool, and merge the non-conflicting move
+    #: lists deterministically (:mod:`repro.transform.windowed`).
+    #: Equivalence-preserving like the flat run; window-local *power*
+    #: accounting is approximate (boundary inputs are sampled with the
+    #: parent's marginal probabilities), so the final metrics are
+    #: recomputed from scratch on the merged netlist.
+    windowed: bool = False
+    #: Windowed mode: maximum logic gates per window.
+    window_size: int = 80
+    #: Windowed mode: extraction radius (fanin+fanout steps from seed).
+    window_radius: int = 3
+    #: Windowed mode: pool worker count; 1 runs windows inline (no pool,
+    #: same move sequence as a 1-worker pool).
+    jobs: int = 1
+    #: Windowed mode: prove input/output equivalence of the merged
+    #: netlist against the pre-run netlist (slow; for tests and bring-up).
+    window_verify: bool = False
 
     def __post_init__(self):
         """Reject configurations that would otherwise fail deep in the run."""
@@ -204,6 +223,34 @@ class OptimizeOptions:
                 f"unknown permissibility engine {self.permissibility!r}; "
                 f"choose 'triage', 'podem', or 'both'"
             )
+        if self.window_size < 1:
+            raise ValueError(
+                f"window_size must be positive, got {self.window_size}"
+            )
+        if self.window_radius < 1:
+            raise ValueError(
+                f"window_radius must be positive, got {self.window_radius}"
+            )
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be positive, got {self.jobs}")
+        if self.windowed:
+            if self.delay_limit is not None or self.delay_slack_percent is not None:
+                raise ValueError(
+                    "windowed optimization does not support delay "
+                    "constraints: window-local slack cannot see external "
+                    "paths, so the constraint would not be enforced"
+                )
+            if self.input_temporal_specs:
+                raise ValueError(
+                    "windowed optimization does not support temporal input "
+                    "specs: lag-1 correlations do not project onto window "
+                    "boundaries"
+                )
+            if self.trace is not None:
+                raise ValueError(
+                    "windowed optimization does not support tracing: "
+                    "per-window traces do not compose into one RunTrace"
+                )
 
 
 @dataclass

@@ -184,6 +184,7 @@ class TestRegistry:
         assert names == {
             "dedupe",
             "powder",
+            "window",
             "sweep",
             "lint",
             "sanitize",

@@ -1,0 +1,265 @@
+"""Window-merge equivalence: the windowed optimizer must preserve
+function on generated and golden circuits, agree with itself across
+worker counts, and never replay two moves with overlapping dying
+regions (the crafted-conflict cases at the bottom pin the resolver).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.suite import build_benchmark
+from repro.fuzz.generator import GeneratorConfig, random_mapped_netlist
+from repro.fuzz.oracle import check_equivalence_tiers, cross_check_metrics
+from repro.library.standard import standard_library
+from repro.netlist.blif import write_blif
+from repro.partition import extract_window
+from repro.transform.optimizer import OptimizeOptions
+from repro.transform.substitution import Substitution
+from repro.transform.windowed import (
+    WindowedOptimizer,
+    WindowMove,
+    windowed_optimize,
+)
+
+LIB = standard_library()
+
+
+def generated(seed, gates, shape="random"):
+    config = GeneratorConfig(
+        seed=seed,
+        shape=shape,
+        min_gates=gates,
+        max_gates=gates,
+        min_inputs=5,
+        max_inputs=8,
+    )
+    return random_mapped_netlist(config, LIB)
+
+
+def windowed_options(**overrides):
+    base = dict(
+        windowed=True,
+        num_patterns=512,
+        window_size=30,
+        window_radius=2,
+        jobs=1,
+    )
+    base.update(overrides)
+    return OptimizeOptions(**base)
+
+
+def assert_oracle_clean(reference, result, options):
+    report = check_equivalence_tiers(reference, result.netlist)
+    assert report.equal, report.disagreements
+    assert cross_check_metrics(result, options) == []
+
+
+class TestOracleEquivalence:
+    @pytest.mark.parametrize("seed", [11, 29, 47])
+    def test_generated_circuits_stay_equivalent(self, seed):
+        netlist = generated(seed, gates=90)
+        reference = netlist.copy("ref")
+        options = windowed_options()
+        result = windowed_optimize(netlist, options)
+        assert result.netlist is netlist
+        assert result.rounds >= 2, "window_size must force a real partition"
+        assert_oracle_clean(reference, result, options)
+
+    @pytest.mark.parametrize("shape", ["reconvergent", "high_fanout"])
+    def test_stress_shapes_stay_equivalent(self, shape):
+        netlist = generated(5, gates=70, shape=shape)
+        reference = netlist.copy("ref")
+        options = windowed_options(window_size=20)
+        result = windowed_optimize(netlist, options)
+        assert_oracle_clean(reference, result, options)
+
+    @pytest.mark.parametrize("name", ["rd53", "misex1"])
+    def test_golden_circuits_stay_equivalent(self, name):
+        netlist = build_benchmark(name, LIB)
+        reference = netlist.copy("ref")
+        options = windowed_options(window_size=25)
+        result = windowed_optimize(netlist, options)
+        assert_oracle_clean(reference, result, options)
+
+    def test_builtin_verify_pass_and_metrics_from_scratch(self):
+        netlist = generated(3, gates=60)
+        options = windowed_options(window_verify=True)
+        result = windowed_optimize(netlist, options)
+        # window_verify re-proved equivalence inside run(); the report's
+        # final figures must match a cold rebuild (they are recomputed,
+        # never accumulated from window-local estimates).
+        assert cross_check_metrics(result, options) == []
+        assert result.phase_seconds["metrics"] >= 0.0
+
+
+class TestWorkerCountInvariance:
+    def test_single_window_replays_flat_optimizer_exactly(self):
+        """One all-covering window is an identity transport: no synthetic
+        POs, boundary inputs are the real PIs in parent order, so the
+        windowed flow must reproduce the sequential run bit for bit."""
+        flat = generated(41, gates=40)
+        win = generated(41, gates=40)
+        options = OptimizeOptions(num_patterns=512)
+        from repro.transform.optimizer import PowerOptimizer
+
+        result_flat = PowerOptimizer(flat, options).run()
+        result_win = windowed_optimize(
+            win,
+            windowed_options(
+                num_patterns=512, window_size=10_000, window_radius=10_000
+            ),
+        )
+        flat_ids = [m.substitution.candidate_id() for m in result_flat.moves]
+        win_ids = [m.substitution.candidate_id() for m in result_win.moves]
+        assert win_ids == flat_ids
+        assert write_blif(win) == write_blif(flat)
+
+    def test_one_worker_matches_pool_of_two(self):
+        options_a = windowed_options(jobs=1)
+        options_b = windowed_options(jobs=2)
+        first = generated(83, gates=80)
+        second = generated(83, gates=80)  # same seed -> identical twin
+        result_a = windowed_optimize(first, options_a)
+        result_b = windowed_optimize(second, options_b)
+        moves_a = [m.substitution.candidate_id() for m in result_a.moves]
+        moves_b = [m.substitution.candidate_id() for m in result_b.moves]
+        assert moves_a == moves_b
+        assert write_blif(result_a.netlist) == write_blif(result_b.netlist)
+        assert result_a.final_power == pytest.approx(result_b.final_power)
+
+    def test_pool_spawn_time_reported_separately(self):
+        netlist = generated(84, gates=60)
+        options = windowed_options(jobs=2)
+        optimizer = WindowedOptimizer(netlist, options)
+        result = optimizer.run()
+        assert "spawn" in result.phase_seconds
+        assert "optimize" in result.phase_seconds
+        assert result.phase_seconds["optimize"] >= 0.0
+
+
+def conflict_netlist(builder):
+    """g2 duplicates g1; their sink cones are disjoint otherwise."""
+    a, b, c = builder.inputs("a", "b", "c")
+    g1 = builder.and_(a, b, name="g1")
+    g2 = builder.and_(a, b, name="g2")
+    builder.output("o1", builder.nand_(g1, c, name="n1"))
+    builder.output("o2", builder.nor_(g2, c, name="n2"))
+    return builder.build()
+
+
+def crafted_windows(netlist):
+    """Two windows whose dying regions overlap on purpose.
+
+    Window 0 will substitute g2 by g1 (killing g2); window 1's members
+    include g2, so replaying window 0 must force window 1 through the
+    resolver's deferred path.
+    """
+    w0 = extract_window(
+        netlist, netlist.gate("g1"), radius=1, max_gates=10, index=0
+    )
+    w1 = extract_window(
+        netlist, netlist.gate("g2"), radius=1, max_gates=10, index=1
+    )
+    return [w0, w1]
+
+
+def crafted_move(target, source):
+    return WindowMove(
+        substitution=Substitution(kind="OS2", target=target, source1=source),
+        added=(),
+        substituting="",
+        predicted=None,
+        measured_power_gain=0.0,
+        measured_area_delta=0.0,
+    )
+
+
+class InjectingOptimizer(WindowedOptimizer):
+    """Bypass the pool: both windows 'propose' a move on the shared
+    duplicate pair, so their dying regions overlap exactly."""
+
+    def _dispatch(self, tasks):
+        self.phase_seconds["spawn"] = 0.0
+        return [
+            (0, [crafted_move("g2", "g1")], {}, None),
+            (1, [crafted_move("g1", "g2")], {}, None),
+        ]
+
+
+class DeferRecordingOptimizer(InjectingOptimizer):
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.fallback_calls = []
+
+    def _reoptimize_deferred(self, outcome, probs):
+        self.fallback_calls.append(outcome.window.index)
+        return []
+
+
+class TestConflictResolver:
+    def test_overlapping_dying_regions_never_both_applied(
+        self, builder, monkeypatch
+    ):
+        netlist = conflict_netlist(builder)
+        reference = netlist.copy("ref")
+        monkeypatch.setattr(
+            "repro.transform.windowed.partition_windows",
+            lambda n, radius, max_gates: crafted_windows(n),
+        )
+        optimizer = DeferRecordingOptimizer(netlist, windowed_options())
+        result = optimizer.run()
+
+        # Window 0 replayed: g2's dying region is gone, g1 survives.
+        assert "g2" not in netlist.gates
+        assert "g1" in netlist.gates
+        # Window 1 shares g2 with the touched set -> deferred, and its
+        # crafted counter-move (killing g1) was never replayed directly.
+        assert optimizer.conflicts == [1]
+        assert optimizer.fallback_calls == [1]
+        assert [m.substitution.target for m in result.moves] == ["g2"]
+        assert optimizer.outcomes[0].status == "applied"
+        assert check_equivalence_tiers(reference, netlist).equal
+
+    def test_deferred_window_reoptimized_from_live_netlist(
+        self, builder, monkeypatch
+    ):
+        netlist = conflict_netlist(builder)
+        reference = netlist.copy("ref")
+        monkeypatch.setattr(
+            "repro.transform.windowed.partition_windows",
+            lambda n, radius, max_gates: crafted_windows(n),
+        )
+        optimizer = InjectingOptimizer(netlist, windowed_options())
+        result = optimizer.run()
+
+        assert optimizer.conflicts == [1]
+        # The fallback re-extracted window 1 from the merged netlist, so
+        # no surviving move can reference the dead g2.
+        for move in result.moves:
+            sub = move.substitution
+            assert sub.source1 != "g2"
+            assert sub.source2 != "g2"
+        assert optimizer.outcomes[1].status in ("applied", "empty")
+        assert check_equivalence_tiers(reference, netlist).equal
+
+    def test_disjoint_windows_all_merge_without_deferral(self):
+        netlist = generated(91, gates=50)
+        options = windowed_options(window_size=12)
+        optimizer = WindowedOptimizer(netlist, options)
+        optimizer.run()
+        statuses = {o.status for o in optimizer.outcomes}
+        assert statuses <= {"applied", "empty", "conflict"}
+        # Every conflicted window went through the fallback exactly once.
+        assert len(optimizer.conflicts) == len(set(optimizer.conflicts))
+
+
+class TestGuards:
+    def test_requires_windowed_options(self):
+        netlist = generated(1, gates=20)
+        with pytest.raises(Exception, match="windowed=True"):
+            WindowedOptimizer(netlist, OptimizeOptions())
+
+    def test_delay_constraints_rejected_up_front(self):
+        with pytest.raises(ValueError, match="delay"):
+            OptimizeOptions(windowed=True, delay_limit=5.0)
