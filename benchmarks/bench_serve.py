@@ -1,0 +1,192 @@
+"""Benchmark the optimization service; writes ``BENCH_serve.json``.
+
+Not a pytest-benchmark module: service numbers need a live server and
+shaped load, so this is a standalone script.
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+    PYTHONPATH=src python benchmarks/bench_serve.py --duration 10 -o -
+
+Three campaigns against one private server (ephemeral port):
+
+- **cold latency** — distinct circuits submitted one at a time with the
+  cache off: the end-to-end cost of a solo optimization job (queue +
+  fork + optimize + serialize),
+- **closed loop** — N clients drawing from a small circuit pool, cache
+  on: steady-state throughput where most submissions are duplicates
+  (cache hits / coalescing), the service's intended regime,
+- **open loop** — fixed arrival rate above single-worker capacity with
+  the cache off: queueing behaviour under honest overload.
+
+The committed JSON records the machine-honest numbers this was run on
+(1-CPU container); re-run the script to refresh them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.serve import (  # noqa: E402
+    LoadGenConfig,
+    ServerConfig,
+    ServerThread,
+    build_circuit_pool,
+    run_load,
+)
+from repro.serve.stats import latency_summary  # noqa: E402
+
+OUTPUT = Path(__file__).resolve().parent / "BENCH_serve.json"
+
+
+def _round_floats(value, digits=4):
+    if isinstance(value, float):
+        return round(value, digits)
+    if isinstance(value, dict):
+        return {key: _round_floats(item, digits)
+                for key, item in value.items()}
+    if isinstance(value, list):
+        return [_round_floats(item, digits) for item in value]
+    return value
+
+
+def _campaign_view(report) -> dict:
+    data = report.to_dict()
+    data.pop("server_metrics", None)
+    data.pop("config", None)
+    return data
+
+
+def bench_cold_latency(handle, args) -> dict:
+    """Solo-job latency over distinct circuits, cache off."""
+    config = LoadGenConfig(
+        port=handle.port, seed=args.seed,
+        unique_circuits=args.cold_jobs,
+        min_gates=args.min_gates, max_gates=args.max_gates,
+        patterns=args.patterns, max_rounds=args.max_rounds,
+    )
+    client = handle.client(timeout=120.0)
+    latencies = []
+    for blif in build_circuit_pool(config):
+        start = time.monotonic()
+        view = client.submit(blif, options={
+            "num_patterns": args.patterns, "max_rounds": args.max_rounds,
+        }, use_cache=False)
+        final = client.wait(view["job_id"], timeout=120.0)
+        assert final["status"] == "done", final
+        latencies.append(time.monotonic() - start)
+    return {
+        "comment": (
+            "distinct circuits, one at a time, use_cache=false: the "
+            "full queue+fork+optimize+serialize path per job"
+        ),
+        "jobs": len(latencies),
+        "latency_seconds": latency_summary(latencies),
+    }
+
+
+def bench_closed_loop(handle, args) -> dict:
+    """Steady-state duplicate-heavy throughput (the intended regime)."""
+    report = run_load(LoadGenConfig(
+        port=handle.port, mode="closed", clients=args.clients,
+        duration=args.duration, seed=args.seed,
+        unique_circuits=args.unique_circuits,
+        min_gates=args.min_gates, max_gates=args.max_gates,
+        patterns=args.patterns, max_rounds=args.max_rounds,
+    ))
+    assert report.ok(require_cache_hits=True), report.to_dict()
+    data = _campaign_view(report)
+    data["comment"] = (
+        f"{args.clients} closed-loop clients over "
+        f"{args.unique_circuits} distinct circuits, cache on: most "
+        "submissions are exact duplicates and settle from the LRU"
+    )
+    return data
+
+
+def bench_open_loop(handle, args) -> dict:
+    """Fixed arrival rate with the cache bypassed: every job runs."""
+    report = run_load(LoadGenConfig(
+        port=handle.port, mode="open", clients=args.clients,
+        rate=args.rate, duration=args.duration, seed=args.seed + 1,
+        unique_circuits=max(args.unique_circuits, 4),
+        min_gates=args.min_gates, max_gates=args.max_gates,
+        patterns=args.patterns, max_rounds=args.max_rounds,
+    ))
+    data = _campaign_view(report)
+    data["comment"] = (
+        f"open loop at {args.rate} jobs/s with a {args.unique_circuits}"
+        "-circuit pool, cache on: arrival rate is fixed, so latency "
+        "shows queueing once cold jobs occupy the workers"
+    )
+    return data
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--duration", type=float, default=8.0)
+    parser.add_argument("--rate", type=float, default=6.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--cold-jobs", type=int, default=8)
+    parser.add_argument("--unique-circuits", type=int, default=5)
+    parser.add_argument("--min-gates", type=int, default=8)
+    parser.add_argument("--max-gates", type=int, default=16)
+    parser.add_argument("--patterns", type=int, default=64)
+    parser.add_argument("--max-rounds", type=int, default=3)
+    parser.add_argument("--output", "-o", default=str(OUTPUT),
+                        help="output path, or '-' for stdout only")
+    args = parser.parse_args(argv)
+
+    results = {}
+    with ServerThread(ServerConfig(workers=args.workers)) as handle:
+        print("server up on port", handle.port, file=sys.stderr)
+        for name, bench in (
+            ("cold_latency", bench_cold_latency),
+            ("closed_loop", bench_closed_loop),
+            ("open_loop", bench_open_loop),
+        ):
+            print(f"running {name} ...", file=sys.stderr)
+            results[name] = bench(handle, args)
+        metrics = handle.client().metrics()
+
+    document = {
+        "description": (
+            "powder serve under shaped load (benchmarks/bench_serve.py): "
+            "cold solo-job latency, duplicate-heavy closed-loop "
+            "throughput, and open-loop queueing, all against one "
+            f"{args.workers}-worker server on an ephemeral port. "
+            "Latencies are end-to-end client seconds (submit to "
+            "terminal state)."
+        ),
+        "date": datetime.date.today().isoformat(),
+        "config": {
+            "workers": args.workers, "clients": args.clients,
+            "duration_seconds": args.duration,
+            "open_loop_rate": args.rate, "seed": args.seed,
+            "patterns": args.patterns, "max_rounds": args.max_rounds,
+            "gates": [args.min_gates, args.max_gates],
+        },
+        "campaigns": _round_floats(results),
+        "final_server_metrics": _round_floats({
+            "cache": metrics.get("cache"),
+            "counters": metrics.get("counters"),
+            "timers": metrics.get("timers"),
+        }),
+    }
+    text = json.dumps(document, indent=2, sort_keys=True)
+    if args.output != "-":
+        Path(args.output).write_text(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

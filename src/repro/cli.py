@@ -563,6 +563,40 @@ def _cmd_trace_diff(args) -> int:
     return 0 if diff.ok else 1
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import sys
+
+    from repro.serve import PowderServer, ServerConfig
+
+    def log(line: str) -> None:
+        print(line, file=sys.stderr, flush=True)
+
+    try:
+        config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            cache_entries=args.cache_size,
+            max_request_bytes=args.max_request_bytes,
+            default_timeout=args.job_timeout,
+            max_timeout=args.max_timeout,
+            max_queue=args.max_queue,
+            max_retries=args.max_retries,
+            allow_remote_shutdown=not args.no_remote_shutdown,
+            log=None if args.quiet else log,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    server = PowderServer(config)
+    try:
+        asyncio.run(server.run(install_signal_handlers=True))
+    except KeyboardInterrupt:  # pragma: no cover — signal handler races
+        pass
+    return 0
+
+
 def _cmd_bench_list(_args) -> int:
     print(f"{'name':10s} {'default':>7s} {'synthetic':>9s}  description")
     for name, spec in SUITE.items():
@@ -852,6 +886,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="absolute tolerance for float fields (default 0: exact)",
     )
     t.set_defaults(func=_cmd_trace_diff)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the long-lived optimization service (HTTP/JSON)",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8787,
+                   help="TCP port; 0 picks an ephemeral port (default 8787)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="concurrent optimizer processes (default 2)")
+    p.add_argument("--cache-size", type=int, default=256,
+                   help="completed-result LRU entries (default 256)")
+    p.add_argument("--max-request-bytes", type=int, default=8 * 1024 * 1024,
+                   help="request body cap; larger bodies get 413")
+    p.add_argument("--job-timeout", type=float, default=300.0,
+                   help="default per-job wall-clock budget in seconds")
+    p.add_argument("--max-timeout", type=float, default=3600.0,
+                   help="cap on client-requested per-job timeouts")
+    p.add_argument("--max-queue", type=int, default=1024,
+                   help="pending-execution bound; beyond it submissions "
+                        "get 429")
+    p.add_argument("--max-retries", type=int, default=1,
+                   help="worker re-runs granted after a crash (default 1)")
+    p.add_argument("--no-remote-shutdown", action="store_true",
+                   help="disable POST /shutdown (signals only)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-request log lines on stderr")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("bench-list", help="list the benchmark registry")
     p.set_defaults(func=_cmd_bench_list)

@@ -86,6 +86,27 @@ class PipelineError(ReproError):
         self.position = position
 
 
+class ServeError(ReproError):
+    """Invalid request or server-side failure in the ``powder serve``
+    optimization service.
+
+    Attributes
+    ----------
+    code:
+        Short machine-readable error code (``bad-blif``, ``bad-options``,
+        ``queue-full``...), mirrored into the structured JSON error body.
+    status:
+        The HTTP status the service maps this error to (4xx for request
+        problems, 5xx for server faults).
+    """
+
+    def __init__(self, message: str, code: str = "bad-request",
+                 status: int = 400):
+        super().__init__(message)
+        self.code = code
+        self.status = status
+
+
 class LintError(ReproError):
     """A static-analysis failure surfaced as an exception.
 

@@ -1,0 +1,73 @@
+"""The completed-result LRU: canonical result JSON keyed by job key.
+
+Values are the byte-stable canonical JSON *text* of the result payload
+(:func:`repro.telemetry.deterministic_json` output), not parsed objects —
+a cache hit hands back exactly the bytes the original run produced, so a
+duplicate submission is bit-identical to its solo run by construction.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+
+class ResultCache:
+    """A bounded least-recently-used map of job key → result JSON text."""
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, str]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[str]:
+        """The cached result text, refreshing recency; counts hit/miss."""
+        text = self._entries.get(key)
+        if text is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return text
+
+    def peek(self, key: str) -> Optional[str]:
+        """Like :meth:`get` but without touching recency or counters."""
+        return self._entries.get(key)
+
+    def put(self, key: str, text: str) -> None:
+        """Insert (or refresh) an entry, evicting the oldest beyond cap."""
+        if self.max_entries == 0:
+            return
+        self._entries[key] = text
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups; 0.0 before the first lookup."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+        }

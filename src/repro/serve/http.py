@@ -1,0 +1,191 @@
+"""Minimal HTTP/1.1 request/response primitives on asyncio streams.
+
+The service speaks a deliberately small slice of HTTP: one request per
+connection (``Connection: close``), bodies delimited by ``Content-Length``,
+responses either fully buffered or close-delimited streams (the NDJSON
+progress feed).  Keeping the parser here — a hundred lines of stdlib code —
+is what lets ``powder serve`` run with zero dependencies beyond ``asyncio``.
+
+Request hygiene is enforced at this layer so handler code never sees a
+malformed message: oversized request lines, header blocks, or bodies are
+rejected with the proper 4xx before a byte of BLIF is parsed, and every
+error travels as a structured JSON body ``{"error": {"code", "message"}}``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from repro.errors import ServeError
+
+#: Hard caps on the request envelope (the body cap is configurable on the
+#: server; these two protect the parser itself).
+MAX_REQUEST_LINE_BYTES = 8192
+MAX_HEADER_COUNT = 64
+
+STATUS_PHRASES = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(ServeError):
+    """A request the HTTP layer or a handler refuses, with its status."""
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self):
+        """The body parsed as a JSON object; structured 400 on failure."""
+        if not self.body:
+            raise HttpError("request body must be a JSON object",
+                            code="bad-json", status=400)
+        try:
+            data = json.loads(self.body)
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            # UnicodeDecodeError: json sniffs UTF-16/32 on leading NULs.
+            raise HttpError(f"malformed JSON body: {error}",
+                            code="bad-json", status=400) from error
+        if not isinstance(data, dict):
+            raise HttpError("request body must be a JSON object",
+                            code="bad-json", status=400)
+        return data
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body_bytes: int
+) -> Request | None:
+    """Parse one request; ``None`` on a clean EOF before any bytes.
+
+    Raises :class:`HttpError` for anything malformed or over limits; the
+    caller maps that to a structured 4xx and closes the connection.
+    """
+    try:
+        line = await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError) as error:
+        raise HttpError("request line too long", code="bad-request",
+                        status=400) from error
+    if not line:
+        return None
+    if len(line) > MAX_REQUEST_LINE_BYTES:
+        raise HttpError("request line too long", code="bad-request",
+                        status=400)
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError("malformed request line", code="bad-request",
+                        status=400)
+    method, target, _version = parts
+
+    headers: dict[str, str] = {}
+    while True:
+        try:
+            raw = await reader.readline()
+        except (asyncio.LimitOverrunError, ValueError) as error:
+            raise HttpError("header line too long", code="bad-request",
+                            status=400) from error
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        if len(headers) >= MAX_HEADER_COUNT:
+            raise HttpError("too many headers", code="bad-request",
+                            status=400)
+        text = raw.decode("latin-1").rstrip("\r\n")
+        name, sep, value = text.partition(":")
+        if not sep or not name.strip():
+            raise HttpError(f"malformed header line {text!r}",
+                            code="bad-request", status=400)
+        headers[name.strip().lower()] = value.strip()
+
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HttpError("chunked request bodies are not supported",
+                        code="bad-request", status=400)
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError as error:
+            raise HttpError("invalid Content-Length", code="bad-request",
+                            status=400) from error
+        if length < 0:
+            raise HttpError("invalid Content-Length", code="bad-request",
+                            status=400)
+        if length > max_body_bytes:
+            raise HttpError(
+                f"request body of {length} bytes exceeds the "
+                f"{max_body_bytes}-byte limit",
+                code="too-large", status=413,
+            )
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as error:
+            raise HttpError("request body shorter than Content-Length",
+                            code="bad-request", status=400) from error
+
+    split = urlsplit(target)
+    query = {key: value for key, value in parse_qsl(split.query)}
+    return Request(
+        method=method.upper(),
+        path=unquote(split.path) or "/",
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def response_bytes(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    extra_headers: tuple[tuple[str, str], ...] = (),
+) -> bytes:
+    """A full buffered HTTP/1.1 response, connection-close."""
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    head = [
+        f"HTTP/1.1 {status} {phrase}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    head.extend(f"{name}: {value}" for name, value in extra_headers)
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+
+
+def stream_header_bytes(
+    status: int, content_type: str = "application/x-ndjson"
+) -> bytes:
+    """Headers for a close-delimited streaming response (no length)."""
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    head = [
+        f"HTTP/1.1 {status} {phrase}",
+        f"Content-Type: {content_type}",
+        "Connection: close",
+    ]
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1")
+
+
+def error_body(code: str, message: str) -> bytes:
+    """The structured JSON error body every failure path shares."""
+    return json.dumps(
+        {"error": {"code": code, "message": message}}, sort_keys=True
+    ).encode("utf-8")

@@ -1,0 +1,118 @@
+"""Job and execution records for the optimization service.
+
+A *job* is one accepted submission: it has an ID, a state machine, an
+event log, and eventually a result or error.  An *execution* is one
+actual optimizer run; duplicate submissions (same canonical
+:class:`~repro.serve.jobspec.JobSpec` key) **attach** to the pending
+execution instead of spawning another run, so N identical requests cost
+one worker slot and complete together with byte-identical results.
+
+States::
+
+    queued ──> running ──> done
+       │          │   └──> failed
+       │          ├──────> timeout
+       └──────────┴──────> cancelled
+
+``done``/``failed``/``timeout``/``cancelled`` are terminal.  Cancelling
+one attached job detaches it immediately; the underlying execution is
+only cancelled once *every* attached job has been cancelled, so one
+impatient client can never kill a coalesced neighbour's run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.serve.jobspec import JobSpec
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+TIMEOUT = "timeout"
+
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED, TIMEOUT})
+
+
+@dataclass
+class Job:
+    """One accepted submission."""
+
+    id: str
+    key: str
+    priority: int
+    timeout: float
+    #: True when this submission attached to an already-pending execution.
+    coalesced: bool = False
+    #: True when the result came straight from the completed-result LRU.
+    cached: bool = False
+    state: str = QUEUED
+    #: Progress events in arrival order (state changes + optimizer rounds).
+    events: list = field(default_factory=list)
+    #: Canonical result JSON text once ``done`` (byte-stable).
+    result_json: Optional[str] = None
+    #: Structured error once ``failed``/``timeout``/``cancelled``.
+    error: Optional[dict] = None
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: Woken on every appended event (single-loop use only).
+    new_event: asyncio.Event = field(default_factory=asyncio.Event)
+    #: Set exactly once, when the job reaches a terminal state.
+    done_event: asyncio.Event = field(default_factory=asyncio.Event)
+    #: The execution this job is attached to (``None`` once it was served
+    #: straight from the cache).
+    execution: Optional["Execution"] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def add_event(self, event: dict) -> None:
+        self.events.append(event)
+        self.new_event.set()
+
+    def set_state(self, state: str, clock: float) -> None:
+        """Advance the state machine, logging the transition as an event."""
+        self.state = state
+        if state == RUNNING:
+            self.started_at = clock
+        elif state in TERMINAL_STATES:
+            self.finished_at = clock
+        self.add_event({"type": "state", "status": state})
+        if state in TERMINAL_STATES:
+            self.done_event.set()
+
+
+@dataclass
+class Execution:
+    """One optimizer run; the unit the queue and worker pool deal in."""
+
+    spec: JobSpec
+    jobs: list[Job] = field(default_factory=list)
+    #: Signals a *running* worker attempt to stop (checked between pipe
+    #: polls on the parent side; the child process is terminated).
+    cancel_event: threading.Event = field(default_factory=threading.Event)
+    #: Deadline input: seconds granted to the run (primary job's budget).
+    timeout: float = 300.0
+    #: Worker attempts consumed (crash retries increment this).
+    attempts: int = 0
+    running: bool = False
+
+    @property
+    def key(self) -> str:
+        return self.spec.key
+
+    def live_jobs(self) -> list[Job]:
+        return [job for job in self.jobs if not job.terminal]
+
+    @property
+    def abandoned(self) -> bool:
+        """True when every attached job is already terminal (all
+        cancelled): the run has no audience left."""
+        return not self.live_jobs()

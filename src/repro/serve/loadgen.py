@@ -1,0 +1,322 @@
+"""Load generation against a running ``powder serve`` instance.
+
+Drives a seeded mix of optimization jobs — a bounded pool of distinct
+generated circuits (:mod:`repro.fuzz` generator), so a configurable
+fraction of submissions are exact duplicates that exercise the dedup
+cache and in-flight coalescing — in one of two standard modes:
+
+- **closed loop**: ``clients`` workers, each submit → wait → repeat;
+  concurrency is fixed, arrival rate adapts to service speed,
+- **open loop**: submissions arrive on a fixed Poisson-free schedule of
+  ``rate`` jobs/second regardless of completions; a waiter pool collects
+  results.  This is the mode that shows queueing behaviour under
+  overload.
+
+The :class:`LoadGenReport` carries everything ``benchmarks/BENCH_serve.json``
+publishes: throughput, p50/p95/p99 end-to-end latency (overall and split
+cold vs cache-hit), cache hit rate, per-status tallies, and the server's
+own ``/metrics`` snapshot.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ServeError
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.stats import latency_summary
+
+_MIX_SHAPES = ("random", "reconvergent", "high_fanout", "inverter_chain")
+
+
+@dataclass
+class LoadGenConfig:
+    """One load-generation campaign."""
+
+    host: str = "127.0.0.1"
+    port: int = 8787
+    #: ``closed`` (fixed concurrency) or ``open`` (fixed arrival rate).
+    mode: str = "closed"
+    #: Concurrent client workers (closed loop) / result waiters (open).
+    clients: int = 4
+    #: Open loop: target arrival rate, jobs per second.
+    rate: float = 4.0
+    #: Campaign length in seconds (submission window; waits run longer).
+    duration: float = 10.0
+    seed: int = 0
+    #: Distinct circuits in the mix; submissions draw uniformly from the
+    #: pool, so smaller pools mean more duplicate submissions.
+    unique_circuits: int = 6
+    min_inputs: int = 4
+    max_inputs: int = 6
+    min_gates: int = 8
+    max_gates: int = 16
+    #: Optimizer knobs for every job (kept small: service-latency tests
+    #: measure the service, not the optimizer).
+    patterns: int = 64
+    repeat: int = 5
+    max_rounds: int = 3
+    #: Optional pipeline spec submitted with every job.
+    spec: Optional[str] = None
+    #: Per-job server-side timeout.
+    job_timeout: float = 120.0
+    #: Client-side wait budget per job.
+    wait_timeout: float = 180.0
+
+    def __post_init__(self):
+        if self.mode not in ("closed", "open"):
+            raise ServeError(f"unknown load mode {self.mode!r}",
+                             code="bad-config", status=400)
+        if self.clients < 1 or self.unique_circuits < 1:
+            raise ServeError("clients and unique_circuits must be >= 1",
+                             code="bad-config", status=400)
+        if self.duration <= 0 or self.rate <= 0:
+            raise ServeError("duration and rate must be positive",
+                             code="bad-config", status=400)
+
+
+@dataclass
+class RequestRecord:
+    """One submission's fate, as the client saw it."""
+
+    ok: bool
+    status: str  # terminal job state, or "http-error"/"client-timeout"
+    latency: float
+    cached: bool = False
+    coalesced: bool = False
+    http_status: Optional[int] = None
+
+
+@dataclass
+class LoadGenReport:
+    """Aggregated campaign outcome."""
+
+    config: dict
+    submitted: int
+    completed: int
+    failed: int
+    cancelled: int
+    timeouts: int
+    http_errors: int
+    server_5xx: int
+    cache_hits: int
+    coalesced: int
+    elapsed_seconds: float
+    throughput_jobs_per_sec: float
+    latency: dict
+    latency_cold: dict
+    latency_cached: dict
+    server_metrics: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "config": self.config,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "timeouts": self.timeouts,
+            "http_errors": self.http_errors,
+            "server_5xx": self.server_5xx,
+            "cache_hits": self.cache_hits,
+            "coalesced": self.coalesced,
+            "cache_hit_rate": (
+                self.cache_hits / self.submitted if self.submitted else 0.0
+            ),
+            "elapsed_seconds": self.elapsed_seconds,
+            "throughput_jobs_per_sec": self.throughput_jobs_per_sec,
+            "latency": self.latency,
+            "latency_cold": self.latency_cold,
+            "latency_cached": self.latency_cached,
+            "server_metrics": self.server_metrics,
+        }
+
+    def ok(self, require_cache_hits: bool = False,
+           max_5xx: int = 0) -> bool:
+        """The CI gate: everything submitted settled cleanly."""
+        if self.server_5xx > max_5xx:
+            return False
+        if self.failed or self.timeouts or self.http_errors:
+            return False
+        if require_cache_hits and self.cache_hits == 0:
+            return False
+        return self.completed == self.submitted
+
+
+def build_circuit_pool(config: LoadGenConfig) -> list[str]:
+    """The seeded BLIF texts submissions draw from (deterministic)."""
+    from repro.fuzz.generator import GeneratorConfig, random_mapped_netlist
+    from repro.netlist.blif import write_blif
+
+    pool = []
+    for index in range(config.unique_circuits):
+        generated = random_mapped_netlist(GeneratorConfig(
+            seed=config.seed * 1009 + index,
+            shape=_MIX_SHAPES[index % len(_MIX_SHAPES)],
+            min_inputs=config.min_inputs,
+            max_inputs=config.max_inputs,
+            min_gates=config.min_gates,
+            max_gates=config.max_gates,
+        ))
+        pool.append(write_blif(generated))
+    return pool
+
+
+def _job_options(config: LoadGenConfig) -> dict:
+    return {
+        "num_patterns": config.patterns,
+        "repeat": config.repeat,
+        "max_rounds": config.max_rounds,
+    }
+
+
+def _run_one(client: ServeClient, blif: str, config: LoadGenConfig,
+             records: list, lock: threading.Lock) -> None:
+    start = time.monotonic()
+    try:
+        accepted = client.submit(
+            blif,
+            spec=config.spec,
+            options=_job_options(config),
+            timeout=config.job_timeout,
+        )
+        view = (
+            accepted
+            if accepted["status"] == "done"
+            else client.wait(
+                accepted["job_id"], timeout=config.wait_timeout
+            )
+        )
+        record = RequestRecord(
+            ok=view["status"] == "done",
+            status=view["status"],
+            latency=time.monotonic() - start,
+            cached=bool(accepted.get("cached")),
+            coalesced=bool(accepted.get("coalesced")),
+        )
+    except ServeClientError as error:
+        record = RequestRecord(
+            ok=False,
+            status=(
+                "client-timeout" if error.code == "client-timeout"
+                else "http-error"
+            ),
+            latency=time.monotonic() - start,
+            http_status=error.status,
+        )
+    except OSError:
+        record = RequestRecord(
+            ok=False, status="http-error",
+            latency=time.monotonic() - start, http_status=None,
+        )
+    with lock:
+        records.append(record)
+
+
+def run_load(config: LoadGenConfig) -> LoadGenReport:
+    """Run one campaign against a live server; the aggregated report."""
+    pool = build_circuit_pool(config)
+    records: list[RequestRecord] = []
+    lock = threading.Lock()
+    client = ServeClient(config.host, config.port,
+                         timeout=max(30.0, config.wait_timeout))
+    client.health()  # fail fast when nothing is listening
+
+    start = time.monotonic()
+    deadline = start + config.duration
+    if config.mode == "closed":
+        def closed_loop(worker_index: int) -> None:
+            rng = random.Random(config.seed * 7919 + worker_index)
+            worker_client = ServeClient(
+                config.host, config.port,
+                timeout=max(30.0, config.wait_timeout),
+            )
+            while time.monotonic() < deadline:
+                blif = pool[rng.randrange(len(pool))]
+                _run_one(worker_client, blif, config, records, lock)
+
+        threads = [
+            threading.Thread(target=closed_loop, args=(index,), daemon=True)
+            for index in range(config.clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    else:  # open loop: fixed arrival schedule, pooled waiters
+        import queue as queue_module
+
+        pending: "queue_module.Queue" = queue_module.Queue()
+        done = threading.Event()
+
+        def waiter() -> None:
+            while True:
+                item = pending.get()
+                if item is None:
+                    return
+                _run_one(client, item, config, records, lock)
+
+        waiters = [
+            threading.Thread(target=waiter, daemon=True)
+            for _ in range(config.clients)
+        ]
+        for thread in waiters:
+            thread.start()
+        rng = random.Random(config.seed * 7919)
+        interval = 1.0 / config.rate
+        next_arrival = start
+        while next_arrival < deadline:
+            delay = next_arrival - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            pending.put(pool[rng.randrange(len(pool))])
+            next_arrival += interval
+        for _ in waiters:
+            pending.put(None)
+        for thread in waiters:
+            thread.join()
+        done.set()
+    elapsed = time.monotonic() - start
+
+    completed = sum(1 for r in records if r.status == "done")
+    latencies = [r.latency for r in records if r.ok]
+    cold = [
+        r.latency for r in records
+        if r.ok and not r.cached and not r.coalesced
+    ]
+    warm = [r.latency for r in records if r.ok and r.cached]
+    try:
+        server_metrics = client.metrics()
+    except (ServeClientError, OSError):
+        server_metrics = {}
+    return LoadGenReport(
+        config={
+            key: value for key, value in vars(config).items()
+            if not key.startswith("_")
+        },
+        submitted=len(records),
+        completed=completed,
+        failed=sum(1 for r in records if r.status == "failed"),
+        cancelled=sum(1 for r in records if r.status == "cancelled"),
+        timeouts=sum(
+            1 for r in records
+            if r.status in ("timeout", "client-timeout")
+        ),
+        http_errors=sum(1 for r in records if r.status == "http-error"),
+        server_5xx=sum(
+            1 for r in records
+            if r.http_status is not None and r.http_status >= 500
+        ),
+        cache_hits=sum(1 for r in records if r.cached),
+        coalesced=sum(1 for r in records if r.coalesced),
+        elapsed_seconds=elapsed,
+        throughput_jobs_per_sec=completed / elapsed if elapsed else 0.0,
+        latency=latency_summary(latencies),
+        latency_cold=latency_summary(cold),
+        latency_cached=latency_summary(warm),
+        server_metrics=server_metrics,
+    )

@@ -1,0 +1,101 @@
+"""Run a :class:`~repro.serve.server.PowderServer` on a background thread.
+
+The server is pure asyncio; tests, benchmarks, and embedding callers
+often want it alongside blocking code.  :class:`ServerThread` runs the
+event loop on a daemon thread, exposes the bound ephemeral port, and
+tears the service down through the same graceful-drain path the CLI
+uses:
+
+    with ServerThread(ServerConfig(workers=2)) as handle:
+        client = handle.client()
+        ...
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional
+
+from repro.errors import ServeError
+from repro.serve.client import ServeClient
+from repro.serve.server import PowderServer, ServerConfig
+
+
+class ServerThread:
+    """A server on its own thread + event loop; context-manageable."""
+
+    def __init__(self, config: Optional[ServerConfig] = None):
+        self.config = config or ServerConfig()
+        self.server: Optional[PowderServer] = None
+        self.port: Optional[int] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ServerThread":
+        if self._thread is not None:
+            raise ServeError("server thread already started",
+                             code="already-started", status=500)
+        self._thread = threading.Thread(
+            target=self._thread_main, name="powder-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise ServeError("server failed to start within 30s",
+                             code="startup-timeout", status=500)
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as error:  # noqa: BLE001 — surface to start()
+            self._startup_error = error
+            self._ready.set()
+
+    async def _main(self) -> None:
+        server = PowderServer(self.config)
+        try:
+            await server.start()
+        except BaseException as error:  # noqa: BLE001
+            self._startup_error = error
+            self._ready.set()
+            return
+        self.server = server
+        self.port = server.port
+        self._loop = asyncio.get_running_loop()
+        self._ready.set()
+        await server.wait_closed()
+
+    # ------------------------------------------------------------------
+    def client(self, timeout: float = 30.0) -> ServeClient:
+        if self.port is None:
+            raise ServeError("server is not running", code="not-running",
+                             status=500)
+        return ServeClient(self.config.host, self.port, timeout=timeout)
+
+    def stop(self, drain: bool = True, join_timeout: float = 60.0) -> None:
+        """Trigger a graceful shutdown and join the thread (idempotent)."""
+        thread, loop, server = self._thread, self._loop, self.server
+        if thread is None or not thread.is_alive():
+            return
+        if loop is not None and server is not None:
+            try:
+                loop.call_soon_threadsafe(server.request_shutdown, drain)
+            except RuntimeError:
+                pass  # loop already closed
+        thread.join(join_timeout)
+        if thread.is_alive():  # pragma: no cover — drain never hangs
+            raise ServeError("server thread did not stop",
+                             code="shutdown-timeout", status=500)
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()

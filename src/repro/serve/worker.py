@@ -1,0 +1,235 @@
+"""Worker-side job execution: one forked process per attempt.
+
+Each execution runs in its own ``fork`` process so the service gets real
+preemption for free: a timeout or cancellation terminates the child, and
+a worker crash (whatever the cause) can never take the server down — the
+parent sees the pipe close without a final message and retries within
+its budget.
+
+The child streams progress over a ``multiprocessing.Pipe``:
+
+- ``{"type": "round", ...}`` — one per finished optimizer round, carrying
+  the PR-4 :class:`~repro.telemetry.RoundTrace` fields (pool size, per-
+  class candidate counts, shortlist evaluations, moves, rejections),
+- ``{"type": "result", "payload": {...}}`` — the canonical result,
+- ``{"type": "error", "error": {...}}`` — a structured, *deterministic*
+  failure (no retry: the same input would fail the same way).
+
+:func:`execute_jobspec` is the exact code path the child runs, exposed
+in-process for the byte-identity tests: serving a job must equal calling
+:func:`repro.transform.optimizer.power_optimize` yourself.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import ReproError
+from repro.serve.jobspec import JobSpec, server_library
+from repro.telemetry.tracer import Tracer
+
+#: Fallback cap on how long the parent waits for a terminated child to
+#: be reaped before escalating from SIGTERM to SIGKILL.
+_REAP_SECONDS = 5.0
+
+
+class StreamingTracer(Tracer):
+    """A PR-4 tracer that additionally emits each finished round."""
+
+    def __init__(self, emit: Callable[[dict], None]):
+        super().__init__()
+        self._emit = emit
+
+    def end_round(self) -> None:
+        finished = self._round
+        super().end_round()
+        if finished is not None:
+            self._emit({
+                "type": "round",
+                "index": finished.index,
+                "pool_size": finished.pool_size,
+                "candidates_by_class": dict(finished.candidates_by_class),
+                "shortlist_evaluations": finished.shortlist_evaluations,
+                "moves_applied": finished.moves_applied,
+                "rejections": dict(finished.rejections),
+            })
+
+
+def execute_jobspec(
+    spec: JobSpec, emit: Optional[Callable[[dict], None]] = None
+) -> dict:
+    """Run one canonical job to completion; the canonical result dict.
+
+    Identical to what an in-process
+    :func:`~repro.transform.optimizer.power_optimize` (or explicit
+    pipeline run) produces for the same inputs: the tracer is read-only,
+    so streaming progress never changes a move.
+    """
+    from repro.netlist.blif import parse_blif, write_blif
+    from repro.pipeline import (
+        OptimizationContext,
+        PassManager,
+        build_pipeline,
+        default_pipeline,
+    )
+    from repro.transform.optimizer import OptimizeOptions
+
+    netlist = parse_blif(spec.blif, server_library())
+    options = OptimizeOptions.from_dict(json.loads(spec.options_json))
+    if emit is not None and not options.windowed:
+        options.trace = StreamingTracer(emit)
+    passes = (
+        build_pipeline(spec.spec) if spec.spec is not None
+        else default_pipeline(options)
+    )
+    outcome = PassManager().run(OptimizationContext(netlist, options), passes)
+    result = outcome.optimize_result
+
+    payload: dict = {
+        "netlist": outcome.netlist.name,
+        "blif": write_blif(outcome.netlist),
+        "spec": spec.spec,
+    }
+    if result is not None:
+        payload["summary"] = {
+            "initial_power": result.initial_power,
+            "final_power": result.final_power,
+            "initial_area": result.initial_area,
+            "final_area": result.final_area,
+            "initial_delay": result.initial_delay,
+            "final_delay": result.final_delay,
+            "moves": len(result.moves),
+            "rounds": result.rounds,
+            "rejected_delay": result.rejected_delay,
+            "rejected_not_permissible": result.rejected_not_permissible,
+            "rejected_aborted": result.rejected_aborted,
+            "rejected_stale": result.rejected_stale,
+        }
+    return payload
+
+
+def _child_main(conn, spec: JobSpec) -> None:
+    """Entry point of the forked worker process."""
+    try:
+        payload = execute_jobspec(spec, emit=conn.send)
+        conn.send({"type": "result", "payload": payload})
+    except ReproError as error:
+        conn.send({"type": "error", "error": {
+            "code": type(error).__name__, "message": str(error),
+        }})
+    except Exception as error:  # noqa: BLE001 — the boundary of a process
+        conn.send({"type": "error", "error": {
+            "code": "internal",
+            "message": f"{type(error).__name__}: {error}",
+        }})
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+#: Indirection point so tests can inject crashing/slow workers without
+#: any test-only branch in the production path.
+spawn_target = _child_main
+
+
+@dataclass
+class AttemptOutcome:
+    """What one worker attempt produced."""
+
+    status: str  # "result" | "error" | "cancelled" | "timeout" | "crashed"
+    payload: Optional[dict] = None
+    error: Optional[dict] = None
+
+
+def _kill(process) -> None:
+    if process.is_alive():
+        process.terminate()
+        process.join(_REAP_SECONDS)
+    if process.is_alive():  # pragma: no cover — SIGTERM always suffices here
+        process.kill()
+        process.join(_REAP_SECONDS)
+
+
+def run_attempt(
+    spec: JobSpec,
+    *,
+    deadline: float,
+    cancel_event,
+    publish: Callable[[dict], None],
+    poll_interval: float = 0.05,
+) -> AttemptOutcome:
+    """Run one forked attempt to a verdict (blocking; executor-thread side).
+
+    Polls the event pipe at ``poll_interval``, checking the cancellation
+    flag and the monotonic ``deadline`` between polls; on either, the
+    child is terminated.  A pipe that closes without a final ``result``/
+    ``error`` message is a worker crash.
+    """
+    context = multiprocessing.get_context("fork")
+    parent_conn, child_conn = context.Pipe(duplex=False)
+    process = context.Process(
+        target=spawn_target, args=(child_conn, spec), daemon=True
+    )
+    process.start()
+    child_conn.close()
+
+    final: Optional[dict] = None
+    try:
+        while final is None:
+            if cancel_event.is_set():
+                _kill(process)
+                return AttemptOutcome("cancelled")
+            if time.monotonic() >= deadline:
+                _kill(process)
+                return AttemptOutcome("timeout")
+            try:
+                has_data = parent_conn.poll(poll_interval)
+            except (EOFError, OSError):
+                break
+            if has_data:
+                try:
+                    event = parent_conn.recv()
+                except (EOFError, OSError):
+                    break
+                if event.get("type") in ("result", "error"):
+                    final = event
+                else:
+                    publish(event)
+            elif not process.is_alive():
+                # Child exited: drain anything still buffered in the pipe.
+                try:
+                    while final is None and parent_conn.poll(0):
+                        event = parent_conn.recv()
+                        if event.get("type") in ("result", "error"):
+                            final = event
+                        else:
+                            publish(event)
+                except (EOFError, OSError):
+                    pass
+                break
+    finally:
+        try:
+            parent_conn.close()
+        except OSError:
+            pass
+        process.join(_REAP_SECONDS)
+        if process.is_alive():  # pragma: no cover — defensive reap
+            _kill(process)
+
+    if final is not None and final["type"] == "result":
+        return AttemptOutcome("result", payload=final["payload"])
+    if final is not None and final["type"] == "error":
+        return AttemptOutcome("error", error=final["error"])
+    return AttemptOutcome("crashed", error={
+        "code": "worker-crash",
+        "message": (
+            f"worker exited with code {process.exitcode} before "
+            "producing a result"
+        ),
+    })

@@ -21,6 +21,7 @@ from repro.telemetry.trace import (
     MoveTrace,
     RoundTrace,
     RunTrace,
+    deterministic_json,
     format_trace,
     read_trace,
     write_trace,
@@ -39,6 +40,7 @@ __all__ = [
     "TraceDiff",
     "Tracer",
     "compare_traces",
+    "deterministic_json",
     "format_trace",
     "read_trace",
     "validate_trace",

@@ -35,6 +35,20 @@ from repro.errors import TelemetryError
 TRACE_SCHEMA_VERSION = 1
 
 
+def deterministic_json(data) -> str:
+    """Canonical JSON text for ``data``: sorted keys, compact separators,
+    shortest-roundtrip floats, NaN/Infinity rejected.
+
+    Two structurally equal values serialize to byte-identical text, so
+    this is the serialization for everything that must be byte-stable:
+    the deterministic trace subset, canonical
+    :class:`~repro.transform.optimizer.OptimizeOptions` dictionaries,
+    and the result payloads the :mod:`repro.serve` cache hands out.
+    """
+    return json.dumps(data, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
 @dataclass
 class MoveTrace:
     """One applied substitution, with its full value decomposition."""
@@ -101,7 +115,7 @@ class RunTrace:
 
     def deterministic_json(self) -> str:
         """Canonical JSON of the deterministic subset (byte-comparable)."""
-        return json.dumps(self.deterministic_dict(), sort_keys=True)
+        return deterministic_json(self.deterministic_dict())
 
     # ------------------------------------------------------------------
     @classmethod

@@ -32,7 +32,7 @@ bit-identical to a from-scratch generation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, fields
 from typing import Optional
 
 import numpy as np
@@ -77,6 +77,27 @@ class CandidateOptions:
     #: when a signal is constant on every observable pattern.  Off by
     #: default: the paper's move set is signal substitutions only.
     constant_substitution: bool = False
+
+    def to_dict(self) -> dict:
+        """JSON-representable form; inverse of :meth:`from_dict`."""
+        data = asdict(self)
+        if self.os3_cells is not None:
+            data["os3_cells"] = list(self.os3_cells)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CandidateOptions":
+        """Rebuild from :meth:`to_dict` output; unknown keys are errors."""
+        known = {entry.name for entry in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown CandidateOptions field(s): {', '.join(unknown)}"
+            )
+        kwargs = dict(data)
+        if kwargs.get("os3_cells") is not None:
+            kwargs["os3_cells"] = tuple(kwargs["os3_cells"])
+        return cls(**kwargs)
 
 
 @dataclass

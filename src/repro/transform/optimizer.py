@@ -252,6 +252,84 @@ class OptimizeOptions:
                     "per-window traces do not compose into one RunTrace"
                 )
 
+    # ------------------------------------------------------------------
+    # Canonical JSON round-trip (the `powder serve` wire format)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-representable form of every configuration field.
+
+        The inverse of :meth:`from_dict`; ``from_dict(to_dict(o))``
+        reproduces ``o`` exactly.  A :class:`~repro.transform.cost.CostModel`
+        objective serializes as its registered name, ``candidates`` nests
+        as a :meth:`CandidateOptions.to_dict` dictionary, and temporal
+        input specs flatten to ``{"p1": ..., "activity": ...}`` records.
+        ``trace`` is the one excluded field: a live tracer is run state,
+        not configuration, so options carrying one refuse to serialize.
+        """
+        if self.trace is not None:
+            raise ValueError(
+                "options carrying a live tracer do not serialize; "
+                "set trace=None and attach the tracer after from_dict"
+            )
+        from dataclasses import fields as _fields
+
+        data: dict = {}
+        for entry in _fields(self):
+            if entry.name == "trace":
+                continue
+            value = getattr(self, entry.name)
+            if entry.name == "objective":
+                value = getattr(value, "name", value)
+            elif entry.name == "candidates":
+                value = value.to_dict()
+            elif entry.name == "input_probs" and value is not None:
+                value = {name: float(p) for name, p in value.items()}
+            elif entry.name == "input_temporal_specs" and value is not None:
+                value = {
+                    name: {"p1": spec.p1, "activity": spec.activity}
+                    for name, spec in value.items()
+                }
+            data[entry.name] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OptimizeOptions":
+        """Rebuild options from :meth:`to_dict` output.
+
+        Unknown keys raise :class:`ValueError` (a mistyped knob must not
+        silently fall back to its default), and the reconstructed options
+        go through ``__post_init__`` validation like any other.
+        """
+        from dataclasses import fields as _fields
+
+        if data.get("trace") is not None:
+            raise ValueError("trace does not round-trip through JSON")
+        known = {entry.name for entry in _fields(cls)} - {"trace"}
+        unknown = sorted(set(data) - known - {"trace"})
+        if unknown:
+            raise ValueError(
+                f"unknown OptimizeOptions field(s): {', '.join(unknown)}"
+            )
+        kwargs = {key: value for key, value in data.items() if key != "trace"}
+        if "candidates" in kwargs:
+            kwargs["candidates"] = CandidateOptions.from_dict(
+                kwargs["candidates"]
+            )
+        if kwargs.get("input_temporal_specs") is not None:
+            from repro.power.temporal import TemporalSpec
+
+            kwargs["input_temporal_specs"] = {
+                name: TemporalSpec(**spec)
+                for name, spec in kwargs["input_temporal_specs"].items()
+            }
+        return cls(**kwargs)
+
+    def canonical_json(self) -> str:
+        """Byte-stable canonical JSON of :meth:`to_dict` (cache keying)."""
+        from repro.telemetry.trace import deterministic_json
+
+        return deterministic_json(self.to_dict())
+
 
 @dataclass
 class OptimizeResult:

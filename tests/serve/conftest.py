@@ -1,0 +1,37 @@
+"""Fixtures for the optimization-service suite.
+
+One live server per module (session-scoped startup is too sticky when a
+test intentionally shuts a server down), always on an ephemeral port,
+always torn down through the graceful-drain path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz.generator import GeneratorConfig, random_mapped_netlist
+from repro.netlist.blif import write_blif
+from repro.serve import ServerConfig, ServerThread
+
+#: Small, fast optimizer knobs: the suite tests the service, not POWDER.
+FAST_OPTIONS = {"num_patterns": 64, "repeat": 5, "max_rounds": 2}
+
+#: Heavier knobs for jobs that must still be running when we act on them.
+SLOW_OPTIONS = {"num_patterns": 2048, "repeat": 6, "max_rounds": 10}
+
+
+def make_blif(seed: int, min_gates: int = 8, max_gates: int = 12) -> str:
+    return write_blif(random_mapped_netlist(GeneratorConfig(
+        seed=seed, min_gates=min_gates, max_gates=max_gates,
+    )))
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServerThread(ServerConfig(workers=2)) as handle:
+        yield handle
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return server.client()

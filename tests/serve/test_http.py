@@ -1,0 +1,117 @@
+"""Units for the minimal HTTP layer (parser, responses, limits)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.http import (
+    HttpError,
+    Request,
+    error_body,
+    read_request,
+    response_bytes,
+    stream_header_bytes,
+)
+
+
+def parse(raw: bytes, max_body: int = 1024):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, max_body)
+
+    return asyncio.run(go())
+
+
+def test_parses_simple_get():
+    request = parse(b"GET /jobs/j1?state=done HTTP/1.1\r\nHost: x\r\n\r\n")
+    assert request.method == "GET"
+    assert request.path == "/jobs/j1"
+    assert request.query == {"state": "done"}
+    assert request.headers["host"] == "x"
+    assert request.body == b""
+
+
+def test_parses_post_body_by_content_length():
+    request = parse(
+        b"POST /jobs HTTP/1.1\r\nContent-Length: 9\r\n\r\n"
+        b'{"a": 1}\n'
+    )
+    assert request.body == b'{"a": 1}\n'
+    assert request.json() == {"a": 1}
+
+
+def test_clean_eof_is_none():
+    assert parse(b"") is None
+
+
+@pytest.mark.parametrize("raw", [
+    b"GARBAGE\r\n\r\n",
+    b"GET /x SPDY/9\r\n\r\n",
+    b"GET /x HTTP/1.1\r\nno-colon-header\r\n\r\n",
+    b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+    b"POST /x HTTP/1.1\r\nContent-Length: -4\r\n\r\n",
+    b"POST /x HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort",
+    b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+])
+def test_malformed_requests_raise_400(raw):
+    with pytest.raises(HttpError) as excinfo:
+        parse(raw)
+    assert excinfo.value.status == 400
+
+
+def test_oversized_body_is_413_before_reading():
+    with pytest.raises(HttpError) as excinfo:
+        parse(
+            b"POST /x HTTP/1.1\r\nContent-Length: 99999\r\n\r\n",
+            max_body=1024,
+        )
+    assert excinfo.value.status == 413
+    assert excinfo.value.code == "too-large"
+
+
+def test_too_many_headers_rejected():
+    headers = b"".join(
+        b"h%d: v\r\n" % index for index in range(100)
+    )
+    with pytest.raises(HttpError):
+        parse(b"GET / HTTP/1.1\r\n" + headers + b"\r\n")
+
+
+@pytest.mark.parametrize("body, message", [
+    (b"", "empty"),
+    (b"not json", "malformed"),
+    (b"[1, 2]", "non-object"),
+])
+def test_request_json_rejects(body, message):
+    request = Request(method="POST", path="/jobs", body=body)
+    with pytest.raises(HttpError) as excinfo:
+        request.json()
+    assert excinfo.value.status == 400
+    assert excinfo.value.code == "bad-json"
+
+
+def test_response_bytes_shape():
+    raw = response_bytes(200, b'{"ok":true}')
+    head, _, body = raw.partition(b"\r\n\r\n")
+    assert head.startswith(b"HTTP/1.1 200 OK")
+    assert b"Content-Length: 11" in head
+    assert b"Connection: close" in head
+    assert body == b'{"ok":true}'
+
+
+def test_stream_header_has_no_length():
+    head = stream_header_bytes(200)
+    assert head.startswith(b"HTTP/1.1 200 OK")
+    assert b"Content-Length" not in head
+    assert b"application/x-ndjson" in head
+
+
+def test_error_body_is_structured():
+    import json
+
+    payload = json.loads(error_body("bad-blif", "nope"))
+    assert payload == {"error": {"code": "bad-blif", "message": "nope"}}

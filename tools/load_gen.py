@@ -1,0 +1,143 @@
+"""Concurrent load generator for a running ``powder serve`` instance.
+
+Thin CLI over :mod:`repro.serve.loadgen`: a seeded mix of optimization
+jobs drawn from a small pool of generated circuits (so duplicates
+exercise the result cache and in-flight coalescing), driven either
+closed-loop (fixed concurrency) or open-loop (fixed arrival rate).
+
+    # against an already-running server
+    PYTHONPATH=src python tools/load_gen.py --port 8787 --duration 10
+
+    # boot a private server, run the campaign, tear it down
+    PYTHONPATH=src python tools/load_gen.py --self-serve --duration 10
+
+    # CI smoke: nonzero cache hits, zero 5xx, everything completes
+    PYTHONPATH=src python tools/load_gen.py --self-serve --duration 30 \
+        --check --require-cache-hits
+
+Prints the full :class:`~repro.serve.loadgen.LoadGenReport` as JSON on
+stdout; with ``--check`` the exit code is the CI verdict.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.errors import ServeError  # noqa: E402
+from repro.serve import (  # noqa: E402
+    LoadGenConfig,
+    ServerConfig,
+    ServerThread,
+    run_load,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="load-test a powder serve instance"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8787)
+    parser.add_argument(
+        "--self-serve", action="store_true",
+        help="boot a private server for the campaign (ignores --port)",
+    )
+    parser.add_argument("--serve-workers", type=int, default=2,
+                        help="worker processes for --self-serve")
+    parser.add_argument("--mode", choices=("closed", "open"),
+                        default="closed")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="concurrent clients (closed) / waiters (open)")
+    parser.add_argument("--rate", type=float, default=4.0,
+                        help="open-loop arrival rate, jobs/second")
+    parser.add_argument("--duration", type=float, default=10.0,
+                        help="submission window in seconds")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--unique-circuits", type=int, default=6,
+                        help="distinct circuits in the mix (smaller = "
+                             "more duplicate submissions)")
+    parser.add_argument("--min-gates", type=int, default=8)
+    parser.add_argument("--max-gates", type=int, default=16)
+    parser.add_argument("--patterns", type=int, default=64,
+                        help="simulation patterns per job")
+    parser.add_argument("--max-rounds", type=int, default=3)
+    parser.add_argument("--spec", default=None,
+                        help="pipeline spec submitted with every job")
+    parser.add_argument("--job-timeout", type=float, default=120.0)
+    parser.add_argument("--wait-timeout", type=float, default=180.0)
+    parser.add_argument("--output", "-o", default=None,
+                        help="also write the report JSON here")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 unless every submission completed "
+                             "with zero 5xx")
+    parser.add_argument("--require-cache-hits", action="store_true",
+                        help="with --check, also demand >=1 cache hit")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        config = LoadGenConfig(
+            host=args.host,
+            port=args.port,
+            mode=args.mode,
+            clients=args.clients,
+            rate=args.rate,
+            duration=args.duration,
+            seed=args.seed,
+            unique_circuits=args.unique_circuits,
+            min_gates=args.min_gates,
+            max_gates=args.max_gates,
+            patterns=args.patterns,
+            max_rounds=args.max_rounds,
+            spec=args.spec,
+            job_timeout=args.job_timeout,
+            wait_timeout=args.wait_timeout,
+        )
+    except ServeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    handle = None
+    try:
+        if args.self_serve:
+            handle = ServerThread(ServerConfig(
+                port=0, workers=args.serve_workers,
+                log=lambda line: print(line, file=sys.stderr),
+            )).start()
+            config.port = handle.port
+            config.host = handle.config.host
+        try:
+            report = run_load(config)
+        except (ServeError, OSError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    finally:
+        if handle is not None:
+            handle.stop()
+
+    text = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+    print(text)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+    if args.check:
+        ok = report.ok(require_cache_hits=args.require_cache_hits)
+        verdict = "PASS" if ok else "FAIL"
+        print(
+            f"check: {verdict} ({report.completed}/{report.submitted} "
+            f"completed, {report.cache_hits} cache hits, "
+            f"{report.server_5xx} 5xx)",
+            file=sys.stderr,
+        )
+        return 0 if ok else 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
