@@ -4,22 +4,44 @@
   propagation): accuracy and cost,
 - candidate-class ablation: how much each substitution class contributes
   when enabled alone,
-- pattern-count sensitivity of the optimizer's outcome.
+- pattern-count sensitivity of the optimizer's outcome,
+- the pipeline head-to-head judge (``python benchmarks/bench_ablation.py``):
+  ≥ 4 pipeline specs × 2 cell libraries over the four golden circuits,
+  every result oracle-verified, written to ``BENCH_ablation.json``.
 """
 
-import pytest
+import argparse
+import datetime
+import json
+import sys
+import time
+from pathlib import Path
 
-from benchmarks.conftest import once
-from repro.bench.suite import build_benchmark
-from repro.library.standard import standard_library
-from repro.power.estimate import PowerEstimator
-from repro.power.probability import (
+_REPO = Path(__file__).resolve().parent.parent
+if __name__ == "__main__":  # script mode: PYTHONPATH-free bootstrap
+    sys.path.insert(0, str(_REPO))
+    sys.path.insert(0, str(_REPO / "src"))
+
+import pytest  # noqa: E402
+
+from benchmarks.conftest import once  # noqa: E402
+from repro.bench.suite import build_benchmark  # noqa: E402
+from repro.fuzz.oracle import check_equivalence_tiers  # noqa: E402
+from repro.library.genlib import parse_genlib_file  # noqa: E402
+from repro.library.standard import standard_library  # noqa: E402
+from repro.pipeline import run_pipeline  # noqa: E402
+from repro.power.estimate import PowerEstimator  # noqa: E402
+from repro.power.probability import (  # noqa: E402
     ExactBddProbability,
     PropagationProbability,
     SimulationProbability,
 )
-from repro.transform.candidates import CandidateOptions
-from repro.transform.optimizer import OptimizeOptions, power_optimize
+from repro.timing.analysis import TimingAnalysis  # noqa: E402
+from repro.transform.candidates import CandidateOptions  # noqa: E402
+from repro.transform.optimizer import (  # noqa: E402
+    OptimizeOptions,
+    power_optimize,
+)
 
 
 @pytest.fixture(scope="module")
@@ -181,3 +203,209 @@ class TestIterateMapPowder:
         # Remapping must not destroy pass-1's result catastrophically, and
         # pass 2 can only improve its own starting point.
         assert second.final_power <= second.initial_power + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Pipeline head-to-head judge (also runnable: python benchmarks/bench_ablation.py)
+# ----------------------------------------------------------------------
+GOLDEN_CIRCUITS = ("rd53", "sqrt8", "misex1", "ttt2")
+
+#: The contenders.  ``bdd_resynth(sift=false)`` isolates the contribution
+#: of probability-weighted sifting from the MUX-tree re-expression itself.
+HEAD_TO_HEAD_SPECS = (
+    "powder",
+    "resynth; powder",
+    "bdd_resynth; powder",
+    "bdd_resynth(sift=false); powder",
+)
+
+GENLIB_DIR = Path(__file__).resolve().parent / "genlib"
+ABLATION_OUTPUT = Path(__file__).resolve().parent / "BENCH_ablation.json"
+
+
+def head_to_head_libraries():
+    """The two library backends the judge compares: the built-in cells and
+    the bundled NAND/NOR-only genlib (no AND/OR/XOR, alien names)."""
+    return {
+        "standard": standard_library(),
+        "nandnor": parse_genlib_file(GENLIB_DIR / "nandnor.genlib"),
+    }
+
+
+def _judge_metrics(netlist, num_patterns):
+    probability = SimulationProbability(
+        netlist, num_patterns=num_patterns, seed=3
+    )
+    return {
+        "gates": netlist.num_gates(),
+        "area": netlist.total_area(),
+        "power": PowerEstimator(netlist, probability).total(),
+        "delay": TimingAnalysis(netlist).circuit_delay,
+    }
+
+
+def run_head_to_head(
+    circuits=GOLDEN_CIRCUITS,
+    specs=HEAD_TO_HEAD_SPECS,
+    libraries=None,
+    num_patterns=1024,
+    repeat=15,
+    max_rounds=4,
+    oracle_patterns=1024,
+):
+    """Run every spec × library × circuit cell of the matrix.
+
+    Each cell starts from a fresh power-mapped netlist in that library,
+    runs the pipeline spec, measures power/area/delay, and verifies the
+    result against the pre-pipeline baseline with the differential
+    oracle.  Returns the full document (the ``judgement`` section names
+    per-library winners and states honestly whether ``bdd_resynth;
+    powder`` beat plain ``powder`` anywhere).
+    """
+    libraries = libraries or head_to_head_libraries()
+    options = OptimizeOptions(
+        num_patterns=num_patterns, repeat=repeat, max_rounds=max_rounds
+    )
+    matrix = {}
+    for lib_name, library in libraries.items():
+        matrix[lib_name] = {}
+        for circuit in circuits:
+            baseline = build_benchmark(circuit, library)
+            entry = {
+                "baseline": _judge_metrics(baseline, num_patterns),
+                "specs": {},
+            }
+            for spec in specs:
+                work = baseline.copy(f"{circuit}_h2h")
+                tick = time.perf_counter()
+                outcome = run_pipeline(work, spec, options)
+                seconds = time.perf_counter() - tick
+                final = outcome.netlist
+                oracle = check_equivalence_tiers(
+                    baseline, final, num_patterns=oracle_patterns
+                )
+                entry["specs"][spec] = {
+                    **_judge_metrics(final, num_patterns),
+                    "seconds": round(seconds, 3),
+                    "equivalent": oracle.equal,
+                    "oracle": dict(sorted(oracle.verdicts.items())),
+                }
+                print(
+                    f"  {lib_name:8s} {circuit:7s} {spec:30s} "
+                    f"power {entry['specs'][spec]['power']:9.2f}  "
+                    f"gates {entry['specs'][spec]['gates']:4d}  "
+                    f"{'equal' if oracle.equal else 'NOT EQUAL'}  "
+                    f"{seconds:6.1f}s",
+                    file=sys.stderr,
+                )
+            matrix[lib_name][circuit] = entry
+    return {
+        "description": (
+            "pipeline head-to-head (benchmarks/bench_ablation.py): each "
+            "spec runs on a fresh power-mapped golden circuit per "
+            "library; power is the switching estimate over "
+            f"{num_patterns} patterns (seed 3); every row is verified "
+            "against its baseline by the differential oracle"
+        ),
+        "date": datetime.date.today().isoformat(),
+        "config": {
+            "num_patterns": num_patterns,
+            "repeat": repeat,
+            "max_rounds": max_rounds,
+            "oracle_patterns": oracle_patterns,
+            "specs": list(specs),
+            "libraries": list(libraries),
+            "circuits": list(circuits),
+        },
+        "matrix": matrix,
+        "judgement": _judge(matrix, specs),
+    }
+
+
+def _judge(matrix, specs):
+    """Per-library winners plus the bdd_resynth-vs-powder verdict."""
+    judgement = {}
+    bdd_wins = []
+    for lib_name, circuits in matrix.items():
+        winners = {}
+        for circuit, entry in circuits.items():
+            ranked = sorted(
+                (cell["power"], spec)
+                for spec, cell in entry["specs"].items()
+                if cell["equivalent"]
+            )
+            winners[circuit] = ranked[0][1] if ranked else None
+            bdd = entry["specs"].get("bdd_resynth; powder")
+            plain = entry["specs"].get("powder")
+            if (
+                bdd is not None
+                and plain is not None
+                and bdd["equivalent"]
+                and bdd["power"] < plain["power"]
+            ):
+                bdd_wins.append(f"{lib_name}/{circuit}")
+        judgement[lib_name] = {"lowest_power_spec": winners}
+    judgement["bdd_resynth_beats_powder_on"] = bdd_wins
+    if not bdd_wins:
+        judgement["note"] = (
+            "honest result: 'bdd_resynth; powder' never beat plain "
+            "'powder' on final power in this matrix — the MUX-tree "
+            "re-expression trades structure for activity and does not "
+            "pay off on these circuits at these settings"
+        )
+    return judgement
+
+
+class TestPipelineHeadToHead:
+    """A one-cell slice of the judge so the matrix logic is exercised by
+    the pytest bench run too (the full matrix is the __main__ path)."""
+
+    def test_single_cell(self, benchmark):
+        document = once(
+            benchmark,
+            run_head_to_head,
+            circuits=("rd53",),
+            specs=("powder", "bdd_resynth; powder"),
+            num_patterns=256,
+            repeat=10,
+            max_rounds=2,
+            oracle_patterns=256,
+        )
+        for lib_name, circuits in document["matrix"].items():
+            for circuit, entry in circuits.items():
+                for spec, cell in entry["specs"].items():
+                    assert cell["equivalent"], (lib_name, circuit, spec)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="pipeline head-to-head judge; writes BENCH_ablation.json"
+    )
+    parser.add_argument("--patterns", type=int, default=1024)
+    parser.add_argument("--repeat", type=int, default=15)
+    parser.add_argument("--max-rounds", type=int, default=4)
+    parser.add_argument(
+        "--circuits", nargs="*", default=list(GOLDEN_CIRCUITS)
+    )
+    parser.add_argument(
+        "--output", "-o", default=str(ABLATION_OUTPUT),
+        help="output path, or '-' for stdout only",
+    )
+    args = parser.parse_args(argv)
+    document = run_head_to_head(
+        circuits=tuple(args.circuits),
+        num_patterns=args.patterns,
+        repeat=args.repeat,
+        max_rounds=args.max_rounds,
+        oracle_patterns=args.patterns,
+    )
+    text = json.dumps(document, indent=2, sort_keys=True)
+    if args.output != "-":
+        Path(args.output).write_text(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

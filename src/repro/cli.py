@@ -292,6 +292,75 @@ def _cmd_synth(args) -> int:
     return 0
 
 
+def _retarget_metrics(netlist, patterns: int) -> dict:
+    from repro.power.estimate import PowerEstimator
+    from repro.power.probability import SimulationProbability
+    from repro.timing.analysis import TimingAnalysis
+
+    estimator = PowerEstimator(
+        netlist,
+        SimulationProbability(netlist, num_patterns=patterns, seed=3),
+    )
+    return {
+        "gates": netlist.num_gates(),
+        "area": netlist.total_area(),
+        "power": estimator.total(),
+        "delay": TimingAnalysis(netlist).circuit_delay,
+    }
+
+
+def _cmd_retarget(args) -> int:
+    from repro.fuzz.oracle import check_equivalence_tiers
+    from repro.library.genlib import parse_genlib_file as _parse_genlib
+    from repro.synth.bdd_resynth import bdd_resynthesize
+    from repro.synth.resynth import resynthesize
+
+    netlist, _library = _load_mapped_netlist(args)
+    target = _parse_genlib(args.to)
+    target.validate()
+    map_options = MapOptions(mode=args.mode)
+    if args.bdd:
+        remapped = bdd_resynthesize(
+            netlist, library=target, map_options=map_options
+        )
+    else:
+        remapped = resynthesize(netlist, library=target, options=map_options)
+
+    before = _retarget_metrics(netlist, args.patterns)
+    after = _retarget_metrics(remapped, args.patterns)
+    print(
+        f"retarget {netlist.name!r}: "
+        f"{_library.name} ({len(_library)} cells) -> "
+        f"{target.name} ({len(target)} cells)"
+    )
+    for label, row in (("before", before), ("after", after)):
+        print(
+            f"  {label:6s} gates {row['gates']:4d}  "
+            f"area {row['area']:8.1f}  power {row['power']:8.4f}  "
+            f"delay {row['delay']:7.3f}"
+        )
+
+    if args.output:
+        Path(args.output).write_text(write_blif(remapped))
+        print(f"retargeted netlist written to {args.output}")
+
+    if args.no_verify:
+        return 0
+    report = check_equivalence_tiers(
+        netlist, remapped, num_patterns=args.patterns, seed=99
+    )
+    verdicts = ", ".join(
+        f"{tier}={verdict}" for tier, verdict in sorted(report.verdicts.items())
+    )
+    print(f"equivalence: {'equal' if report.equal else 'NOT EQUAL'} "
+          f"({verdicts})")
+    if not report.equal:
+        if report.counterexample:
+            print("counterexample:", report.counterexample)
+        return 1
+    return 0
+
+
 def _cmd_verify(args) -> int:
     from repro.equiv.checker import check_equivalent
 
@@ -508,6 +577,11 @@ def _cmd_fuzz(args) -> int:
         jobs=shared["jobs"],
         window_size=shared["window_size"],
         window_radius=shared["window_radius"],
+        library=(
+            parse_genlib_file(args.library)
+            if getattr(args, "library", None)
+            else None
+        ),
     )
     if args.replay:
         report = replay_corpus(Path(args.replay), options)
@@ -710,6 +784,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--library", help="genlib file (default: built-in)")
     p.set_defaults(func=_cmd_verify)
 
+    p = sub.add_parser(
+        "retarget",
+        help="cross-map a netlist onto a different genlib library",
+    )
+    p.add_argument("netlist", help="mapped BLIF input")
+    p.add_argument(
+        "--to", required=True, metavar="GENLIB",
+        help="target genlib file to map onto",
+    )
+    p.add_argument(
+        "--library", help="source genlib file (default: built-in)"
+    )
+    p.add_argument(
+        "--mode", choices=("area", "power", "delay"), default="power",
+        help="mapping cost function (default power)",
+    )
+    p.add_argument(
+        "--bdd", action="store_true",
+        help="resynthesize through probability-sifted output BDDs "
+        "instead of the structural unmap",
+    )
+    p.add_argument(
+        "--patterns", type=int, default=1024,
+        help="random patterns for metrics and the oracle (default 1024)",
+    )
+    p.add_argument("--output", "-o", help="write retargeted BLIF here")
+    p.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the differential-oracle equivalence check",
+    )
+    p.set_defaults(func=_cmd_retarget)
+
     p = sub.add_parser("atpg", help="fault coverage and redundancy report")
     p.add_argument("netlist", help="mapped BLIF input")
     p.add_argument("--library", help="genlib file (default: built-in)")
@@ -824,6 +930,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--patterns", type=int, default=256,
                    help="random patterns per case, multiple of 64 "
                    "(default 256)")
+    p.add_argument("--library",
+                   help="genlib file to generate/replay against "
+                   "(default: built-in)")
     p.add_argument("--max-moves", type=int, default=None)
     p.add_argument("--delay-slack", type=float, default=None,
                    help="also impose a delay constraint (%% over initial)")

@@ -33,7 +33,20 @@ class ParseError(ReproError):
 
 
 class LibraryError(ReproError):
-    """Inconsistent cell library (missing inverter, bad pin data...)."""
+    """Inconsistent cell library (missing inverter, bad pin data...).
+
+    Attributes
+    ----------
+    line:
+        1-based line number of the offending genlib input, when the
+        inconsistency was detected while parsing a library file.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
 
 
 class NetlistError(ReproError):

@@ -32,6 +32,7 @@ from repro.fuzz.generator import (
 from repro.fuzz.oracle import check_equivalence_tiers, cross_check_metrics
 from repro.fuzz.properties import run_properties
 from repro.fuzz.shrink import shrink_netlist
+from repro.library.cell import Library
 from repro.library.standard import standard_library
 from repro.netlist.blif import parse_blif, write_blif
 from repro.netlist.netlist import Netlist
@@ -105,6 +106,11 @@ class FuzzOptions:
     jobs: int = 1
     window_size: int = 80
     window_radius: int = 3
+    #: Cell library the campaign generates/replays against (None = the
+    #: built-in one).  Pointing this at an alternate genlib fuzzes the
+    #: whole optimize-verify pipeline for hidden standard-cell-name
+    #: assumptions.
+    library: Optional[Library] = None
 
     def __post_init__(self):
         if self.num_patterns <= 0 or self.num_patterns % 64:
@@ -253,7 +259,7 @@ def _category(failure: str) -> str:
 
 def run_case(config: GeneratorConfig, options: FuzzOptions) -> CaseResult:
     """Generate, verify, and (on failure) shrink one case."""
-    netlist = random_mapped_netlist(config)
+    netlist = random_mapped_netlist(config, options.library)
     failures, moves = verify_netlist(netlist, options, config.seed)
     case = CaseResult(
         name=netlist.name,
@@ -314,7 +320,7 @@ def run_bench_cases(names: list[str], options: FuzzOptions) -> FuzzReport:
     """
     from repro.bench.suite import build_benchmark
 
-    library = standard_library()
+    library = options.library or standard_library()
     report = FuzzReport(options=options)
     for name in names:
         netlist = build_benchmark(name, library)
@@ -360,7 +366,7 @@ def replay_corpus(directory: Path, options: FuzzOptions) -> FuzzReport:
     """Re-verify ``.blif`` reproducers: a corpus directory or a single file."""
     target = Path(directory)
     paths = [target] if target.is_file() else sorted(target.glob("*.blif"))
-    library = standard_library()
+    library = options.library or standard_library()
     report = FuzzReport(options=options)
     for path in paths:
         netlist = parse_blif(path.read_text(), library, name=path.stem)

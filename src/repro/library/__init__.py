@@ -9,12 +9,17 @@ has it.
 
 from repro.library.cell import Cell, Pin, Library
 from repro.library.genlib import parse_genlib, parse_genlib_file, write_genlib
+from repro.library.npn import NpnTransform, apply_npn, npn_canon, npn_key
 from repro.library.standard import standard_library, STANDARD_GENLIB
 
 __all__ = [
     "Cell",
     "Pin",
     "Library",
+    "NpnTransform",
+    "apply_npn",
+    "npn_canon",
+    "npn_key",
     "parse_genlib",
     "parse_genlib_file",
     "write_genlib",

@@ -121,7 +121,13 @@ class Library:
         if cell.name in self.cells:
             raise LibraryError(f"duplicate cell {cell.name!r}")
         self.cells[cell.name] = cell
+        self._invalidate_caches()
+
+    def _invalidate_caches(self) -> None:
         self._inverter_cache = None
+        self._npn_index_cache = None
+        self._function_index_cache: dict[int | None, dict] = {}
+        self._insertion_cache = None
 
     def __contains__(self, name: str) -> bool:
         return name in self.cells
@@ -193,20 +199,110 @@ class Library:
             cells = [c for c in cells if c.num_inputs <= max_inputs]
         return sorted(cells, key=lambda c: (c.area, c.name))
 
+    # ------------------------------------------------------------------
+    # Capability queries (library-parametric backends)
+    # ------------------------------------------------------------------
+    def npn_index(self) -> dict[tuple[int, int], list[Cell]]:
+        """Matchable cells grouped by NPN class.
+
+        Keys are ``(num_inputs, canonical bits)`` from
+        :func:`repro.library.npn.npn_key`; each bucket is sorted by
+        ``(area, name)`` so "the cheapest cell in this class" is always
+        ``bucket[0]``.  Cells wider than the NPN canonicaliser supports
+        are left out — exhaustive canonicalisation past 6 inputs is not
+        worth the factorial blow-up for a capability summary.
+        """
+        cached = getattr(self, "_npn_index_cache", None)
+        if cached is not None:
+            return cached
+        from repro.library.npn import MAX_NPN_VARS, npn_key
+
+        index: dict[tuple[int, int], list[Cell]] = {}
+        for cell in self.matchable_cells():
+            if cell.num_inputs > MAX_NPN_VARS:
+                continue
+            index.setdefault(npn_key(cell.function), []).append(cell)
+        for bucket in index.values():
+            bucket.sort(key=lambda c: (c.area, c.name))
+        self._npn_index_cache = index
+        return index
+
+    def npn_cells(self, function: TruthTable) -> list[Cell]:
+        """Cells NPN-equivalent to ``function``, cheapest first."""
+        from repro.library.npn import npn_key
+
+        return list(self.npn_index().get(npn_key(function), ()))
+
+    def function_index(
+        self, max_inputs: int | None = None
+    ) -> dict[tuple[int, int], Cell]:
+        """Cheapest cell per exact function ``(nvars, bits)``.
+
+        Ties on area keep the first cell in :meth:`matchable_cells`
+        order (area then name) — the technology mapper's historical
+        tie-break, now shared so every backend resolves "which cell
+        implements this function" identically.
+        """
+        caches = getattr(self, "_function_index_cache", None)
+        if caches is None:
+            caches = {}
+            self._function_index_cache = caches
+        cached = caches.get(max_inputs)
+        if cached is not None:
+            return cached
+        index: dict[tuple[int, int], Cell] = {}
+        for cell in self.matchable_cells(max_inputs=max_inputs):
+            key = (cell.function.nvars, cell.function.bits)
+            existing = index.get(key)
+            if existing is None or cell.area < existing.area:
+                index[key] = cell
+        caches[max_inputs] = index
+        return index
+
+    def insertion_cells(self) -> list[Cell]:
+        """2-input cells eligible as OS3/IS3 insertion gates.
+
+        One cell per distinct exact function: the cheapest, with ties on
+        area resolved by library declaration order (a stable sort, so
+        the built-in genlib keeps its historical candidate ordering).
+        Degenerate 2-input cells — constants or functions that ignore an
+        input — are excluded; inserting one would be a buffer or tie in
+        disguise, which OS2/sweep already cover.
+        """
+        cached = getattr(self, "_insertion_cache", None)
+        if cached is not None:
+            return list(cached)
+        by_function: dict[int, Cell] = {}
+        for cell in sorted(self.cells_with_inputs(2), key=lambda c: c.area):
+            if cell.function.is_constant() or len(cell.function.support()) < 2:
+                continue
+            by_function.setdefault(cell.function.bits, cell)
+        result = list(by_function.values())
+        self._insertion_cache = tuple(result)
+        return result
+
     def validate(self) -> None:
-        """Check the invariants the rest of the system relies on."""
+        """Check the invariants the rest of the system relies on.
+
+        Beyond the inverter, the mapper needs a 2-input cell in the NPN
+        class of AND2 whose polarity it can actually bridge: matching
+        has no input-phase negation, so the cell must be AND2, OR2 (an
+        AND of complemented inputs is an OR output-inverted), or their
+        output complements NAND2/NOR2 — exactly the AND2 NPN class.
+        """
         self.inverter()
-        have_nand2 = any(
-            c.num_inputs == 2 and c.function.bits == 0b0111
-            for c in self.cells.values()
+        from repro.library.npn import npn_key
+
+        and2_key = npn_key(TruthTable(2, 0b1000))
+        usable = {0b1000, 0b1110, 0b0111, 0b0001}
+        have_and_class = any(
+            cell.function.bits in usable
+            for cell in self.npn_index().get(and2_key, ())
         )
-        have_and2_or2 = any(
-            c.num_inputs == 2 and c.function.bits in (0b1000, 0b1110)
-            for c in self.cells.values()
-        )
-        if not (have_nand2 or have_and2_or2):
+        if not have_and_class:
             raise LibraryError(
-                f"library {self.name!r} needs a 2-input NAND/AND/OR for mapping"
+                f"library {self.name!r} needs a 2-input AND/OR/NAND/NOR "
+                f"for mapping"
             )
 
     def __repr__(self) -> str:

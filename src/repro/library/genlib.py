@@ -21,7 +21,7 @@ from __future__ import annotations
 import re
 from pathlib import Path
 
-from repro.errors import ParseError
+from repro.errors import LibraryError, ParseError
 from repro.library.cell import Cell, Library, Pin
 
 _PHASES = {"INV", "NONINV", "UNKNOWN"}
@@ -83,6 +83,12 @@ def parse_genlib(text: str, name: str = "genlib") -> Library:
         stream.take()
         gate_line = stream.line()
         gate_name = stream.take()
+        if gate_name in library:
+            raise LibraryError(
+                f"duplicate gate {gate_name!r} (first defined earlier in "
+                f"this library)",
+                line=gate_line,
+            )
         area = stream.take_float("area")
         output = stream.take()
         stream.take("=")
@@ -110,6 +116,15 @@ def parse_genlib(text: str, name: str = "genlib") -> Library:
             rise_fanout = stream.take_float("rise fanout delay")
             fall_block = stream.take_float("fall block delay")
             fall_fanout = stream.take_float("fall fanout delay")
+            if any(existing == pin_name for existing, _ in pin_specs):
+                # A repeated PIN line used to silently shadow the earlier
+                # one — reject it so electrical data cannot vanish.
+                what = "wildcard PIN '*'" if pin_name == "*" else (
+                    f"PIN {pin_name!r}"
+                )
+                raise LibraryError(
+                    f"gate {gate_name!r}: duplicate {what}", line=pin_line
+                )
             pin_specs.append(
                 (
                     pin_name,

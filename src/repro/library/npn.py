@@ -1,0 +1,107 @@
+"""NPN canonicalisation of small Boolean functions.
+
+Two functions are NPN-equivalent when one can be obtained from the other
+by Negating inputs, Permuting inputs, and/or Negating the output.  The
+canonical representative chosen here is the lexicographically smallest
+truth table over all ``nvars! * 2**nvars * 2`` transforms — exhaustive,
+which is exactly right for library cells (a handful of inputs each) and
+wrong for anything bigger, hence the :data:`MAX_NPN_VARS` guard.
+
+The :class:`~repro.library.cell.Library` NPN index
+(:meth:`~repro.library.cell.Library.npn_index`) keys every matchable
+cell by ``(num_inputs, canonical bits)`` so capability questions like
+"can this library realise an AND-shaped function in *some* polarity?"
+become dictionary lookups instead of per-call scans hard-coded to the
+built-in genlib's cell list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from itertools import permutations
+
+from repro.errors import LogicError
+from repro.logic.truthtable import TruthTable
+
+#: Exhaustive canonicalisation is factorial·exponential; library cells
+#: stay far below this.
+MAX_NPN_VARS = 6
+
+
+@dataclass(frozen=True)
+class NpnTransform:
+    """The transform that carries a function onto its NPN canon.
+
+    Applied in order: permute inputs with ``perm`` (``perm[new] = old``,
+    the :meth:`TruthTable.permute` convention), negate the permuted
+    inputs selected by ``input_negation`` (bit ``v`` set = input ``v``
+    of the permuted function is complemented), then complement the
+    output when ``output_negation`` is set.
+    """
+
+    perm: tuple[int, ...]
+    input_negation: int
+    output_negation: bool
+
+
+def negate_inputs(table: TruthTable, mask: int) -> TruthTable:
+    """Complement the inputs selected by ``mask`` (bit ``v`` = input ``v``)."""
+    if mask >> table.nvars:
+        raise LogicError(
+            f"negation mask 0x{mask:x} exceeds {table.nvars} inputs"
+        )
+    if mask == 0:
+        return table
+    bits = 0
+    for minterm in range(table.nrows):
+        if (table.bits >> (minterm ^ mask)) & 1:
+            bits |= 1 << minterm
+    return TruthTable(table.nvars, bits)
+
+
+@lru_cache(maxsize=4096)
+def _canon(nvars: int, bits: int) -> tuple[int, tuple[int, ...], int, bool]:
+    table = TruthTable(nvars, bits)
+    full = (1 << (1 << nvars)) - 1
+    best_bits: int | None = None
+    best = (tuple(range(nvars)), 0, False)
+    for perm in permutations(range(nvars)):
+        permuted = table.permute(perm)
+        for mask in range(1 << nvars):
+            negated = negate_inputs(permuted, mask).bits
+            for flip in (False, True):
+                candidate = negated ^ full if flip else negated
+                if best_bits is None or candidate < best_bits:
+                    best_bits = candidate
+                    best = (perm, mask, flip)
+    return best_bits or 0, best[0], best[1], best[2]
+
+
+def npn_canon(table: TruthTable) -> tuple[TruthTable, NpnTransform]:
+    """Canonical NPN representative and the transform producing it.
+
+    The invariant ``apply_npn(table, transform) == canon`` holds for the
+    returned pair.
+    """
+    if table.nvars > MAX_NPN_VARS:
+        raise LogicError(
+            f"NPN canonicalisation supports at most {MAX_NPN_VARS} inputs, "
+            f"got {table.nvars}"
+        )
+    bits, perm, mask, flip = _canon(table.nvars, table.bits)
+    return TruthTable(table.nvars, bits), NpnTransform(perm, mask, flip)
+
+
+def apply_npn(table: TruthTable, transform: NpnTransform) -> TruthTable:
+    """Apply an :class:`NpnTransform` (permute, negate inputs, negate output)."""
+    result = negate_inputs(
+        table.permute(transform.perm), transform.input_negation
+    )
+    return ~result if transform.output_negation else result
+
+
+def npn_key(table: TruthTable) -> tuple[int, int]:
+    """Hashable NPN-class key ``(nvars, canonical bits)``."""
+    canon, _ = npn_canon(table)
+    return (canon.nvars, canon.bits)

@@ -17,6 +17,7 @@ callers build one per query batch and drop it.
 from __future__ import annotations
 
 from collections.abc import Sequence
+from dataclasses import dataclass
 
 from repro.errors import LogicError
 
@@ -259,3 +260,215 @@ class BddManager:
             stack.append(self._low[n])
             stack.append(self._high[n])
         return tuple(sorted(seen))
+
+    def reachable(self, roots: Sequence[int]) -> set[int]:
+        """Decision nodes reachable from ``roots`` (terminals excluded)."""
+        visited: set[int] = set()
+        stack = list(roots)
+        while stack:
+            n = stack.pop()
+            if n <= ONE or n in visited:
+                continue
+            visited.add(n)
+            stack.append(self._low[n])
+            stack.append(self._high[n])
+        return visited
+
+    def transfer(
+        self,
+        roots: Sequence[int],
+        target: "BddManager",
+        var_map: Sequence[int] | None = None,
+    ) -> list[int]:
+        """Copy the functions rooted at ``roots`` into another manager.
+
+        ``var_map[old] = new`` renames variable ``old`` of this manager to
+        variable ``new`` of ``target`` (identity when omitted).  The copy
+        goes through ``target``'s own ``ite``, so the result is a proper
+        ROBDD under *target's* variable order even when the map shuffles
+        levels — this is the rebuild primitive behind
+        :func:`sift_weighted`.
+        """
+        if var_map is None:
+            var_map = list(range(self.nvars))
+        memo: dict[int, int] = {ZERO: ZERO, ONE: ONE}
+        order = sorted(
+            self.reachable(roots), key=lambda n: self._var[n], reverse=True
+        )
+        for n in order:
+            x = target.variable(var_map[self._var[n]])
+            memo[n] = target.apply_ite(
+                x, memo[self._high[n]], memo[self._low[n]]
+            )
+        return [memo[r] for r in roots]
+
+
+# ----------------------------------------------------------------------
+# Probability-weighted variable reordering (rebuild-based sifting)
+# ----------------------------------------------------------------------
+#
+# Following the low-power BDD synthesis line of work, a decision node on
+# variable v is charged the switching activity of its control signal,
+# w_v = 2 * p_v * (1 - p_v): a MUX decomposition of the BDD spends one
+# multiplexer per node, and that multiplexer's select input toggles with
+# exactly that activity.  Classic sifting minimises node count; weighting
+# the count by w_v instead steers high-activity variables toward levels
+# where they label few nodes.  With all probabilities at 0.5 every weight
+# is 0.5 and this degenerates to plain size-driven sifting.
+#
+# Reordering is implemented by *rebuild*, not in-place level swaps: each
+# candidate position of the sifted variable is one :meth:`BddManager.transfer`
+# into a fresh manager under the candidate order.  That is asymptotically
+# slower than adjacent swaps but cannot break canonicity, and the
+# ``max_vars``/``growth_limit`` bounds keep it tractable at the sizes the
+# resynthesis pass feeds it.
+
+#: Small tie-break so equal weighted cost prefers the smaller BDD.
+_SIZE_EPSILON = 1e-6
+
+
+def activity_weights(input_probs: Sequence[float]) -> list[float]:
+    """Per-variable switching activity ``2 * p * (1 - p)``."""
+    return [2.0 * p * (1.0 - p) for p in input_probs]
+
+
+def weighted_node_cost(
+    manager: BddManager, roots: Sequence[int], weights: Sequence[float]
+) -> float:
+    """Activity-weighted node count of the shared BDD under ``roots``.
+
+    ``weights[v]`` is indexed by the *manager's* variable ids.  Includes
+    an ``_SIZE_EPSILON`` per-node term so orders with identical weighted
+    cost (e.g. every input quiet) still rank by plain size.
+    """
+    total = 0.0
+    for n in manager.reachable(roots):
+        total += weights[manager.var_of(n)] + _SIZE_EPSILON
+    return total
+
+
+@dataclass
+class ReorderResult:
+    """Outcome of :func:`sift_weighted`.
+
+    ``order[level] = original_var``: the variable of the input manager
+    that now sits at ``level`` in ``manager``.  ``roots`` are the copies
+    of the input roots inside the reordered manager.
+    """
+
+    manager: BddManager
+    roots: list[int]
+    order: tuple[int, ...]
+    initial_cost: float
+    final_cost: float
+
+    def level_of(self, original_var: int) -> int:
+        return self.order.index(original_var)
+
+
+def _rebuild(
+    manager: BddManager,
+    roots: Sequence[int],
+    order: Sequence[int],
+    node_limit: int,
+) -> tuple[BddManager, list[int]]:
+    """Copy ``roots`` into a fresh manager whose level *l* holds
+    ``order[l]``; raises :class:`BddSizeError` past ``node_limit``."""
+    target = BddManager(manager.nvars, node_limit=node_limit)
+    var_map = [0] * manager.nvars
+    for level, original in enumerate(order):
+        var_map[original] = level
+    return target, manager.transfer(roots, target, var_map)
+
+
+def sift_weighted(
+    manager: BddManager,
+    roots: Sequence[int],
+    input_probs: Sequence[float] | None = None,
+    max_vars: int | None = 8,
+    growth_limit: float = 8.0,
+) -> ReorderResult:
+    """Sift variables to minimise the activity-weighted node count.
+
+    Each of the ``max_vars`` most expensive variables (by current
+    weighted contribution; ``None`` sifts all) is tried at every level;
+    the best position is kept before moving to the next variable.  Every
+    candidate order is evaluated by rebuilding the shared BDD from
+    scratch, with a per-rebuild node budget of ``growth_limit`` times
+    the current size — candidates that blow past it are discarded, so a
+    pathological order cannot stall the pass.  Fully deterministic:
+    ties keep the earlier position / lower variable id.
+    """
+    nvars = manager.nvars
+    if input_probs is None:
+        input_probs = [0.5] * nvars
+    if len(input_probs) != nvars:
+        raise LogicError("one probability per variable required")
+    weights = activity_weights(input_probs)
+
+    order = list(range(nvars))
+    initial_cost = weighted_node_cost(manager, roots, weights)
+    cost = initial_cost
+    live_size = len(manager.reachable(roots))
+    # Every candidate order is rebuilt from the *input* manager, whose
+    # variable ids are the original ones each ``order`` speaks in —
+    # transferring out of an already-reordered manager would misread its
+    # level-indexed variables as original ids.
+    best_build: tuple[BddManager, list[int]] | None = None
+
+    # Rank original variables by what they currently cost us.
+    contribution = [0.0] * nvars
+    for n in manager.reachable(roots):
+        contribution[manager.var_of(n)] += (
+            weights[manager.var_of(n)] + _SIZE_EPSILON
+        )
+    candidates = sorted(
+        range(nvars), key=lambda v: (-contribution[v], v)
+    )
+    candidates = [v for v in candidates if contribution[v] > 0.0]
+    if max_vars is not None:
+        candidates = candidates[:max_vars]
+
+    for var in candidates:
+        home = order.index(var)
+        best_pos, best_cost = home, cost
+        var_build: tuple[BddManager, list[int]] | None = None
+        # The rebuild budget covers live nodes plus the garbage the
+        # target's own ite calls leave behind, hence the slack factor.
+        budget = int(max(live_size, 64) * growth_limit * 4) + 2
+        for pos in range(nvars):
+            if pos == home:
+                continue
+            trial = order.copy()
+            trial.remove(var)
+            trial.insert(pos, var)
+            try:
+                built, built_roots = _rebuild(manager, roots, trial, budget)
+            except BddSizeError:
+                continue
+            # Weights are indexed by ORIGINAL variable: remap per level.
+            level_weights = [weights[v] for v in trial]
+            trial_cost = weighted_node_cost(
+                built, built_roots, level_weights
+            )
+            if trial_cost < best_cost:
+                best_pos, best_cost = pos, trial_cost
+                var_build = (built, built_roots)
+        if var_build is not None and best_pos != home:
+            order.remove(var)
+            order.insert(best_pos, var)
+            cost = best_cost
+            best_build = var_build
+            live_size = len(var_build[0].reachable(var_build[1]))
+
+    if best_build is None:
+        # No move helped: still hand back a copy so callers can drop the
+        # input manager uniformly.
+        best_build = _rebuild(manager, roots, order, manager.node_limit)
+    return ReorderResult(
+        manager=best_build[0],
+        roots=best_build[1],
+        order=tuple(order),
+        initial_cost=initial_cost,
+        final_cost=cost,
+    )

@@ -37,6 +37,7 @@ from repro.pipeline.manager import (
     run_pipeline,
 )
 from repro.pipeline.passes import (
+    BddResynthPass,
     DedupePass,
     LintPass,
     Pass,
@@ -74,6 +75,7 @@ __all__ = [
     "SweepPass",
     "LintPass",
     "SanitizePass",
+    "BddResynthPass",
     "ResynthPass",
     "RegisteredPass",
     "available_passes",

@@ -441,6 +441,77 @@ class ResynthPass(Pass):
         )
 
 
+class BddResynthPass(Pass):
+    """Functional resynthesis through probability-sifted output BDDs.
+
+    The library-parametric alternative to :class:`ResynthPass`
+    (:mod:`repro.synth.bdd_resynth`): per-output ROBDDs are minimised
+    under an activity-weighted sifting cost and decomposed into a shared
+    MUX tree before re-mapping.  Structure-forgetting, so it can win or
+    lose big; circuits whose global BDD exceeds ``node_limit`` are left
+    untouched and reported as skipped rather than failing the pipeline.
+    """
+
+    name = "bdd_resynth"
+    invalidates = ALL_ANALYSES
+
+    def __init__(
+        self,
+        mode: str = "power",
+        sift: bool = True,
+        max_sift_vars: int = 8,
+        node_limit: int = 200_000,
+    ):
+        if mode not in ("area", "power", "delay"):
+            raise PipelineError(
+                f"unknown bdd_resynth mode {mode!r}; "
+                f"pick area, power, or delay"
+            )
+        super().__init__(
+            mode=mode,
+            sift=sift,
+            max_sift_vars=max_sift_vars,
+            node_limit=node_limit,
+        )
+        self.mode = mode
+        self.sift = bool(sift)
+        self.max_sift_vars = int(max_sift_vars)
+        self.node_limit = int(node_limit)
+
+    def run(self, ctx: OptimizationContext) -> PassResult:
+        from repro.logic.bdd import BddSizeError
+        from repro.synth.bdd_resynth import (
+            BddResynthOptions,
+            bdd_resynthesize,
+        )
+        from repro.synth.mapper import MapOptions
+
+        before = ctx.netlist.num_gates()
+        try:
+            remapped = bdd_resynthesize(
+                ctx.netlist,
+                options=BddResynthOptions(
+                    sift=self.sift,
+                    max_sift_vars=self.max_sift_vars,
+                    node_limit=self.node_limit,
+                ),
+                map_options=MapOptions(mode=self.mode),
+            )
+        except BddSizeError as exc:
+            return PassResult(
+                self.name,
+                changed=False,
+                details={"skipped": str(exc)},
+            )
+        ctx.netlist = remapped
+        ctx.dedupe_pairs = None
+        return PassResult(
+            self.name,
+            changed=True,
+            details={"gates": f"{before}->{remapped.num_gates()}"},
+        )
+
+
 # ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
@@ -506,6 +577,12 @@ register_pass(
     ResynthPass,
     "un-map and technology-map again (synthesis-flow adapter)",
     "mode=power|area|delay",
+)
+register_pass(
+    "bdd_resynth",
+    BddResynthPass,
+    "re-express outputs as probability-sifted BDDs, re-map the MUX trees",
+    "mode=power|area|delay, sift=true|false, max_sift_vars=N, node_limit=N",
 )
 
 

@@ -1,0 +1,163 @@
+"""BDD-based low-power resynthesis.
+
+An alternative to :func:`repro.synth.resynth.resynthesize` following the
+"Synthesis of Low-Power Digital Circuits Derived from BDDs" line of work:
+instead of un-mapping into the netlist's existing AND2/INV structure, the
+circuit is re-expressed *functionally* —
+
+1. one ROBDD per primary output over a shared manager
+   (:func:`repro.netlist.bdds.netlist_bdds`),
+2. probability-aware variable reordering
+   (:func:`repro.logic.bdd.sift_weighted`): sifting under the
+   activity-weighted node cost ``w_v = 2 p_v (1 - p_v)``, so inputs that
+   toggle often end up labelling few BDD nodes,
+3. a shared MUX-tree decomposition of the reordered BDDs into a fresh
+   :class:`~repro.synth.subject.SubjectGraph` (one ``ite`` per decision
+   node; sharing in the BDD is sharing in the graph),
+4. technology mapping through the ordinary cut-based mapper, against any
+   target library.
+
+Because step 3 forgets the original structure entirely, the result can be
+much better *or* worse than structural resynthesis — which is exactly why
+``bdd_resynth`` is registered as a separate pipeline pass and raced
+against ``resynth`` in ``benchmarks/bench_ablation.py`` rather than
+replacing it.  Circuits whose BDDs blow past ``node_limit`` raise
+:class:`~repro.logic.bdd.BddSizeError`; the pipeline pass surfaces that
+as a skipped transform, leaving the netlist untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.library.cell import Library
+from repro.logic.bdd import (
+    ONE,
+    ZERO,
+    BddManager,
+    ReorderResult,
+    sift_weighted,
+)
+from repro.netlist.bdds import netlist_bdds
+from repro.netlist.netlist import Netlist
+from repro.synth.mapper import MapOptions, technology_map
+from repro.synth.subject import SubjectGraph
+
+
+@dataclass(frozen=True)
+class BddResynthOptions:
+    """Configuration of the BDD resynthesis flow.
+
+    ``node_limit`` bounds the global BDD build (well below the package
+    default: a circuit whose BDD needs millions of nodes is a circuit
+    this strategy should decline, not grind on).  ``max_sift_vars``
+    bounds reordering effort to the most expensive variables;
+    ``growth_limit`` is the per-rebuild size budget multiplier passed to
+    :func:`~repro.logic.bdd.sift_weighted`.
+    """
+
+    sift: bool = True
+    max_sift_vars: int = 8
+    growth_limit: float = 8.0
+    node_limit: int = 200_000
+
+
+def _ite(graph: SubjectGraph, sel: int, high: int, low: int) -> int:
+    """``sel ? high : low`` on the subject graph, with the trivial folds."""
+    if high == low:
+        return high
+    return graph.mk_or(
+        graph.mk_and(sel, high), graph.mk_and(graph.mk_inv(sel), low)
+    )
+
+
+def bdd_to_subject_graph(
+    manager: BddManager,
+    roots: dict[str, int],
+    var_names: list[str],
+    pi_order: list[str],
+    name: str = "bdd_resynth",
+) -> SubjectGraph:
+    """Shared MUX-tree decomposition of BDDs into a subject graph.
+
+    ``var_names[level]`` names the primary input controlling BDD level
+    ``level``; ``pi_order`` fixes the graph's input declaration order
+    (the original netlist interface, independent of the BDD order).
+    Every decision node becomes one ``ite`` of its level's input over
+    the decompositions of its children, memoised so BDD sharing carries
+    over structurally.
+    """
+    graph = SubjectGraph(name)
+    pi_nodes = {pi: graph.add_pi(pi) for pi in pi_order}
+    memo: dict[int, int] = {
+        ZERO: graph.const0(),
+        ONE: graph.const1(),
+    }
+    for n in sorted(
+        manager.reachable(list(roots.values())),
+        key=manager.var_of,
+        reverse=True,
+    ):
+        sel = pi_nodes[var_names[manager.var_of(n)]]
+        memo[n] = _ite(
+            graph, sel, memo[manager.high_of(n)], memo[manager.low_of(n)]
+        )
+    for po, root in roots.items():
+        graph.set_output(po, memo[root])
+    return graph
+
+
+def bdd_resynthesize(
+    netlist: Netlist,
+    library: Optional[Library] = None,
+    options: Optional[BddResynthOptions] = None,
+    map_options: Optional[MapOptions] = None,
+    name: Optional[str] = None,
+) -> Netlist:
+    """Re-express a mapped netlist through its output BDDs and re-map.
+
+    Returns a new netlist with the same primary interface; the input is
+    untouched.  Input probabilities for both the sifting cost and the
+    power-mode mapper come from ``map_options.input_probs`` (uniform 0.5
+    when absent).  Raises :class:`~repro.logic.bdd.BddSizeError` when
+    the circuit's global BDD exceeds ``options.node_limit``.
+    """
+    options = options or BddResynthOptions()
+    map_options = map_options or MapOptions(mode="power")
+    target_library = library or netlist.library
+    if target_library is None:
+        raise ValueError("bdd_resynthesize needs a target library")
+
+    pi_order = list(netlist.input_names)
+    manager, nodes = netlist_bdds(netlist, node_limit=options.node_limit)
+    roots = {
+        po: nodes[driver.name] for po, driver in netlist.outputs.items()
+    }
+
+    probs_by_name = map_options.input_probs or {}
+    input_probs = [probs_by_name.get(pi, 0.5) for pi in pi_order]
+
+    if options.sift and pi_order:
+        result: ReorderResult = sift_weighted(
+            manager,
+            list(roots.values()),
+            input_probs=input_probs,
+            max_vars=options.max_sift_vars,
+            growth_limit=options.growth_limit,
+        )
+        remap = dict(zip(roots.values(), result.roots))
+        roots = {po: remap[root] for po, root in roots.items()}
+        manager = result.manager
+        # Level l of the reordered manager reads original variable
+        # result.order[l].
+        var_names = [pi_order[v] for v in result.order]
+    else:
+        var_names = pi_order
+
+    graph = bdd_to_subject_graph(
+        manager, roots, var_names, pi_order, name or netlist.name
+    )
+    return technology_map(
+        graph, target_library, map_options, name or netlist.name
+    )

@@ -84,13 +84,10 @@ class _Mapper:
 
     # ------------------------------------------------------------------
     def _build_function_index(self) -> dict[tuple[int, int], Cell]:
-        index: dict[tuple[int, int], Cell] = {}
-        for cell in self.library.matchable_cells(max_inputs=self.k):
-            key = (cell.function.nvars, cell.function.bits)
-            existing = index.get(key)
-            if existing is None or cell.area < existing.area:
-                index[key] = cell
-        return index
+        # The library's shared capability query; semantics (cheapest per
+        # exact function, first-in-matchable-order wins ties) are pinned
+        # by tests so the historical covers stay bit-identical.
+        return self.library.function_index(max_inputs=self.k)
 
     def _node_activities(self) -> dict[int, float]:
         from repro.netlist.simulate import random_patterns

@@ -606,13 +606,14 @@ class CandidateWorkspace:
 
 
 def _two_input_cells(netlist: Netlist, options: CandidateOptions):
+    """OS3/IS3 insertion gates: the library's capability query, or the
+    explicit ``os3_cells`` override (deduped the same way)."""
     library = netlist.library
     if library is None:
         return []
-    if options.os3_cells is not None:
-        cells = [library[name] for name in options.os3_cells]
-    else:
-        cells = library.cells_with_inputs(2)
+    if options.os3_cells is None:
+        return library.insertion_cells()
+    cells = [library[name] for name in options.os3_cells]
     # One cell per distinct function (cheapest) keeps the pair search lean.
     by_function = {}
     for cell in sorted(cells, key=lambda c: c.area):

@@ -83,3 +83,14 @@ def test_cli_fuzz_bench(capsys):
     out = capsys.readouterr().out
     assert code == 0
     assert "rd53" in out
+
+
+def test_cli_fuzz_alternate_library(capsys):
+    code = main([
+        "fuzz", "--seed", "3", "--count", "2", "--quick",
+        "--patterns", "128", "--max-gates", "12",
+        "--library", "benchmarks/genlib/nandnor.genlib",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0 failed" in out

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ParseError
+from repro.errors import LibraryError, ParseError
 from repro.library.genlib import parse_genlib, write_genlib
 
 SIMPLE = """
@@ -94,3 +94,53 @@ class TestRoundtrip:
                 assert pa.load == pb.load
                 assert pa.tau == pytest.approx(pb.tau)
                 assert pa.resistance == pytest.approx(pb.resistance)
+
+
+class TestHardening:
+    """Duplicate definitions must fail loudly with the offending line."""
+
+    def test_duplicate_gate_rejected(self):
+        text = (
+            "GATE inv 1.0 O=!a; PIN a INV 1 9 1 1 1 1\n"
+            "GATE nand2 2.0 O=!(a*b); PIN * INV 1 9 1 1 1 1\n"
+            "GATE inv 3.0 O=!a; PIN a INV 1 9 1 1 1 1\n"
+        )
+        with pytest.raises(LibraryError) as excinfo:
+            parse_genlib(text)
+        assert "duplicate gate 'inv'" in str(excinfo.value)
+        assert excinfo.value.line == 3
+
+    def test_duplicate_named_pin_rejected(self):
+        text = (
+            "GATE g 1.0 O=a*b;\n"
+            "  PIN a INV 1 9 1 1 1 1\n"
+            "  PIN a INV 2 9 1 1 1 1\n"
+            "  PIN b INV 1 9 1 1 1 1\n"
+        )
+        with pytest.raises(LibraryError) as excinfo:
+            parse_genlib(text)
+        assert "duplicate PIN 'a'" in str(excinfo.value)
+        assert excinfo.value.line == 3
+
+    def test_duplicate_wildcard_pin_rejected(self):
+        text = (
+            "GATE g 1.0 O=a*b;\n"
+            "  PIN * INV 1 9 1 1 1 1\n"
+            "  PIN * INV 2 9 1 1 1 1\n"
+        )
+        with pytest.raises(LibraryError) as excinfo:
+            parse_genlib(text)
+        assert "wildcard PIN '*'" in str(excinfo.value)
+        assert excinfo.value.line == 3
+
+    def test_error_message_carries_line_prefix(self):
+        with pytest.raises(LibraryError, match="line 2:"):
+            parse_genlib(
+                "GATE inv 1.0 O=!a; PIN a INV 1 9 1 1 1 1\n"
+                "GATE inv 1.0 O=!a; PIN a INV 1 9 1 1 1 1\n"
+            )
+
+    def test_same_name_in_separate_libraries_still_fine(self):
+        one = parse_genlib("GATE inv 1.0 O=!a; PIN a INV 1 9 1 1 1 1")
+        two = parse_genlib("GATE inv 2.0 O=!a; PIN a INV 1 9 1 1 1 1")
+        assert one["inv"].area != two["inv"].area

@@ -1,0 +1,99 @@
+"""Tests for NPN canonicalization and the library's NPN index."""
+
+import pytest
+
+from repro.library.genlib import parse_genlib
+from repro.library.npn import (
+    MAX_NPN_VARS,
+    NpnTransform,
+    apply_npn,
+    negate_inputs,
+    npn_canon,
+    npn_key,
+)
+from repro.library.standard import standard_library
+from repro.logic.truthtable import TruthTable
+
+AND2 = TruthTable(2, 0b1000)
+OR2 = TruthTable(2, 0b1110)
+NAND2 = TruthTable(2, 0b0111)
+NOR2 = TruthTable(2, 0b0001)
+XOR2 = TruthTable(2, 0b0110)
+XNOR2 = TruthTable(2, 0b1001)
+
+
+class TestNegateInputs:
+    def test_noop_mask(self):
+        assert negate_inputs(AND2, 0) == AND2
+
+    def test_single_negation(self):
+        # AND with input a inverted: !a * b  -> minterms where a=0, b=1.
+        assert negate_inputs(AND2, 0b01) == TruthTable(2, 0b0100)
+
+    def test_double_negation_roundtrip(self):
+        for mask in range(4):
+            assert negate_inputs(negate_inputs(XOR2, mask), mask) == XOR2
+
+    def test_three_input(self):
+        maj = TruthTable(3, 0b11101000)
+        once = negate_inputs(maj, 0b111)
+        # Negating every input of majority gives the complement-symmetric
+        # minority-of-ones pattern.
+        assert once == TruthTable(3, 0b00010111)
+
+
+class TestNpnCanon:
+    def test_and_nand_nor_or_share_class(self):
+        keys = {npn_key(t) for t in (AND2, OR2, NAND2, NOR2)}
+        assert len(keys) == 1
+
+    def test_xor_is_a_different_class(self):
+        assert npn_key(XOR2) != npn_key(AND2)
+        assert npn_key(XOR2) == npn_key(XNOR2)
+
+    def test_transform_reproduces_canon(self):
+        for table in (AND2, OR2, NAND2, NOR2, XOR2, TruthTable(3, 0xCA)):
+            canon, transform = npn_canon(table)
+            assert isinstance(transform, NpnTransform)
+            assert apply_npn(table, transform) == canon
+            assert npn_key(table) == (table.nvars, canon.bits)
+
+    def test_canon_is_idempotent(self):
+        canon, _ = npn_canon(NAND2)
+        again, transform = npn_canon(canon)
+        assert again == canon
+        assert apply_npn(canon, transform) == canon
+
+    def test_rejects_oversized(self):
+        with pytest.raises(Exception):
+            npn_canon(TruthTable(MAX_NPN_VARS + 1, 0))
+
+
+class TestLibraryNpnIndex:
+    def test_standard_library_groups_and_class(self):
+        lib = standard_library()
+        cells = lib.npn_cells(AND2)
+        names = {cell.name for cell in cells}
+        # The whole AND/OR/NAND/NOR family shares the class.
+        assert {"and2", "or2", "nand2", "nor2"} <= names
+
+    def test_sorted_by_area_then_name(self):
+        lib = standard_library()
+        cells = lib.npn_cells(AND2)
+        assert cells == sorted(cells, key=lambda c: (c.area, c.name))
+
+    def test_index_rebuilt_after_add(self):
+        lib = parse_genlib(
+            "GATE inv 1 O=!a; PIN a INV 1 9 1 1 1 1\n"
+            "GATE and2 2 O=a*b; PIN * NONINV 1 9 1 1 1 1\n"
+        )
+        assert len(lib.npn_cells(AND2)) == 1
+        extra = parse_genlib(
+            "GATE nor2 2 O=!(a+b); PIN * INV 1 9 1 1 1 1"
+        )
+        lib.add(extra["nor2"])
+        assert {c.name for c in lib.npn_cells(AND2)} == {"and2", "nor2"}
+
+    def test_unindexed_class_is_empty(self):
+        lib = standard_library()
+        assert lib.npn_cells(TruthTable(4, 0b0110100110010110)) == []

@@ -1,0 +1,162 @@
+"""Tests for BDD transfer and probability-weighted sifting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LogicError
+from repro.logic.bdd import (
+    ONE,
+    ZERO,
+    BddManager,
+    BddSizeError,
+    ReorderResult,
+    activity_weights,
+    sift_weighted,
+    weighted_node_cost,
+)
+from repro.logic.truthtable import TruthTable
+from tests.logic.test_bdd import build_from_table
+
+
+def _table_of(manager, node, nvars):
+    bits = 0
+    for m in range(1 << nvars):
+        inputs = [(m >> v) & 1 for v in range(nvars)]
+        if manager.evaluate(node, inputs):
+            bits |= 1 << m
+    return TruthTable(nvars, bits)
+
+
+small_tables = st.builds(
+    TruthTable, st.just(3), st.integers(min_value=0, max_value=255)
+)
+
+
+class TestTransfer:
+    @given(small_tables)
+    @settings(max_examples=40)
+    def test_identity_transfer_preserves_function(self, table):
+        source = BddManager(3)
+        f = build_from_table(source, table)
+        target = BddManager(3)
+        (g,) = source.transfer([f], target)
+        assert _table_of(target, g, 3) == table
+
+    @given(small_tables)
+    @settings(max_examples=40)
+    def test_permuted_transfer_relabels_variables(self, table):
+        source = BddManager(3)
+        f = build_from_table(source, table)
+        target = BddManager(3)
+        var_map = [2, 0, 1]  # original var v lands at level var_map[v]
+        (g,) = source.transfer([f], target, var_map)
+        for m in range(8):
+            inputs = [(m >> v) & 1 for v in range(3)]
+            permuted = [0, 0, 0]
+            for v in range(3):
+                permuted[var_map[v]] = inputs[v]
+            assert source.evaluate(f, inputs) == target.evaluate(
+                g, permuted
+            )
+
+    def test_shared_nodes_stay_shared(self):
+        source = BddManager(2)
+        a = source.variable(0)
+        b = source.variable(1)
+        both = source.apply_and(a, b)
+        either = source.apply_or(a, b)
+        target = BddManager(2)
+        roots = source.transfer([both, either, both], target)
+        assert roots[0] == roots[2]
+        assert len(target.reachable(roots)) == len(
+            source.reachable([both, either])
+        )
+
+    def test_transfer_respects_target_node_limit(self):
+        source = BddManager(4)
+        f = build_from_table(source, TruthTable(4, 0x6996))  # parity
+        target = BddManager(4, node_limit=3)
+        with pytest.raises(BddSizeError):
+            source.transfer([f], target)
+
+
+class TestWeightedCost:
+    def test_cost_counts_weighted_nodes(self):
+        m = BddManager(2)
+        f = m.apply_and(m.variable(0), m.variable(1))
+        # Two decision nodes (one per variable) + two terminals; terminals
+        # carry weight via _SIZE_EPSILON only.
+        weights = activity_weights([0.5, 0.5])
+        cost = weighted_node_cost(m, [f], weights)
+        assert cost == pytest.approx(1.0, abs=0.01)
+
+    def test_quiet_inputs_cost_less(self):
+        m = BddManager(2)
+        f = m.apply_and(m.variable(0), m.variable(1))
+        noisy = weighted_node_cost(m, [f], activity_weights([0.5, 0.5]))
+        quiet = weighted_node_cost(m, [f], activity_weights([0.01, 0.01]))
+        assert quiet < noisy
+
+
+class TestSiftWeighted:
+    def test_preserves_functions(self):
+        tables = [TruthTable(3, bits) for bits in (0b11101000, 0x96, 0x1F)]
+        manager = BddManager(3)
+        roots = [build_from_table(manager, t) for t in tables]
+        result = sift_weighted(manager, roots, [0.9, 0.5, 0.1])
+        assert isinstance(result, ReorderResult)
+        assert sorted(result.order) == [0, 1, 2]
+        for index, root in enumerate(roots):
+            # Reading the sifted BDD through the order permutation must
+            # reproduce the original function.
+            for m in range(8):
+                inputs = [(m >> v) & 1 for v in range(3)]
+                by_level = [inputs[result.order[lvl]] for lvl in range(3)]
+                assert result.manager.evaluate(
+                    result.roots[index], by_level
+                ) == manager.evaluate(root, inputs)
+
+    def test_moves_noisy_variable_off_the_spine(self):
+        # A chain function where one variable dominates the node count;
+        # making that variable the only noisy one rewards reordering.
+        manager = BddManager(4)
+        f = build_from_table(manager, TruthTable(4, 0xF888))
+        result = sift_weighted(manager, [f], [0.5, 0.5, 0.5, 0.5])
+        assert result.final_cost <= result.initial_cost
+
+    def test_deterministic(self):
+        manager = BddManager(4)
+        f = build_from_table(manager, TruthTable(4, 0x6996))
+        g = build_from_table(manager, TruthTable(4, 0xF000))
+        first = sift_weighted(manager, [f, g], [0.9, 0.1, 0.5, 0.3])
+        second = sift_weighted(manager, [f, g], [0.9, 0.1, 0.5, 0.3])
+        assert first.order == second.order
+        assert first.final_cost == second.final_cost
+
+    def test_never_worsens_cost(self):
+        manager = BddManager(4)
+        roots = [
+            build_from_table(manager, TruthTable(4, bits))
+            for bits in (0x8000, 0xFFFE, 0x0660)
+        ]
+        result = sift_weighted(manager, roots, [0.2, 0.8, 0.5, 0.6])
+        assert result.final_cost <= result.initial_cost + 1e-12
+
+    def test_default_probabilities_are_half(self):
+        manager = BddManager(3)
+        f = build_from_table(manager, TruthTable(3, 0xCA))
+        result = sift_weighted(manager, [f])
+        assert result.final_cost <= result.initial_cost + 1e-12
+
+    def test_probability_arity_check(self):
+        manager = BddManager(3)
+        f = build_from_table(manager, TruthTable(3, 0xCA))
+        with pytest.raises(LogicError):
+            sift_weighted(manager, [f], [0.5, 0.5])
+
+    def test_constant_roots(self):
+        manager = BddManager(2)
+        result = sift_weighted(manager, [ONE, ZERO])
+        assert result.roots == [ONE, ZERO]
+        assert result.final_cost == result.initial_cost

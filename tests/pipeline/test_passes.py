@@ -189,6 +189,7 @@ class TestRegistry:
             "lint",
             "sanitize",
             "resynth",
+            "bdd_resynth",
         }
         for entry in available_passes():
             assert entry.description

@@ -1,0 +1,109 @@
+"""Tests for BDD-based low-power resynthesis."""
+
+import pytest
+
+from repro.bench.suite import build_benchmark
+from repro.equiv.checker import check_equivalent
+from repro.library.genlib import parse_genlib_file
+from repro.library.standard import standard_library
+from repro.logic.bdd import BddSizeError
+from repro.pipeline import run_pipeline
+from repro.synth.bdd_resynth import BddResynthOptions, bdd_resynthesize
+from repro.synth.mapper import MapOptions
+from tests.conftest import make_random_netlist
+
+NANDNOR = "benchmarks/genlib/nandnor.genlib"
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return standard_library()
+
+
+class TestBddResynthesize:
+    @pytest.mark.parametrize("name", ["rd53", "sqrt8"])
+    def test_equivalent_on_goldens(self, lib, name):
+        original = build_benchmark(name, lib)
+        rebuilt = bdd_resynthesize(original)
+        assert rebuilt.name == original.name
+        assert check_equivalent(original, rebuilt).equal
+
+    def test_equivalent_without_sifting(self, lib):
+        original = build_benchmark("rd53", lib)
+        rebuilt = bdd_resynthesize(
+            original, options=BddResynthOptions(sift=False)
+        )
+        assert check_equivalent(original, rebuilt).equal
+
+    def test_random_netlists_roundtrip(self, lib):
+        for seed in (1, 2, 3):
+            original = make_random_netlist(lib, 5, 12, 3, seed=seed)
+            rebuilt = bdd_resynthesize(original)
+            assert check_equivalent(original, rebuilt).equal
+
+    def test_cross_library_retarget(self, lib):
+        original = build_benchmark("rd53", lib)
+        target = parse_genlib_file(NANDNOR)
+        rebuilt = bdd_resynthesize(original, library=target)
+        assert rebuilt.library is target
+        for gate in rebuilt.logic_gates():
+            assert gate.cell.name in target
+        assert check_equivalent(original, rebuilt).equal
+
+    def test_input_probabilities_steer_the_order(self, lib):
+        original = build_benchmark("sqrt8", lib)
+        probs = {name: 0.02 for name in original.input_names}
+        hot = next(iter(original.input_names))
+        probs[hot] = 0.5
+        biased = bdd_resynthesize(
+            original, map_options=MapOptions(mode="power", input_probs=probs)
+        )
+        assert check_equivalent(original, biased).equal
+
+    def test_node_limit_raises(self, lib):
+        original = build_benchmark("misex1", lib)
+        with pytest.raises(BddSizeError):
+            bdd_resynthesize(
+                original, options=BddResynthOptions(node_limit=8)
+            )
+
+
+class TestSubjectGraphDecomposition:
+    def test_terminal_only_netlist(self, lib):
+        # A netlist whose output is a wire of an input: BDD is a single
+        # variable, the MUX tree collapses to the input itself.
+        original = make_random_netlist(lib, 3, 4, 2, seed=9)
+        rebuilt = bdd_resynthesize(original)
+        assert set(rebuilt.input_names) <= set(original.input_names)
+
+
+class TestBddResynthPass:
+    def test_pipeline_spec_runs(self, lib):
+        netlist = build_benchmark("rd53", lib)
+        reference = netlist.copy("ref")
+        outcome = run_pipeline(netlist, "bdd_resynth; powder")
+        assert outcome.changed
+        assert check_equivalent(reference, outcome.netlist).equal
+
+    def test_node_limit_skips_gracefully(self, lib):
+        netlist = build_benchmark("rd53", lib)
+        reference = netlist.copy("ref")
+        outcome = run_pipeline(netlist, "bdd_resynth(node_limit=8)")
+        result = outcome.passes[0]
+        assert not result.changed
+        assert "skipped" in result.details
+        # The netlist is untouched.
+        assert check_equivalent(reference, outcome.netlist).equal
+        assert outcome.netlist.num_gates() == reference.num_gates()
+
+    def test_bad_mode_rejected(self):
+        from repro.errors import PipelineError
+        from repro.pipeline import BddResynthPass
+
+        with pytest.raises(PipelineError):
+            BddResynthPass(mode="frequency")
+
+    def test_registered_in_catalog(self):
+        from repro.pipeline.passes import PASS_REGISTRY
+
+        assert "bdd_resynth" in PASS_REGISTRY

@@ -585,3 +585,95 @@ class TestAnalyzeCommand:
         missing = tmp_path / "nope.blif"
         with pytest.raises(FileNotFoundError):
             main(["analyze", str(missing)])
+
+
+class TestRetargetCommand:
+    NANDNOR = "benchmarks/genlib/nandnor.genlib"
+
+    @pytest.fixture
+    def mapped_blif(self, tmp_path):
+        pla = tmp_path / "maj.pla"
+        pla.write_text(
+            ".i 3\n.o 1\n.ilb a b c\n.ob f\n11- 1\n1-1 1\n-11 1\n.e\n"
+        )
+        out = tmp_path / "maj.blif"
+        assert main(["synth", str(pla), "-o", str(out)]) == 0
+        return out
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["retarget", "x.blif", "--to", "alt.genlib"]
+        )
+        assert args.to == "alt.genlib"
+        assert args.mode == "power"
+        assert not args.bdd
+        assert not args.no_verify
+
+    def test_structural_retarget(self, mapped_blif, tmp_path, capsys):
+        out = tmp_path / "re.blif"
+        assert (
+            main(
+                [
+                    "retarget", str(mapped_blif), "--to", self.NANDNOR,
+                    "--patterns", "256", "-o", str(out),
+                ]
+            )
+            == 0
+        )
+        text = capsys.readouterr().out
+        assert "retarget" in text and "equal" in text
+        assert out.exists()
+        # The output must be parseable against the target library and
+        # reference only its cells.
+        from repro.library.genlib import parse_genlib_file
+        from repro.netlist.blif import parse_blif
+
+        target = parse_genlib_file(self.NANDNOR)
+        netlist = parse_blif(out.read_text(), target)
+        for gate in netlist.logic_gates():
+            assert gate.cell.name.startswith("g_")
+
+    def test_bdd_retarget(self, mapped_blif, capsys):
+        assert (
+            main(
+                [
+                    "retarget", str(mapped_blif), "--to", self.NANDNOR,
+                    "--bdd", "--patterns", "256",
+                ]
+            )
+            == 0
+        )
+        assert "equal" in capsys.readouterr().out
+
+    def test_no_verify_skips_oracle(self, mapped_blif, capsys):
+        assert (
+            main(
+                [
+                    "retarget", str(mapped_blif), "--to", self.NANDNOR,
+                    "--patterns", "256", "--no-verify",
+                ]
+            )
+            == 0
+        )
+        assert "oracle" not in capsys.readouterr().out
+
+    def test_retarget_to_same_library_is_identity_friendly(
+        self, mapped_blif, tmp_path, capsys
+    ):
+        assert (
+            main(
+                [
+                    "retarget", str(mapped_blif), "--to",
+                    str(_write_standard_genlib(tmp_path)),
+                    "--patterns", "256",
+                ]
+            )
+            == 0
+        )
+        assert "equal" in capsys.readouterr().out
+
+
+def _write_standard_genlib(tmp_path):
+    path = tmp_path / "std.genlib"
+    path.write_text(STANDARD_GENLIB)
+    return path

@@ -1,0 +1,146 @@
+"""Tests for the composite-cell mining tool (tools/propose_cells.py)."""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro.library.genlib import parse_genlib
+from repro.library.npn import negate_inputs
+from repro.library.standard import standard_library
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def tool():
+    spec = importlib.util.spec_from_file_location(
+        "propose_cells", REPO / "tools" / "propose_cells.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _write_trace(tmp_path, name, candidate_ids):
+    from repro.telemetry import MoveTrace, RunTrace, write_trace
+
+    trace = RunTrace(
+        netlist=name,
+        moves=[
+            MoveTrace(
+                index=i + 1,
+                round=1,
+                candidate_id=cid,
+                kind=cid.split("|")[0],
+                pg_a=0.1,
+                pg_b=0.0,
+                pg_c=0.0,
+                predicted_total=0.1,
+                measured_power_gain=0.1,
+                measured_area_delta=0.0,
+                circuit_delay_after=1.0,
+                atpg_status="permissible",
+                atpg_stage="sat",
+                atpg_backtracks=0,
+            )
+            for i, cid in enumerate(candidate_ids)
+        ],
+    )
+    path = tmp_path / f"{name}.trace.json"
+    write_trace(trace, path)
+    return path
+
+
+class TestParseCandidateId:
+    def test_roundtrip_fields(self, tool):
+        decoded = tool.parse_candidate_id("OS3|t|s1|~|b.1|s2||and2|")
+        assert decoded["kind"] == "OS3"
+        assert decoded["invert1"] and not decoded["invert2"]
+        assert decoded["new_cell"] == "and2"
+        assert decoded["constant"] is None
+
+    def test_malformed_rejected(self, tool):
+        with pytest.raises(ValueError):
+            tool.parse_candidate_id("OS2|only|four|fields")
+
+
+class TestMining:
+    def test_counts_inserted_cells_and_inversions(self, tool, tmp_path):
+        trace = _write_trace(
+            tmp_path,
+            "synthetic",
+            [
+                "OS3|t|a|~|x.0|b||and2|",
+                "OS3|u|c|~|y.1|d||and2|",
+                "IS3|v|e||z.0|f|~|or2|",
+            ],
+        )
+        inserted, composites = tool.mine_traces(
+            [trace], None, standard_library()
+        )
+        assert inserted[("OS3", "and2", True, False)] == 2
+        assert inserted[("IS3", "or2", False, True)] == 1
+        assert composites[("and2", 0b01)] == 2
+        assert composites[("or2", 0b10)] == 1
+
+    def test_is2_sink_resolution_needs_blif(self, tool, tmp_path):
+        # Without a matching BLIF the IS2 structure cannot be resolved.
+        trace = _write_trace(
+            tmp_path, "nowhere", ["IS2|t|s|~|sink.0||||"]
+        )
+        _, composites = tool.mine_traces([trace], None, standard_library())
+        assert not composites
+
+    def test_golden_traces_resolve_against_benchmarks(self, tool):
+        inserted, composites = tool.mine_traces(
+            tool.GOLDEN_TRACES, tool.DEFAULT_BLIF_DIR, standard_library()
+        )
+        assert sum(inserted.values()) > 0
+        # The committed traces carry IS2 inverter insertions that resolve
+        # to concrete sink pins of the benchmark netlists.
+        assert sum(composites.values()) > 0
+
+
+class TestProposeStanza:
+    def test_emits_parseable_stanza(self, tool):
+        lib = standard_library()
+        stanza = tool.propose_stanza(lib, "nor2", 0b01, count=3)
+        assert stanza is not None
+        parsed = parse_genlib(stanza)
+        (name,) = parsed.cells
+        assert name == "nor2_na"
+        cell = parsed[name]
+        # !(!a + b) == a * !b
+        assert cell.function == negate_inputs(lib["nor2"].function, 0b01)
+        assert cell.area > lib["nor2"].area
+        assert cell.area < lib["nor2"].area + lib.inverter().area
+
+    def test_existing_function_not_proposed(self, tool):
+        lib = standard_library()
+        # NAND with both inputs inverted is OR — already in the library.
+        assert tool.propose_stanza(lib, "nand2", 0b11, count=5) is None
+
+    def test_unknown_cell_skipped(self, tool):
+        assert (
+            tool.propose_stanza(standard_library(), "nope", 0b01, count=9)
+            is None
+        )
+
+
+class TestMain:
+    def test_golden_default_run_writes_output(self, tool, tmp_path, capsys):
+        out = tmp_path / "proposed.genlib"
+        assert tool.main(["-o", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "mined" in text
+        assert out.exists()
+        proposed = parse_genlib(out.read_text())
+        assert len(proposed) > 0
+
+    def test_min_count_filter(self, tool, tmp_path, capsys):
+        trace = _write_trace(
+            tmp_path, "solo", ["OS3|t|a|~|x.0|b||nor2|"]
+        )
+        assert tool.main([str(trace), "--min-count", "2"]) == 0
+        assert "no composite-cell candidates" in capsys.readouterr().out

@@ -8,9 +8,14 @@ from repro.power.probability import (
     PropagationProbability,
     SimulationProbability,
 )
-from repro.transform.candidates import CandidateOptions, generate_candidates
+from repro.transform.candidates import (
+    CandidateOptions,
+    _two_input_cells,
+    generate_candidates,
+)
 from repro.transform.permissible import PERMISSIBLE, check_candidate
-from repro.transform.substitution import IS2, IS3, OS2, OS3
+from repro.transform.substitution import IS2, IS3, OS2
+from repro.library.standard import standard_library
 from tests.conftest import make_random_netlist
 
 
@@ -129,3 +134,50 @@ class TestCandidateQuality:
             sub = candidate.substitution
             if sub.kind in (IS2, IS3):
                 assert random_netlist.gate(sub.target).fanout_count() >= 2
+
+
+class TestTwoInputCells:
+    """The OS3/IS3 insertion-cell query (`_two_input_cells`)."""
+
+    def test_defaults_to_library_capability_query(self):
+        netlist = make_random_netlist(standard_library(), 4, 8, 2, seed=5)
+        cells = _two_input_cells(netlist, CandidateOptions())
+        assert cells == list(netlist.library.insertion_cells())
+        assert all(cell.num_inputs == 2 for cell in cells)
+
+    def test_cheapest_per_function_dedup(self):
+        from repro.library.genlib import parse_genlib
+
+        lib = parse_genlib(
+            "GATE inv 1.0 O=!a; PIN a INV 1 9 1 1 1 1\n"
+            "GATE and_cheap 2.0 O=a*b; PIN * NONINV 1 9 1 1 1 1\n"
+            "GATE and_rich 5.0 O=a*b; PIN * NONINV 1 9 1 1 1 1\n"
+            "GATE or2 3.0 O=a+b; PIN * NONINV 1 9 1 1 1 1\n"
+        )
+        netlist = make_random_netlist(standard_library(), 4, 8, 2, seed=5)
+        netlist.library = lib
+        names = [
+            c.name for c in _two_input_cells(netlist, CandidateOptions())
+        ]
+        # One cell per function, the cheaper AND wins, inverter excluded.
+        assert names == ["and_cheap", "or2"]
+
+    def test_os3_cells_override_dedups_by_function(self):
+        netlist = make_random_netlist(standard_library(), 4, 8, 2, seed=5)
+        options = CandidateOptions(os3_cells=("and2", "and2", "nand2"))
+        cells = _two_input_cells(netlist, options)
+        # The repeated function collapses; the override order is ignored in
+        # favour of the deterministic cheapest-per-function pick.
+        assert sorted(c.name for c in cells) == ["and2", "nand2"]
+
+    def test_os3_cells_override_restricts_pool(self):
+        netlist = make_random_netlist(standard_library(), 4, 8, 2, seed=5)
+        cells = _two_input_cells(
+            netlist, CandidateOptions(os3_cells=("xor2",))
+        )
+        assert [c.name for c in cells] == ["xor2"]
+
+    def test_no_library_yields_nothing(self):
+        netlist = make_random_netlist(standard_library(), 4, 8, 2, seed=5)
+        netlist.library = None
+        assert _two_input_cells(netlist, CandidateOptions()) == []

@@ -1,0 +1,275 @@
+#!/usr/bin/env python
+"""Mine telemetry traces for composite-cell candidates.
+
+CellE-style library tuning: the optimizer's applied substitutions leave
+structural fingerprints in the canonical candidate ids of committed run
+traces —
+
+- OS3/IS3 moves each insert a concrete 2-input gate (``new_cell``),
+- OS2/IS2 moves with a ``~`` flag insert a discrete inverter between
+  the permissible source and a sink pin.
+
+A recurring (cell, inverted-pin) structure is a hint that the library
+is missing a single composite cell computing the composed function: a
+static-CMOS stack absorbs an input inversion far cheaper than a
+discrete inverter.  This tool replays run traces (defaults to the four
+committed golden traces), aggregates those structures, resolves IS2
+sink pins against the bundled benchmark BLIFs (``--blif-dir``) to find
+*which* cell the inverter feeds, and emits a candidate genlib stanza
+per structure seen at least ``--min-count`` times: the composed
+function as a flat SOP, area estimated as the component cell plus a
+discounted inverter, pin data inherited from the components.
+
+The stanzas are *proposals* — meant to be reviewed, characterised
+properly, then appended to a real library — so the tool never edits a
+genlib in place.
+
+Usage::
+
+    PYTHONPATH=src python tools/propose_cells.py
+    PYTHONPATH=src python tools/propose_cells.py trace1.json trace2.json \
+        --library my.genlib --min-count 3 -o proposed.genlib
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.library.cell import Library  # noqa: E402
+from repro.library.genlib import parse_genlib_file  # noqa: E402
+from repro.library.npn import negate_inputs  # noqa: E402
+from repro.library.standard import standard_library  # noqa: E402
+from repro.logic.truthtable import TruthTable  # noqa: E402
+from repro.netlist.blif import parse_blif_file  # noqa: E402
+from repro.telemetry import read_trace  # noqa: E402
+
+GOLDEN_TRACES = sorted(
+    (REPO / "tests" / "telemetry" / "golden").glob("*.trace.json")
+)
+DEFAULT_BLIF_DIR = REPO / "benchmarks" / "blif"
+
+#: Fraction of a discrete inverter's area a folded input stack costs.
+FOLD_DISCOUNT = 0.6
+
+_PIN_LETTERS = "abcdefgh"
+
+
+def parse_candidate_id(candidate_id: str) -> dict:
+    """Decode the canonical ``kind|target|source1|~|branch|source2|~|cell|const``."""
+    fields = candidate_id.split("|")
+    if len(fields) != 9:
+        raise ValueError(f"malformed candidate id: {candidate_id!r}")
+    return {
+        "kind": fields[0],
+        "target": fields[1],
+        "source1": fields[2],
+        "invert1": fields[3] == "~",
+        "branch": fields[4],
+        "source2": fields[5],
+        "invert2": fields[6] == "~",
+        "new_cell": fields[7] or None,
+        "constant": fields[8] or None,
+    }
+
+
+def mine_traces(
+    paths: list[Path],
+    blif_dir: Path | None,
+    library: Library,
+) -> tuple[Counter, Counter]:
+    """Aggregate applied-substitution structures across run traces.
+
+    Returns ``(inserted, composites)``: counts of inserted OS3/IS3 cells
+    by ``(kind, cell, inv1, inv2)``, and counts of composite-cell
+    opportunities by ``(cell name, inverted-pin mask)`` — OS3/IS3 input
+    inversions plus IS2-inserted inverters resolved to the sink pin they
+    feed (needs the original netlist, hence ``blif_dir``).
+    """
+    inserted: Counter = Counter()
+    composites: Counter = Counter()
+    for path in paths:
+        trace = read_trace(path)
+        netlist = None
+        if blif_dir is not None:
+            blif = Path(blif_dir) / f"{trace.netlist}.blif"
+            if blif.exists():
+                netlist = parse_blif_file(blif, library)
+        for move in trace.moves:
+            decoded = parse_candidate_id(move.candidate_id)
+            if decoded["new_cell"] is not None:
+                key = (
+                    decoded["kind"],
+                    decoded["new_cell"],
+                    decoded["invert1"],
+                    decoded["invert2"],
+                )
+                inserted[key] += 1
+                mask = (1 if decoded["invert1"] else 0) | (
+                    2 if decoded["invert2"] else 0
+                )
+                if mask:
+                    composites[(decoded["new_cell"], mask)] += 1
+            elif (
+                decoded["kind"] == "IS2"
+                and decoded["invert1"]
+                and decoded["branch"]
+                and netlist is not None
+            ):
+                sink_name, _, pin_text = decoded["branch"].rpartition(".")
+                if sink_name not in netlist.gates:
+                    continue
+                sink = netlist.gate(sink_name)
+                if sink.is_input:
+                    continue
+                pin = int(pin_text)
+                if pin >= sink.num_inputs:
+                    continue
+                composites[(sink.cell.name, 1 << pin)] += 1
+    return inserted, composites
+
+
+def _sop(table: TruthTable, names: tuple[str, ...]) -> str:
+    """Flat sum-of-products genlib expression of a truth table."""
+    terms = []
+    for minterm in range(table.nrows):
+        if table.value(minterm):
+            terms.append("*".join(
+                names[v] if (minterm >> v) & 1 else f"!{names[v]}"
+                for v in range(table.nvars)
+            ))
+    return "+".join(terms) if terms else "CONST0"
+
+
+def propose_stanza(
+    library: Library, cell_name: str, mask: int, count: int
+) -> str | None:
+    """Genlib stanza for ``cell`` with the pins in ``mask`` complemented.
+
+    Returns None when the base cell is unknown or zero-input, or when
+    the composed function already exists among same-arity library cells
+    (then there is nothing to propose).
+    """
+    if cell_name not in library:
+        return None
+    base = library[cell_name]
+    if base.num_inputs == 0 or base.num_inputs > len(_PIN_LETTERS):
+        return None
+    composed = negate_inputs(base.function, mask)
+    for existing in library.cells_with_inputs(base.num_inputs):
+        if existing.function == composed:
+            return None
+    inverter = library.inverter()
+    folds = bin(mask).count("1")
+    area = base.area + FOLD_DISCOUNT * inverter.area * folds
+    names = tuple(_PIN_LETTERS[: base.num_inputs])
+    suffix = "".join(
+        names[i] for i in range(base.num_inputs) if (mask >> i) & 1
+    )
+    pins = []
+    for index, pin in enumerate(base.pins):
+        inverted = bool((mask >> index) & 1)
+        load = inverter.pins[0].load if inverted else pin.load
+        tau = pin.tau + (
+            FOLD_DISCOUNT * inverter.pins[0].tau if inverted else 0.0
+        )
+        pins.append(
+            f"  PIN {names[index]} UNKNOWN {load:g} {pin.max_load:g} "
+            f"{tau:g} {pin.resistance:g} {tau:g} {pin.resistance:g}"
+        )
+    lines = [
+        f"# proposed from {count} applied substitutions: "
+        f"{cell_name} with folded inverter on input(s) {suffix}",
+        f"GATE {cell_name}_n{suffix} {area:g} O={_sop(composed, names)};",
+    ]
+    lines.extend(pins)
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="mine run traces for composite-cell candidates"
+    )
+    parser.add_argument(
+        "traces", nargs="*", type=Path,
+        help="run-trace JSON files (default: the committed golden traces)",
+    )
+    parser.add_argument(
+        "--library", help="genlib file the traces ran against "
+        "(default: built-in)",
+    )
+    parser.add_argument(
+        "--blif-dir", type=Path, default=DEFAULT_BLIF_DIR,
+        help="directory of the original BLIFs, used to resolve IS2 sink "
+        "cells (default: benchmarks/blif)",
+    )
+    parser.add_argument(
+        "--min-count", type=int, default=2,
+        help="structures seen fewer times are ignored (default 2)",
+    )
+    parser.add_argument(
+        "--output", "-o", type=Path,
+        help="write proposed stanzas here (default: stdout only)",
+    )
+    args = parser.parse_args(argv)
+
+    paths = [Path(p) for p in (args.traces or GOLDEN_TRACES)]
+    if not paths:
+        print("no trace files found")
+        return 2
+    library = (
+        parse_genlib_file(args.library) if args.library else standard_library()
+    )
+    inserted, composites = mine_traces(paths, args.blif_dir, library)
+
+    print(f"mined {len(paths)} traces:")
+    for (kind, cell, inv1, inv2), count in sorted(
+        inserted.items(), key=lambda item: (-item[1], item[0])
+    ):
+        shape = cell
+        if inv1 or inv2:
+            shape += " (~" + "".join(
+                n for n, i in (("a", inv1), ("b", inv2)) if i
+            ) + ")"
+        print(f"  {count:4d}x {kind:4s} inserts {shape}")
+    for (cell, mask), count in sorted(
+        composites.items(), key=lambda item: (-item[1], item[0])
+    ):
+        pins = ",".join(
+            _PIN_LETTERS[i] for i in range(8) if (mask >> i) & 1
+        )
+        print(f"  {count:4d}x inverter folded into {cell} pin(s) {pins}")
+
+    stanzas = []
+    for (cell, mask), count in sorted(
+        composites.items(), key=lambda item: (-item[1], item[0])
+    ):
+        if count < args.min_count:
+            continue
+        stanza = propose_stanza(library, cell, mask, count)
+        if stanza is not None and stanza not in stanzas:
+            stanzas.append(stanza)
+
+    if not stanzas:
+        print("\nno composite-cell candidates cleared the bar "
+              f"(min count {args.min_count}, composed function must not "
+              "already be in the library)")
+        return 0
+
+    body = "# candidate composite cells proposed by tools/propose_cells.py\n"
+    body += "# review + characterise before adopting\n\n"
+    body += "\n\n".join(stanzas) + "\n"
+    print("\n" + body, end="")
+    if args.output:
+        args.output.write_text(body)
+        print(f"# written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
